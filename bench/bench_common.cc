@@ -1,0 +1,189 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/govtrack_gen.h"
+#include "workload/wikipedia_gen.h"
+
+namespace rdftx::bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("RDFTX_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+size_t Scaled(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * ScaleFactor());
+}
+
+std::vector<size_t> WikipediaSweep() {
+  // Mirrors the paper's 5, 10, 15, 20, 25, 30 million.
+  std::vector<size_t> out;
+  for (size_t base : {30000u, 60000u, 90000u, 120000u, 150000u, 180000u}) {
+    out.push_back(Scaled(base));
+  }
+  return out;
+}
+
+std::vector<size_t> GovTrackSweep() {
+  // Mirrors the paper's 4, 8, 12, 16, 20 million.
+  std::vector<size_t> out;
+  for (size_t base : {24000u, 48000u, 72000u, 96000u, 120000u}) {
+    out.push_back(Scaled(base));
+  }
+  return out;
+}
+
+Fixture MakeWikipedia(size_t triples, uint64_t seed) {
+  Fixture f;
+  f.dict = std::make_unique<Dictionary>();
+  f.data = workload::GenerateWikipedia(
+      f.dict.get(),
+      workload::WikipediaOptions{.num_triples = triples, .seed = seed});
+  return f;
+}
+
+Fixture MakeGovTrack(size_t triples, uint64_t seed) {
+  Fixture f;
+  f.dict = std::make_unique<Dictionary>();
+  f.data = workload::GenerateGovTrack(
+      f.dict.get(),
+      workload::GovTrackOptions{.num_triples = triples, .seed = seed});
+  return f;
+}
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kRdfTx:
+      return "RDF-TX";
+    case System::kStandardMvbt:
+      return "StandardMVBT";
+    case System::kRdbms:
+      return "MySQL-like";
+    case System::kReification:
+      return "Jena-Ref/RDF-3X-like";
+    case System::kNamedGraph:
+      return "Jena-NG-like";
+  }
+  return "?";
+}
+
+std::unique_ptr<TemporalStore> BuildStore(System system,
+                                          const Fixture& fixture) {
+  std::unique_ptr<TemporalStore> store;
+  switch (system) {
+    case System::kRdfTx:
+      store = std::make_unique<TemporalGraph>(
+          TemporalGraphOptions{.compress_leaves = true});
+      break;
+    case System::kStandardMvbt:
+      store = std::make_unique<TemporalGraph>(
+          TemporalGraphOptions{.compress_leaves = false});
+      break;
+    case System::kRdbms:
+      store = std::make_unique<RdbmsStore>();
+      break;
+    case System::kReification:
+      store = std::make_unique<ReificationStore>();
+      break;
+    case System::kNamedGraph:
+      store = std::make_unique<NamedGraphStore>();
+      break;
+  }
+  Status st = store->Load(fixture.data.triples);
+  if (!st.ok()) {
+    std::fprintf(stderr, "store load failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return store;
+}
+
+std::unique_ptr<OptimizerBundle> BuildOptimizer(const Fixture& fixture) {
+  auto bundle = std::make_unique<OptimizerBundle>();
+  bundle->catalog.Build(fixture.data.triples);
+  bundle->histogram = std::make_unique<optimizer::TemporalHistogram>(
+      &bundle->catalog, fixture.data.triples,
+      fixture.data.triples.size() * sizeof(TemporalTriple));
+  bundle->optimizer = std::make_unique<optimizer::QueryOptimizer>(
+      &bundle->catalog, bundle->histogram.get());
+  return bundle;
+}
+
+size_t RawTextBytes(const Fixture& fixture) {
+  size_t bytes = 0;
+  for (const TemporalTriple& tt : fixture.data.triples) {
+    bytes += fixture.dict->Decode(tt.triple.s).size() +
+             fixture.dict->Decode(tt.triple.p).size() +
+             fixture.dict->Decode(tt.triple.o).size();
+    bytes += 2 * 10 + 6;  // "YYYY-MM-DD" twice + separators/newline
+  }
+  return bytes;
+}
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+double AvgQueryMillis(const engine::QueryEngine& engine,
+                      const std::vector<std::string>& queries, int runs) {
+  uint64_t sink = 0;
+  // Warm-up pass.
+  for (const std::string& q : queries) {
+    auto r = engine.Execute(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n%s\n",
+                   r.status().ToString().c_str(), q.c_str());
+      std::abort();
+    }
+    sink += r->rows.size();
+  }
+  double seconds = TimeSeconds([&] {
+    for (int run = 0; run < runs; ++run) {
+      for (const std::string& q : queries) {
+        auto r = engine.Execute(q);
+        sink += r.ok() ? r->rows.size() : 0;
+      }
+    }
+  });
+  if (sink == 0xDEADBEEF) std::printf("#");  // keep sink alive
+  return seconds * 1000.0 /
+         (static_cast<double>(runs) * static_cast<double>(queries.size()));
+}
+
+void PrintSeriesHeader(const std::string& figure,
+                       const std::vector<std::string>& columns) {
+  std::printf("### %s\n", figure.c_str());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", columns[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void PrintSeriesRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  if (v >= 100 || v == static_cast<int64_t>(v)) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else if (v >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+}  // namespace rdftx::bench

@@ -1,0 +1,75 @@
+// Fig 9(d-f): query running time on the GovTrack history.
+//  (d) temporal selection, (e) temporal join, (f) complex queries.
+// GovTrack has few predicates and few distinct periods, so per-pattern
+// result sets are much larger than Wikipedia's (paper §7.3).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/query_gen.h"
+
+namespace {
+
+using namespace rdftx;
+using namespace rdftx::bench;
+
+constexpr System kSystems[] = {System::kRdfTx, System::kRdbms,
+                               System::kReification, System::kNamedGraph};
+
+void SweepQueries(const char* figure, bool joins) {
+  std::vector<std::string> columns{"triples"};
+  for (System s : kSystems) columns.push_back(SystemName(s));
+  PrintSeriesHeader(figure, columns);
+  for (size_t n : GovTrackSweep()) {
+    Fixture f = MakeGovTrack(n);
+    Rng rng(21);
+    auto queries =
+        joins ? workload::MakeJoinQueries(f.data, *f.dict, 10, &rng)
+              : workload::MakeSelectionQueries(f.data, *f.dict, 10, &rng);
+    auto bundle = BuildOptimizer(f);
+    std::vector<std::string> row{std::to_string(f.data.triples.size())};
+    for (System system : kSystems) {
+      auto store = BuildStore(system, f);
+      engine::QueryEngine eng(store.get(), f.dict.get());
+      eng.set_join_order_provider(bundle->optimizer->AsProvider());
+      row.push_back(Fmt(AvgQueryMillis(eng, queries)));
+    }
+    PrintSeriesRow(row);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  SweepQueries("Fig 9(d): temporal selection in GovTrack (avg ms/query)",
+               /*joins=*/false);
+  SweepQueries("Fig 9(e): temporal join in GovTrack (avg ms/query)",
+               /*joins=*/true);
+
+  Fixture f = MakeGovTrack(Scaled(120000));
+  Rng rng(22);
+  auto by_size = workload::MakeComplexQueries(f.data, *f.dict, 3, 7, 5,
+                                              &rng);
+  auto bundle = BuildOptimizer(f);
+  std::vector<std::string> columns{"patterns"};
+  for (System s : kSystems) columns.push_back(SystemName(s));
+  PrintSeriesHeader("Fig 9(f): complex queries in GovTrack (avg ms/query)",
+                    columns);
+  std::vector<std::unique_ptr<TemporalStore>> stores;
+  std::vector<std::unique_ptr<engine::QueryEngine>> engines;
+  for (System system : kSystems) {
+    stores.push_back(BuildStore(system, f));
+    engines.push_back(std::make_unique<engine::QueryEngine>(
+        stores.back().get(), f.dict.get()));
+    engines.back()->set_join_order_provider(bundle->optimizer->AsProvider());
+  }
+  for (int size = 3; size <= 7; ++size) {
+    if (by_size[size].empty()) continue;
+    std::vector<std::string> row{std::to_string(size)};
+    for (auto& eng : engines) {
+      row.push_back(Fmt(AvgQueryMillis(*eng, by_size[size])));
+    }
+    PrintSeriesRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: the University of California history from the paper
+// (Table 2) queried with the five SPARQLt examples of §3.2.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/rdftx.h"
+
+namespace {
+
+void RunQuery(const rdftx::RdfTx& db, const char* title,
+              const char* query) {
+  std::printf("== %s ==\n%s\n", title, query);
+  auto result = db.Query(query);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", result->ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  rdftx::RdfTx db;
+
+  // The temporal RDF triples of paper Table 2 (plus earlier presidents
+  // so duration queries have history to chew on).
+  struct Fact {
+    const char *s, *p, *o, *from, *to;
+  };
+  const Fact facts[] = {
+      {"University_of_California", "president", "Richard_Atkinson",
+       "1995-10-01", "2003-10-02"},
+      {"University_of_California", "president", "Robert_Dynes",
+       "2003-10-02", "2008-06-16"},
+      {"University_of_California", "president", "Mark_Yudof", "2008-06-16",
+       "2013-09-30"},
+      {"University_of_California", "president", "Janet_Napolitano",
+       "2013-09-30", "now"},
+      {"University_of_California", "endowment", "10.3", "2013-07-01",
+       "2014-07-01"},
+      {"University_of_California", "endowment", "13.1", "2014-07-01", "now"},
+      {"University_of_California", "undergraduate", "184562", "2013-05-14",
+       "2015-01-30"},
+      {"University_of_California", "undergraduate", "188300", "2015-01-30",
+       "now"},
+      {"University_of_California", "staff", "18896", "2013-08-29",
+       "2015-01-30"},
+      {"University_of_California", "staff", "19700", "2015-01-30", "now"},
+      {"University_of_California", "budget", "22.7", "2013-01-30",
+       "2015-01-30"},
+      {"University_of_California", "budget", "25.46", "2015-01-30", "now"},
+  };
+  for (const Fact& f : facts) {
+    auto st = db.Add(f.s, f.p, f.o, f.from, f.to);
+    if (!st.ok()) {
+      std::printf("load error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto st = db.Finish(); !st.ok()) {
+    std::printf("finish error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu temporal triples, index bytes: %zu\n\n",
+              db.triple_count(), db.MemoryUsage());
+
+  RunQuery(db, "Example 1: when did Janet Napolitano serve as president?",
+           "SELECT ?t\n"
+           "{ University_of_California president Janet_Napolitano ?t }");
+
+  RunQuery(db, "Example 2: the budget of UC in 2013",
+           "SELECT ?budget\n"
+           "{ University_of_California budget ?budget ?t .\n"
+           "  FILTER(YEAR(?t) = 2013) }");
+
+  RunQuery(db,
+           "Example 3: presidents serving more than a year, before 2010",
+           "SELECT ?person ?t\n"
+           "{ University_of_California president ?person ?t .\n"
+           "  FILTER(YEAR(?t) <= 2010 && LENGTH(?t) > 365 DAY) }");
+
+  RunQuery(db,
+           "Example 4: undergraduates while Mark Yudof was in office "
+           "(temporal join)",
+           "SELECT ?university ?number ?t\n"
+           "{ ?university undergraduate ?number ?t .\n"
+           "  ?university president Mark_Yudof ?t . }");
+
+  RunQuery(db, "Example 5: who succeeded Mark Yudof? (MEETS via TEND/TSTART)",
+           "SELECT ?successor\n"
+           "{ University_of_California president Mark_Yudof ?t1 .\n"
+           "  University_of_California president ?successor ?t2 .\n"
+           "  FILTER(TEND(?t1) = TSTART(?t2)) . }");
+
+  RunQuery(db, "Flash-back: who was president on 2009-09-09?",
+           "SELECT ?p { University_of_California president ?p 2009-09-09 }");
+
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "baselines/naive_store.h"
+
+#include <unordered_map>
+
+#include "temporal/temporal_set.h"
+
+namespace rdftx {
+
+Status NaiveStore::Load(const std::vector<TemporalTriple>& triples) {
+  std::unordered_map<Triple, TemporalSet, TripleHash> by_triple;
+  by_triple.reserve(triples.size());
+  for (const TemporalTriple& tt : triples) {
+    if (!tt.iv.empty()) by_triple[tt.triple].Add(tt.iv);
+  }
+  triples_.clear();
+  triples_.reserve(by_triple.size());
+  for (const auto& [triple, set] : by_triple) {
+    for (const Interval& run : set.runs()) {
+      triples_.push_back(TemporalTriple{triple, run});
+      last_time_ = std::max(last_time_, run.start);
+      if (run.end != kChrononNow) last_time_ = std::max(last_time_, run.end);
+    }
+  }
+  return Status::OK();
+}
+
+void NaiveStore::ScanPattern(const PatternSpec& spec,
+                             const ScanCallback& visit) const {
+  for (const TemporalTriple& tt : triples_) {
+    if (spec.s != kInvalidTerm && tt.triple.s != spec.s) continue;
+    if (spec.p != kInvalidTerm && tt.triple.p != spec.p) continue;
+    if (spec.o != kInvalidTerm && tt.triple.o != spec.o) continue;
+    if (!tt.iv.Overlaps(spec.time)) continue;
+    visit(tt.triple, tt.iv);
+  }
+}
+
+size_t NaiveStore::MemoryUsage() const {
+  return triples_.capacity() * sizeof(TemporalTriple);
+}
+
+}  // namespace rdftx

@@ -1,0 +1,34 @@
+// Flat-scan reference store: the ground-truth oracle for property tests
+// and the floor baseline for micro-benches. Not an evaluated system in
+// the paper; see rdbms/reification/namedgraph stores for those.
+#ifndef RDFTX_BASELINES_NAIVE_STORE_H_
+#define RDFTX_BASELINES_NAIVE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/store_interface.h"
+
+namespace rdftx {
+
+/// Stores coalesced temporal triples in one vector; every scan is a full
+/// linear pass.
+class NaiveStore : public TemporalStore {
+ public:
+  Status Load(const std::vector<TemporalTriple>& triples) override;
+  void ScanPattern(const PatternSpec& spec,
+                   const ScanCallback& visit) const override;
+  size_t MemoryUsage() const override;
+  std::string name() const override { return "NaiveScan"; }
+  Chronon last_time() const override { return last_time_; }
+
+  const std::vector<TemporalTriple>& triples() const { return triples_; }
+
+ private:
+  std::vector<TemporalTriple> triples_;
+  Chronon last_time_ = 0;
+};
+
+}  // namespace rdftx
+
+#endif  // RDFTX_BASELINES_NAIVE_STORE_H_

@@ -1,0 +1,118 @@
+#include "baselines/rdbms_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "temporal/temporal_set.h"
+
+namespace rdftx {
+
+Status RdbmsStore::Load(const std::vector<TemporalTriple>& triples) {
+  std::unordered_map<Triple, TemporalSet, TripleHash> by_triple;
+  by_triple.reserve(triples.size());
+  for (const TemporalTriple& tt : triples) {
+    if (!tt.iv.empty()) by_triple[tt.triple].Add(tt.iv);
+  }
+  rows_.clear();
+  for (const auto& [triple, set] : by_triple) {
+    for (const Interval& run : set.runs()) {
+      rows_.push_back(TemporalTriple{triple, run});
+      last_time_ = std::max(last_time_, run.start);
+      if (run.end != kChrononNow) last_time_ = std::max(last_time_, run.end);
+    }
+  }
+  for (uint32_t i = 0; i < rows_.size(); ++i) {
+    const Triple& t = rows_[i].triple;
+    spo_.Insert({t.s, t.p, t.o, i}, {});
+    sop_.Insert({t.s, t.o, t.p, i}, {});
+    pso_.Insert({t.p, t.s, t.o, i}, {});
+    ops_.Insert({t.o, t.p, t.s, i}, {});
+    start_idx_.Insert({rows_[i].iv.start, i}, {});
+    end_idx_.Insert({rows_[i].iv.end, i}, {});
+  }
+  return Status::OK();
+}
+
+void RdbmsStore::ScanKeyIndex(const BTree<KeyEntry, Empty>& index, TermId c1,
+                              TermId c2, TermId c3, const PatternSpec& spec,
+                              const ScanCallback& visit) const {
+  // Prefix range on the bound components; the temporal constraint is a
+  // post-filter (the key index cannot prune it).
+  KeyEntry lo{0, 0, 0, 0};
+  KeyEntry hi{UINT64_MAX, UINT64_MAX, UINT64_MAX, UINT32_MAX};
+  if (c1 != kInvalidTerm) {
+    std::get<0>(lo) = std::get<0>(hi) = c1;
+    if (c2 != kInvalidTerm) {
+      std::get<1>(lo) = std::get<1>(hi) = c2;
+      if (c3 != kInvalidTerm) {
+        std::get<2>(lo) = std::get<2>(hi) = c3;
+      }
+    }
+  }
+  index.Scan(lo, hi, [&](const KeyEntry& key, const Empty&) {
+    ++rows_examined_;
+    const TemporalTriple& row = rows_[std::get<3>(key)];
+    if (row.iv.Overlaps(spec.time)) visit(row.triple, row.iv);
+    return true;
+  });
+}
+
+void RdbmsStore::ScanPattern(const PatternSpec& spec,
+                             const ScanCallback& visit) const {
+  rows_examined_ = 0;
+  const bool s = spec.s != kInvalidTerm;
+  const bool p = spec.p != kInvalidTerm;
+  const bool o = spec.o != kInvalidTerm;
+  if (s && o && !p) {
+    ScanKeyIndex(sop_, spec.s, spec.o, kInvalidTerm, spec, visit);
+    return;
+  }
+  if (s) {
+    ScanKeyIndex(spo_, spec.s, p ? spec.p : kInvalidTerm,
+                 (p && o) ? spec.o : kInvalidTerm, spec, visit);
+    return;
+  }
+  if (p) {
+    // PSO has no (p, o) prefix; scan p and post-filter o, as a relational
+    // planner would with this index set.
+    ScanKeyIndex(pso_, spec.p, kInvalidTerm, kInvalidTerm,
+                 PatternSpec{kInvalidTerm, kInvalidTerm, kInvalidTerm,
+                             spec.time},
+                 [&](const Triple& t, const Interval& iv) {
+                   if (!o || t.o == spec.o) visit(t, iv);
+                 });
+    return;
+  }
+  if (o) {
+    ScanKeyIndex(ops_, spec.o, kInvalidTerm, kInvalidTerm, spec, visit);
+    return;
+  }
+  // No key constants: if the time range is bounded, drive through the
+  // start-time index (rows starting before the window's end), filtering
+  // out the ones that ended too early — a one-sided prune only.
+  if (spec.time.end != kChrononNow || spec.time.start != 0) {
+    start_idx_.Scan(
+        {0, 0}, {spec.time.end == kChrononNow ? kChrononNow : spec.time.end - 1,
+                 UINT32_MAX},
+        [&](const TimeEntry& key, const Empty&) {
+          ++rows_examined_;
+          const TemporalTriple& row = rows_[key.second];
+          if (row.iv.Overlaps(spec.time)) visit(row.triple, row.iv);
+          return true;
+        });
+    return;
+  }
+  // Full scan.
+  for (const TemporalTriple& row : rows_) {
+    ++rows_examined_;
+    if (row.iv.Overlaps(spec.time)) visit(row.triple, row.iv);
+  }
+}
+
+size_t RdbmsStore::MemoryUsage() const {
+  return rows_.capacity() * sizeof(TemporalTriple) + spo_.MemoryUsage() +
+         sop_.MemoryUsage() + pso_.MemoryUsage() + ops_.MemoryUsage() +
+         start_idx_.MemoryUsage() + end_idx_.MemoryUsage();
+}
+
+}  // namespace rdftx

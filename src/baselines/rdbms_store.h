@@ -1,0 +1,58 @@
+// RDBMS baseline (paper §7.1.2, "MySQL memory engine"): temporal triples
+// in a five-column row table with four in-memory B+ tree key indices
+// (SPO, SOP, PSO, OPS) and two additional B+ tree indices on start/end
+// time. The architectural property under test: each index prunes one
+// dimension only, so temporal selections either over-scan the key index
+// and post-filter on time, or over-scan a time index and post-filter on
+// keys — unlike the MVBT's single two-dimensional operation (§7.3).
+#ifndef RDFTX_BASELINES_RDBMS_STORE_H_
+#define RDFTX_BASELINES_RDBMS_STORE_H_
+
+#include <array>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "btree/btree.h"
+#include "rdf/store_interface.h"
+
+namespace rdftx {
+
+/// In-process stand-in for a relational memory engine.
+class RdbmsStore : public TemporalStore {
+ public:
+  Status Load(const std::vector<TemporalTriple>& triples) override;
+  void ScanPattern(const PatternSpec& spec,
+                   const ScanCallback& visit) const override;
+  size_t MemoryUsage() const override;
+  std::string name() const override { return "RDBMS"; }
+  Chronon last_time() const override { return last_time_; }
+
+  /// Rows touched by the last ScanPattern (for white-box tests showing
+  /// the 1-D pruning weakness).
+  uint64_t last_rows_examined() const { return rows_examined_; }
+
+ private:
+  // Key-index entries carry the row id to keep keys unique.
+  using KeyEntry = std::tuple<TermId, TermId, TermId, uint32_t>;
+  using TimeEntry = std::pair<Chronon, uint32_t>;
+  struct Empty {};
+
+  void ScanKeyIndex(const BTree<KeyEntry, Empty>& index, TermId c1,
+                    TermId c2, TermId c3, const PatternSpec& spec,
+                    const ScanCallback& visit) const;
+
+  std::vector<TemporalTriple> rows_;
+  BTree<KeyEntry, Empty> spo_{128};
+  BTree<KeyEntry, Empty> sop_{128};
+  BTree<KeyEntry, Empty> pso_{128};
+  BTree<KeyEntry, Empty> ops_{128};
+  BTree<TimeEntry, Empty> start_idx_{128};
+  BTree<TimeEntry, Empty> end_idx_{128};
+  Chronon last_time_ = 0;
+  mutable uint64_t rows_examined_ = 0;
+};
+
+}  // namespace rdftx
+
+#endif  // RDFTX_BASELINES_RDBMS_STORE_H_

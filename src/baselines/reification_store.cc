@@ -1,0 +1,142 @@
+#include "baselines/reification_store.h"
+
+#include <algorithm>
+
+#include "temporal/temporal_set.h"
+
+namespace rdftx {
+
+uint64_t ReificationStore::InternDate(Chronon t) {
+  auto it = date_ids_.find(t);
+  if (it != date_ids_.end()) return it->second;
+  uint64_t id = kIdBase + (1ull << 20) + date_strings_.size();
+  date_strings_.push_back(FormatChronon(t));
+  date_ids_.emplace(t, id);
+  return id;
+}
+
+Chronon ReificationStore::ParseDateTerm(uint64_t id) const {
+  // The run-time string -> integer conversion the paper blames for
+  // RDF-3X's temporal-constraint slowness.
+  const std::string& text =
+      date_strings_[id - kIdBase - (1ull << 20)];
+  auto parsed = ParseChronon(text);
+  return parsed.ok() ? *parsed : 0;
+}
+
+Status ReificationStore::Load(const std::vector<TemporalTriple>& triples) {
+  std::unordered_map<Triple, TemporalSet, TripleHash> by_triple;
+  by_triple.reserve(triples.size());
+  for (const TemporalTriple& tt : triples) {
+    if (!tt.iv.empty()) by_triple[tt.triple].Add(tt.iv);
+  }
+  uint64_t next_stmt = kIdBase + (1ull << 30);
+  for (const auto& [triple, set] : by_triple) {
+    for (const Interval& run : set.runs()) {
+      const uint64_t stmt = next_stmt++;
+      spo_.push_back({stmt, kPropSubject, triple.s});
+      spo_.push_back({stmt, kPropPredicate, triple.p});
+      spo_.push_back({stmt, kPropObject, triple.o});
+      spo_.push_back({stmt, kPropStart, InternDate(run.start)});
+      spo_.push_back({stmt, kPropEnd, InternDate(run.end)});
+      last_time_ = std::max(last_time_, run.start);
+      if (run.end != kChrononNow) last_time_ = std::max(last_time_, run.end);
+    }
+  }
+  pos_.reserve(spo_.size());
+  for (const PlainTriple& t : spo_) pos_.push_back({t[1], t[2], t[0]});
+  std::sort(spo_.begin(), spo_.end());
+  std::sort(pos_.begin(), pos_.end());
+  return Status::OK();
+}
+
+template <typename Visit>
+void ReificationStore::PrefixScan(const std::vector<PlainTriple>& index,
+                                  uint64_t a, uint64_t b,
+                                  const Visit& visit) const {
+  PlainTriple lo{a, b, 0};
+  auto it = std::lower_bound(index.begin(), index.end(), lo);
+  for (; it != index.end(); ++it) {
+    if ((*it)[0] != a || (b != 0 && (*it)[1] != b)) break;
+    if (!visit(*it)) break;
+  }
+}
+
+void ReificationStore::ScanPattern(const PatternSpec& spec,
+                                   const ScanCallback& visit) const {
+  // SPARQL rewriting: ?stmt subject s . ?stmt predicate p . ?stmt
+  // object o . ?stmt start ?ts . ?stmt end ?te — a join on ?stmt,
+  // seeded from the most selective bound position via the POS index.
+  std::vector<uint64_t> candidates;
+  bool seeded = false;
+  auto seed = [&](uint64_t prop, uint64_t value) {
+    std::vector<uint64_t> found;
+    PrefixScan(pos_, prop, value, [&](const PlainTriple& t) {
+      found.push_back(t[2]);  // statement id
+      return true;
+    });
+    std::sort(found.begin(), found.end());
+    if (!seeded) {
+      candidates = std::move(found);
+      seeded = true;
+    } else {
+      std::vector<uint64_t> merged;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            found.begin(), found.end(),
+                            std::back_inserter(merged));
+      candidates = std::move(merged);
+    }
+  };
+  if (spec.s != kInvalidTerm) seed(kPropSubject, spec.s);
+  if (spec.p != kInvalidTerm) seed(kPropPredicate, spec.p);
+  if (spec.o != kInvalidTerm) seed(kPropObject, spec.o);
+  if (!seeded) {
+    // Unconstrained pattern: every statement qualifies.
+    PrefixScan(pos_, kPropSubject, 0, [&](const PlainTriple& t) {
+      candidates.push_back(t[2]);
+      return true;
+    });
+  }
+
+  // Fetch each candidate's five properties and evaluate the temporal
+  // constraint (string-decoded timestamps).
+  for (uint64_t stmt : candidates) {
+    Triple triple;
+    Chronon ts = 0, te = kChrononNow;
+    PrefixScan(spo_, stmt, 0, [&](const PlainTriple& t) {
+      switch (t[1] - kIdBase) {
+        case 1:
+          triple.s = t[2];
+          break;
+        case 2:
+          triple.p = t[2];
+          break;
+        case 3:
+          triple.o = t[2];
+          break;
+        case 4:
+          ts = ParseDateTerm(t[2]);
+          break;
+        case 5:
+          te = ParseDateTerm(t[2]);
+          break;
+        default:
+          break;
+      }
+      return true;
+    });
+    Interval iv(ts, te);
+    if (iv.Overlaps(spec.time)) visit(triple, iv);
+  }
+}
+
+size_t ReificationStore::MemoryUsage() const {
+  size_t bytes = (spo_.capacity() + pos_.capacity()) * sizeof(PlainTriple);
+  bytes += date_strings_.capacity() * sizeof(std::string);
+  for (const std::string& s : date_strings_) bytes += s.capacity() + 1;
+  bytes += date_ids_.size() * (sizeof(Chronon) + sizeof(uint64_t) +
+                               2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace rdftx

@@ -1,0 +1,65 @@
+// RDF-reification baseline (paper §7.1.2, "Jena Ref" / "RDF-3X"): each
+// temporal triple becomes an entity with five properties — subject,
+// predicate, object, start time, end time — stored as five plain RDF
+// triples in a hexastore of sorted permutation arrays. A SPARQLt
+// pattern rewrites to a multi-way self-join on the statement id, and
+// temporal constraints evaluate against *string-encoded* timestamps that
+// are parsed back to integers at query time (reproducing the paper's
+// explanation of RDF-3X's poor temporal-constraint performance: numbers
+// are encoded as strings and converted at run time).
+#ifndef RDFTX_BASELINES_REIFICATION_STORE_H_
+#define RDFTX_BASELINES_REIFICATION_STORE_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/store_interface.h"
+
+namespace rdftx {
+
+/// In-process stand-in for the reification approach on an RDF engine.
+class ReificationStore : public TemporalStore {
+ public:
+  Status Load(const std::vector<TemporalTriple>& triples) override;
+  void ScanPattern(const PatternSpec& spec,
+                   const ScanCallback& visit) const override;
+  size_t MemoryUsage() const override;
+  std::string name() const override { return "Reification"; }
+  Chronon last_time() const override { return last_time_; }
+
+  /// Number of reified (plain) triples — 5x the temporal triples.
+  size_t plain_triple_count() const { return spo_.size(); }
+
+ private:
+  // Internal id space: statement ids and date-string ids live above
+  // kIdBase so they never collide with dictionary term ids.
+  static constexpr uint64_t kIdBase = 1ull << 40;
+  // Reification property ids.
+  static constexpr uint64_t kPropSubject = kIdBase + 1;
+  static constexpr uint64_t kPropPredicate = kIdBase + 2;
+  static constexpr uint64_t kPropObject = kIdBase + 3;
+  static constexpr uint64_t kPropStart = kIdBase + 4;
+  static constexpr uint64_t kPropEnd = kIdBase + 5;
+
+  using PlainTriple = std::array<uint64_t, 3>;
+
+  uint64_t InternDate(Chronon t);
+  Chronon ParseDateTerm(uint64_t id) const;  // string parse at query time
+
+  /// Sorted-prefix scan over one permutation array.
+  template <typename Visit>
+  void PrefixScan(const std::vector<PlainTriple>& index, uint64_t a,
+                  uint64_t b, const Visit& visit) const;
+
+  std::vector<PlainTriple> spo_;  // sorted (s, p, o)
+  std::vector<PlainTriple> pos_;  // sorted (p, o, s)
+  std::vector<std::string> date_strings_;
+  std::unordered_map<Chronon, uint64_t> date_ids_;
+  Chronon last_time_ = 0;
+};
+
+}  // namespace rdftx
+
+#endif  // RDFTX_BASELINES_REIFICATION_STORE_H_

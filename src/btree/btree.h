@@ -1,0 +1,235 @@
+// A compact in-memory B+ tree used by the baseline stores (paper §7.1.2
+// evaluates a "MySQL memory engine" with in-memory B+ tree indices; this
+// is our in-process equivalent). Keys are unique; range scans run over
+// linked leaves.
+#ifndef RDFTX_BTREE_BTREE_H_
+#define RDFTX_BTREE_BTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace rdftx {
+
+/// In-memory B+ tree with linked leaves.
+///
+/// \tparam Key   totally ordered key (operator< / operator==)
+/// \tparam Value payload stored alongside each key
+template <typename Key, typename Value>
+class BTree {
+ public:
+  /// Max entries per node; >= 4.
+  explicit BTree(size_t fanout = 64) : fanout_(std::max<size_t>(4, fanout)) {
+    root_ = NewLeaf();
+    first_leaf_ = static_cast<Leaf*>(root_.get());
+  }
+
+  /// Inserts (key, value). Returns false if the key already exists
+  /// (existing value unchanged).
+  bool Insert(const Key& key, const Value& value) {
+    SplitResult sr = InsertRec(root_.get(), key, value);
+    if (sr.duplicate) return false;
+    if (sr.right != nullptr) {
+      auto new_root = std::make_unique<Inner>();
+      new_root->keys.push_back(sr.split_key);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sr.right));
+      root_ = std::move(new_root);
+      ++height_;
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Removes `key`. Returns false if absent. (Simple underflow-free
+  /// deletion: leaves may become sparse but ordering invariants hold —
+  /// sufficient for baseline workloads.)
+  bool Erase(const Key& key) {
+    Leaf* leaf = FindLeaf(key);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key) return false;
+    size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+    leaf->keys.erase(it);
+    leaf->values.erase(leaf->values.begin() + static_cast<ptrdiff_t>(idx));
+    --size_;
+    return true;
+  }
+
+  /// Finds `key`; returns nullptr if absent. The pointer is invalidated
+  /// by the next mutation.
+  Value* Find(const Key& key) {
+    Leaf* leaf = FindLeaf(key);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key) return nullptr;
+    return &leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+  }
+
+  /// Calls visit(key, value) for every entry with lo <= key <= hi, in key
+  /// order. Returning false from visit stops the scan early.
+  void Scan(const Key& lo, const Key& hi,
+            const std::function<bool(const Key&, const Value&)>& visit) const {
+    const Leaf* leaf = FindLeafConst(lo);
+    while (leaf != nullptr) {
+      auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo);
+      for (size_t i = static_cast<size_t>(it - leaf->keys.begin());
+           i < leaf->keys.size(); ++i) {
+        if (hi < leaf->keys[i]) return;
+        if (!visit(leaf->keys[i], leaf->values[i])) return;
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Full in-order traversal.
+  void ScanAll(
+      const std::function<bool(const Key&, const Value&)>& visit) const {
+    for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (!visit(leaf->keys[i], leaf->values[i])) return;
+      }
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+
+  /// Approximate heap footprint, for index-size benchmarks.
+  size_t MemoryUsage() const { return MemoryRec(root_.get()); }
+
+ private:
+  struct Node {
+    bool is_leaf = false;
+    virtual ~Node() = default;
+  };
+
+  struct Leaf : Node {
+    Leaf() { this->is_leaf = true; }
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    Leaf* next = nullptr;
+  };
+
+  struct Inner : Node {
+    // children.size() == keys.size() + 1; keys[i] = min key of child i+1.
+    std::vector<Key> keys;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  struct SplitResult {
+    std::unique_ptr<Node> right;  // non-null if the child split
+    Key split_key{};
+    bool duplicate = false;
+  };
+
+  std::unique_ptr<Node> NewLeaf() { return std::make_unique<Leaf>(); }
+
+  size_t ChildIndex(const Inner* inner, const Key& key) const {
+    auto it =
+        std::upper_bound(inner->keys.begin(), inner->keys.end(), key);
+    return static_cast<size_t>(it - inner->keys.begin());
+  }
+
+  Leaf* FindLeaf(const Key& key) {
+    Node* n = root_.get();
+    while (!n->is_leaf) {
+      Inner* inner = static_cast<Inner*>(n);
+      n = inner->children[ChildIndex(inner, key)].get();
+    }
+    return static_cast<Leaf*>(n);
+  }
+
+  const Leaf* FindLeafConst(const Key& key) const {
+    const Node* n = root_.get();
+    while (!n->is_leaf) {
+      const Inner* inner = static_cast<const Inner*>(n);
+      n = inner->children[ChildIndex(inner, key)].get();
+    }
+    return static_cast<const Leaf*>(n);
+  }
+
+  SplitResult InsertRec(Node* node, const Key& key, const Value& value) {
+    SplitResult out;
+    if (node->is_leaf) {
+      Leaf* leaf = static_cast<Leaf*>(node);
+      auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+      if (it != leaf->keys.end() && *it == key) {
+        out.duplicate = true;
+        return out;
+      }
+      leaf->keys.insert(it, key);
+      leaf->values.insert(leaf->values.begin() + static_cast<ptrdiff_t>(idx),
+                          value);
+      if (leaf->keys.size() > fanout_) {
+        auto right = std::make_unique<Leaf>();
+        size_t mid = leaf->keys.size() / 2;
+        right->keys.assign(leaf->keys.begin() + static_cast<ptrdiff_t>(mid),
+                           leaf->keys.end());
+        right->values.assign(
+            leaf->values.begin() + static_cast<ptrdiff_t>(mid),
+            leaf->values.end());
+        leaf->keys.resize(mid);
+        leaf->values.resize(mid);
+        right->next = leaf->next;
+        leaf->next = right.get();
+        out.split_key = right->keys.front();
+        out.right = std::move(right);
+      }
+      return out;
+    }
+    Inner* inner = static_cast<Inner*>(node);
+    size_t ci = ChildIndex(inner, key);
+    SplitResult child_split = InsertRec(inner->children[ci].get(), key, value);
+    if (child_split.duplicate) {
+      out.duplicate = true;
+      return out;
+    }
+    if (child_split.right != nullptr) {
+      inner->keys.insert(inner->keys.begin() + static_cast<ptrdiff_t>(ci),
+                         child_split.split_key);
+      inner->children.insert(
+          inner->children.begin() + static_cast<ptrdiff_t>(ci + 1),
+          std::move(child_split.right));
+      if (inner->children.size() > fanout_) {
+        auto right = std::make_unique<Inner>();
+        size_t mid = inner->children.size() / 2;  // children to keep
+        out.split_key = inner->keys[mid - 1];
+        right->keys.assign(inner->keys.begin() + static_cast<ptrdiff_t>(mid),
+                           inner->keys.end());
+        for (size_t i = mid; i < inner->children.size(); ++i) {
+          right->children.push_back(std::move(inner->children[i]));
+        }
+        inner->keys.resize(mid - 1);
+        inner->children.resize(mid);
+        out.right = std::move(right);
+      }
+    }
+    return out;
+  }
+
+  size_t MemoryRec(const Node* node) const {
+    if (node->is_leaf) {
+      const Leaf* leaf = static_cast<const Leaf*>(node);
+      return sizeof(Leaf) + leaf->keys.capacity() * sizeof(Key) +
+             leaf->values.capacity() * sizeof(Value);
+    }
+    const Inner* inner = static_cast<const Inner*>(node);
+    size_t bytes = sizeof(Inner) + inner->keys.capacity() * sizeof(Key) +
+                   inner->children.capacity() * sizeof(void*);
+    for (const auto& child : inner->children) bytes += MemoryRec(child.get());
+    return bytes;
+  }
+
+  size_t fanout_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+  std::unique_ptr<Node> root_;
+  Leaf* first_leaf_ = nullptr;
+};
+
+}  // namespace rdftx
+
+#endif  // RDFTX_BTREE_BTREE_H_

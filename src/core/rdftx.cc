@@ -1,0 +1,74 @@
+#include "core/rdftx.h"
+
+namespace rdftx {
+
+RdfTx::RdfTx(const RdfTxOptions& options)
+    : options_(options), graph_(options.graph) {}
+
+RdfTx::~RdfTx() = default;
+
+Status RdfTx::Add(std::string_view subject, std::string_view predicate,
+                  std::string_view object, std::string_view start,
+                  std::string_view end) {
+  auto s = ParseChronon(start);
+  if (!s.ok()) return s.status();
+  auto e = ParseChronon(end);
+  if (!e.ok()) return e.status();
+  return Add(subject, predicate, object, Interval(*s, *e));
+}
+
+Status RdfTx::Add(std::string_view subject, std::string_view predicate,
+                  std::string_view object, Interval validity) {
+  if (finished_) {
+    return Status::InvalidArgument("Add() after Finish() is not supported; "
+                                   "use graph().Assert for online updates");
+  }
+  if (validity.empty()) {
+    return Status::InvalidArgument("empty validity interval");
+  }
+  Triple t{dict_.Intern(subject), dict_.Intern(predicate),
+           dict_.Intern(object)};
+  staged_.push_back(TemporalTriple{t, validity});
+  ++staged_count_;
+  return Status::OK();
+}
+
+Status RdfTx::Finish() {
+  if (finished_) return Status::InvalidArgument("Finish() called twice");
+  RDFTX_RETURN_IF_ERROR(graph_.Load(staged_));
+  if (options_.enable_optimizer) {
+    catalog_.Build(staged_);
+    // Raw-data size estimate for the histogram's 10% cap: five values
+    // per temporal triple.
+    const size_t raw_bytes = staged_.size() * sizeof(TemporalTriple);
+    histogram_ = std::make_unique<optimizer::TemporalHistogram>(
+        &catalog_, staged_, raw_bytes, options_.histogram);
+    optimizer_ = std::make_unique<optimizer::QueryOptimizer>(
+        &catalog_, histogram_.get(), options_.optimizer);
+  }
+  staged_.clear();
+  staged_.shrink_to_fit();
+  engine_ = std::make_unique<engine::QueryEngine>(
+      &graph_, &dict_, engine::EngineOptions{.now = options_.now});
+  if (optimizer_ != nullptr) {
+    engine_->set_join_order_provider(optimizer_->AsProvider());
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<engine::ResultSet> RdfTx::Query(std::string_view text) const {
+  if (!finished_) {
+    return Status::InvalidArgument("call Finish() before Query()");
+  }
+  return engine_->Execute(text);
+}
+
+size_t RdfTx::MemoryUsage() const {
+  size_t bytes = graph_.MemoryUsage() + dict_.MemoryUsage();
+  if (histogram_ != nullptr) bytes += histogram_->MemoryUsage();
+  if (optimizer_ != nullptr) bytes += catalog_.MemoryUsage();
+  return bytes;
+}
+
+}  // namespace rdftx

@@ -1,0 +1,58 @@
+// Variable bindings and result sets of the SPARQLt execution engine.
+// Key variables bind to dictionary term ids; temporal variables bind to
+// coalesced sets of time points (the point-based temporal element).
+#ifndef RDFTX_ENGINE_BINDING_H_
+#define RDFTX_ENGINE_BINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "temporal/temporal_set.h"
+
+namespace rdftx::engine {
+
+/// Compile-time information about one query variable.
+struct VarInfo {
+  std::string name;
+  bool is_time = false;
+  /// Time variables only: the full temporal element is required
+  /// (duration/endpoint built-ins reference it), so scans expand matches
+  /// to their complete validity instead of the clipped scan window.
+  bool needs_full = false;
+};
+
+/// One (partial) solution mapping. Both vectors are indexed by variable
+/// slot; a term of kInvalidTerm / an empty TemporalSet means unbound.
+struct Row {
+  std::vector<TermId> terms;
+  std::vector<TemporalSet> times;
+
+  explicit Row(size_t num_vars) : terms(num_vars, kInvalidTerm),
+                                  times(num_vars) {}
+  Row() = default;
+
+  bool operator==(const Row&) const = default;
+};
+
+/// One projected result cell: a term or a temporal element.
+struct Cell {
+  bool is_time = false;
+  std::string term;   // decoded term text
+  TemporalSet time;
+
+  bool operator==(const Cell&) const = default;
+  std::string ToString() const { return is_time ? time.ToString() : term; }
+};
+
+/// Query result: named columns over rows of cells.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Cell>> rows;
+
+  std::string ToString() const;
+};
+
+}  // namespace rdftx::engine
+
+#endif  // RDFTX_ENGINE_BINDING_H_

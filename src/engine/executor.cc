@@ -1,0 +1,413 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "mvbt/sync_join.h"
+#include "rdf/temporal_graph.h"
+
+namespace rdftx::engine {
+namespace {
+
+/// Variable slots a pattern binds in key positions.
+std::vector<int> KeySlots(const CompiledPattern& cp) {
+  std::vector<int> slots;
+  for (int s : {cp.var_s, cp.var_p, cp.var_o}) {
+    if (s >= 0) slots.push_back(s);
+  }
+  return slots;
+}
+
+bool SharesVariable(const CompiledPattern& a, const CompiledPattern& b) {
+  auto slots_of = [](const CompiledPattern& cp) {
+    std::vector<int> s = KeySlots(cp);
+    if (cp.var_t >= 0) s.push_back(cp.var_t);
+    return s;
+  };
+  std::vector<int> sa = slots_of(a);
+  std::vector<int> sb = slots_of(b);
+  for (int x : sa) {
+    if (std::find(sb.begin(), sb.end(), x) != sb.end()) return true;
+  }
+  return false;
+}
+
+int ConstantCount(const CompiledPattern& cp) {
+  int n = 0;
+  if (cp.var_s < 0) ++n;
+  if (cp.var_p < 0) ++n;
+  if (cp.var_o < 0) ++n;
+  if (cp.var_t < 0) ++n;
+  return n;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const TemporalStore* store, const Dictionary* dict,
+                         EngineOptions options)
+    : store_(store), dict_(dict), options_(options) {}
+
+std::vector<int> QueryEngine::GreedyOrder(const CompiledQuery& cq) {
+  const size_t n = cq.patterns.size();
+  std::vector<int> order;
+  std::vector<bool> used(n, false);
+  // Seed: most-constant pattern.
+  int seed = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (ConstantCount(cq.patterns[i]) >
+        ConstantCount(cq.patterns[static_cast<size_t>(seed)])) {
+      seed = static_cast<int>(i);
+    }
+  }
+  order.push_back(seed);
+  used[static_cast<size_t>(seed)] = true;
+  while (order.size() < n) {
+    int best = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (int j : order) {
+        if (SharesVariable(cq.patterns[i],
+                           cq.patterns[static_cast<size_t>(j)])) {
+          connected = true;
+          break;
+        }
+      }
+      if (connected &&
+          (best < 0 || ConstantCount(cq.patterns[i]) >
+                           ConstantCount(cq.patterns[static_cast<size_t>(
+                               best)]))) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {  // disconnected query: pick any remaining pattern
+      for (size_t i = 0; i < n; ++i) {
+        if (!used[i]) {
+          best = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    order.push_back(best);
+    used[static_cast<size_t>(best)] = true;
+  }
+  return order;
+}
+
+Result<ResultSet> QueryEngine::Execute(std::string_view text) const {
+  auto query = sparqlt::Parse(text);
+  if (!query.ok()) return query.status();
+  return Execute(*query);
+}
+
+Result<ResultSet> QueryEngine::Execute(const sparqlt::Query& query) const {
+  if (!query.union_branches.empty()) {
+    // UNION: run each branch with the outer projection, concatenate,
+    // and eliminate duplicates across branches (set semantics).
+    if (query.select.empty()) {
+      return Status::InvalidArgument(
+          "UNION queries need an explicit SELECT list");
+    }
+    ResultSet merged;
+    merged.columns = query.select;
+    std::set<std::string> seen;
+    for (const sparqlt::Query& branch : query.union_branches) {
+      auto cq = Compile(branch, *dict_);
+      if (!cq.ok()) return cq.status();
+      cq->projection.clear();
+      for (const std::string& name : query.select) {
+        int slot = -1;
+        for (size_t i = 0; i < cq->vars.size(); ++i) {
+          if (cq->vars[i].name == name) slot = static_cast<int>(i);
+        }
+        if (slot < 0) {
+          return Status::InvalidArgument("projected variable ?" + name +
+                                         " missing from a UNION branch");
+        }
+        cq->projection.push_back(slot);
+      }
+      std::vector<int> order = join_order_provider_
+                                   ? join_order_provider_(*cq)
+                                   : GreedyOrder(*cq);
+      auto rs = Run(branch, *cq, order);
+      if (!rs.ok()) return rs.status();
+      for (auto& row : rs->rows) {
+        std::string fp;
+        for (const Cell& cell : row) {
+          fp += cell.ToString();
+          fp.push_back('\x1F');
+        }
+        if (seen.insert(fp).second) merged.rows.push_back(std::move(row));
+      }
+    }
+    return merged;
+  }
+  auto cq = Compile(query, *dict_);
+  if (!cq.ok()) return cq.status();
+  std::vector<int> order = join_order_provider_
+                               ? join_order_provider_(*cq)
+                               : GreedyOrder(*cq);
+  return Run(query, *cq, order);
+}
+
+Result<ResultSet> QueryEngine::ExecutePlan(
+    const sparqlt::Query& query, const std::vector<int>& order) const {
+  auto cq = Compile(query, *dict_);
+  if (!cq.ok()) return cq.status();
+  return Run(query, *cq, order);
+}
+
+Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
+                                   const CompiledQuery& cq,
+                                   const std::vector<int>& order) const {
+  (void)query;
+  stats_ = ExecStats{};
+  if (order.size() != cq.patterns.size()) {
+    return Status::InvalidArgument("join order size mismatch");
+  }
+  const size_t num_vars = cq.vars.size();
+
+  EvalContext ctx;
+  ctx.vars = &cq.vars;
+  ctx.dict = dict_;
+  ctx.now = options_.now != 0 ? options_.now : store_->last_time();
+  if (ctx.now == 0) ctx.now = kChrononMax;
+
+  // Pipeline: scan the first pattern, then hash-join each subsequent
+  // pattern's scan into the running intermediate result. A two-pattern
+  // temporal join on an MVBT store may take the synchronized-join fast
+  // path instead (§5.2.2).
+  std::vector<Row> rows;
+  const bool sync_joined =
+      options_.join_algorithm == JoinAlgorithm::kSynchronized &&
+      TrySynchronizedJoin(cq, &rows);
+  if (!sync_joined) {
+    std::set<int> bound_keys;
+    for (size_t step = 0; step < order.size(); ++step) {
+      const CompiledPattern& cp =
+          cq.patterns[static_cast<size_t>(order[step])];
+      std::vector<Row> scanned;
+      ScanToRows(*store_, cp, num_vars, cq.vars, &scanned);
+      ++stats_.patterns_scanned;
+      stats_.rows_scanned += scanned.size();
+      if (step == 0) {
+        rows = std::move(scanned);
+      } else {
+        std::vector<int> shared;
+        for (int slot : KeySlots(cp)) {
+          if (bound_keys.contains(slot)) shared.push_back(slot);
+        }
+        rows = HashJoinRows(rows, scanned, shared);
+        stats_.join_output_rows += rows.size();
+      }
+      for (int slot : KeySlots(cp)) bound_keys.insert(slot);
+      if (rows.empty()) break;
+    }
+  }
+
+  // OPTIONAL groups: evaluate each group, then left-join it onto the
+  // running solutions (unmatched rows keep the group's variables
+  // unbound).
+  if (!cq.optionals.empty() && !rows.empty()) {
+    std::set<int> main_bound;
+    for (const CompiledPattern& cp : cq.patterns) {
+      for (int slot : KeySlots(cp)) main_bound.insert(slot);
+    }
+    for (const CompiledOptional& opt : cq.optionals) {
+      std::vector<Row> group;
+      std::set<int> block_bound;
+      for (size_t i = 0; i < opt.patterns.size(); ++i) {
+        const CompiledPattern& cp = opt.patterns[i];
+        std::vector<Row> scanned;
+        ScanToRows(*store_, cp, num_vars, cq.vars, &scanned);
+        ++stats_.patterns_scanned;
+        stats_.rows_scanned += scanned.size();
+        if (i == 0) {
+          group = std::move(scanned);
+        } else {
+          std::vector<int> shared;
+          for (int slot : KeySlots(cp)) {
+            if (block_bound.contains(slot)) shared.push_back(slot);
+          }
+          group = HashJoinRows(group, scanned, shared);
+        }
+        for (int slot : KeySlots(cp)) block_bound.insert(slot);
+        if (group.empty()) break;
+      }
+      // Group-local filters run on the group's own matches.
+      std::erase_if(group, [&](const Row& row) {
+        for (const sparqlt::Expr* f : opt.filters) {
+          if (!EvalPredicate(*f, row, ctx)) return true;
+        }
+        return false;
+      });
+      std::vector<int> shared;
+      for (int slot : block_bound) {
+        if (main_bound.contains(slot)) shared.push_back(slot);
+      }
+      rows = LeftHashJoinRows(rows, group, shared);
+      stats_.join_output_rows += rows.size();
+      for (int slot : block_bound) main_bound.insert(slot);
+    }
+  }
+
+  // FILTER evaluation (windows already pruned the scans; the predicates
+  // still run in full for OR / NOT / duration conditions).
+  std::vector<Row> kept;
+  kept.reserve(rows.size());
+  for (Row& row : rows) {
+    bool ok = true;
+    for (const sparqlt::Expr* f : cq.filters) {
+      if (!EvalPredicate(*f, row, ctx)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) kept.push_back(std::move(row));
+  }
+
+  // Projection + duplicate elimination.
+  ResultSet result;
+  for (int slot : cq.projection) {
+    result.columns.push_back(cq.vars[static_cast<size_t>(slot)].name);
+  }
+  std::set<std::string> seen;
+  // With OPTIONAL groups, projected variables may be legitimately
+  // unbound (rendered as empty cells); otherwise an unbound projection
+  // slot means the row cannot contribute.
+  const bool allow_unbound = !cq.optionals.empty();
+  for (const Row& row : kept) {
+    std::vector<Cell> cells;
+    std::string fingerprint;
+    bool complete = true;
+    for (int slot : cq.projection) {
+      const VarInfo& info = cq.vars[static_cast<size_t>(slot)];
+      Cell cell;
+      if (info.is_time) {
+        cell.is_time = true;
+        cell.time = row.times[static_cast<size_t>(slot)];
+        if (cell.time.empty()) complete = false;
+        fingerprint += cell.time.ToString();
+      } else {
+        TermId id = row.terms[static_cast<size_t>(slot)];
+        if (id == kInvalidTerm) {
+          complete = false;
+        } else {
+          cell.term = dict_->Decode(id);
+        }
+        fingerprint += cell.term;
+      }
+      fingerprint.push_back('\x1F');
+      cells.push_back(std::move(cell));
+    }
+    if (!complete && !allow_unbound) continue;
+    if (seen.insert(fingerprint).second) {
+      result.rows.push_back(std::move(cells));
+    }
+  }
+  stats_.result_rows = result.rows.size();
+  return result;
+}
+
+bool QueryEngine::TrySynchronizedJoin(const CompiledQuery& cq,
+                                      std::vector<Row>* rows) const {
+  // Shape check: exactly two patterns, no OPTIONAL groups, a shared
+  // temporal variable (the temporal join), a shared subject variable,
+  // and an MVBT store.
+  if (cq.patterns.size() != 2 || !cq.optionals.empty()) return false;
+  const CompiledPattern& a = cq.patterns[0];
+  const CompiledPattern& b = cq.patterns[1];
+  if (a.never_matches || b.never_matches) {
+    return false;  // hash path handles the empty result
+  }
+  if (a.var_t < 0 || a.var_t != b.var_t) return false;
+  if (a.var_s < 0 || a.var_s != b.var_s) return false;
+  if (cq.vars[static_cast<size_t>(a.var_t)].needs_full) return false;
+  // No other shared key variables and no repeated variables within one
+  // pattern (they would need extra equality checks the fast path does
+  // not evaluate).
+  for (int slot : {a.var_p, a.var_o}) {
+    if (slot >= 0 && (slot == b.var_p || slot == b.var_o)) return false;
+  }
+  for (const CompiledPattern* cp : {&a, &b}) {
+    if ((cp->var_p >= 0 && cp->var_p == cp->var_s) ||
+        (cp->var_o >= 0 && cp->var_o == cp->var_s) ||
+        (cp->var_p >= 0 && cp->var_p == cp->var_o)) {
+      return false;
+    }
+  }
+  const auto* graph = dynamic_cast<const TemporalGraph*>(store_);
+  if (graph == nullptr) return false;
+
+  // The subject component's position within each pattern's index order.
+  auto subject_extractor =
+      [](IndexOrder order) -> uint64_t (*)(const mvbt::Entry&) {
+    switch (order) {
+      case IndexOrder::kSpo:
+      case IndexOrder::kSop:
+        return [](const mvbt::Entry& e) { return e.key.a; };
+      default:  // kPos, kOps store the subject in the last component
+        return [](const mvbt::Entry& e) { return e.key.c; };
+    }
+  };
+  const IndexOrder order_a = TemporalGraph::ChooseIndex(a.spec);
+  const IndexOrder order_b = TemporalGraph::ChooseIndex(b.spec);
+
+  // Join fragments, then group per logical record pair and coalesce the
+  // emitted intersections into the binding's temporal element.
+  struct PairKey {
+    Triple ta, tb;
+    auto operator<=>(const PairKey&) const = default;
+  };
+  std::map<PairKey, std::vector<Interval>> groups;
+  mvbt::SyncJoinSpec spec{subject_extractor(order_a),
+                          subject_extractor(order_b)};
+  SynchronizedJoin(
+      graph->index(order_a), TemporalGraph::PatternRange(order_a, a.spec),
+      a.spec.time, graph->index(order_b),
+      TemporalGraph::PatternRange(order_b, b.spec), b.spec.time, spec,
+      [&](const mvbt::Entry& ea, const mvbt::Entry& eb,
+          const Interval& iv) {
+        groups[{TemporalGraph::DecodeKey(order_a, ea.key),
+                TemporalGraph::DecodeKey(order_b, eb.key)}]
+            .push_back(iv);
+      });
+  stats_.patterns_scanned += 2;
+
+  const size_t num_vars = cq.vars.size();
+  for (auto& [pair, ivs] : groups) {
+    Row row(num_vars);
+    auto bind = [&row](const CompiledPattern& cp, const Triple& t) {
+      if (cp.var_s >= 0) row.terms[static_cast<size_t>(cp.var_s)] = t.s;
+      if (cp.var_p >= 0) row.terms[static_cast<size_t>(cp.var_p)] = t.p;
+      if (cp.var_o >= 0) row.terms[static_cast<size_t>(cp.var_o)] = t.o;
+    };
+    bind(a, pair.ta);
+    bind(b, pair.tb);
+    row.times[static_cast<size_t>(a.var_t)] =
+        TemporalSet::FromIntervals(ivs);
+    rows->push_back(std::move(row));
+  }
+  stats_.join_output_rows += rows->size();
+  return true;
+}
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += "\t";
+    out += "?" + columns[i];
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += "\t";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rdftx::engine

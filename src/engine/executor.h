@@ -1,0 +1,96 @@
+// The SPARQLt query engine: parse -> compile -> plan -> execute against
+// any TemporalStore (paper §5). Join order comes from the optimizer hook
+// when installed (§6), else from a greedy connected order.
+#ifndef RDFTX_ENGINE_EXECUTOR_H_
+#define RDFTX_ENGINE_EXECUTOR_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "engine/binding.h"
+#include "engine/operators.h"
+#include "engine/translate.h"
+#include "rdf/store_interface.h"
+#include "sparqlt/parser.h"
+
+namespace rdftx::engine {
+
+/// Which physical join drives temporal joins (paper §5.2.2: hash join by
+/// default; the synchronized join when a pattern accesses a large
+/// portion of the index, avoiding the big hash table).
+enum class JoinAlgorithm {
+  kHash,
+  /// Use the MVBT synchronized join when the query shape allows it
+  /// (two-pattern subject-star temporal join on a TemporalGraph);
+  /// falls back to hash otherwise.
+  kSynchronized,
+};
+
+/// Engine configuration.
+struct EngineOptions {
+  /// "now" for measuring live runs; 0 means "use store->last_time()".
+  Chronon now = 0;
+  JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+};
+
+/// Per-query execution counters.
+struct ExecStats {
+  uint64_t patterns_scanned = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t join_output_rows = 0;
+  uint64_t result_rows = 0;
+};
+
+/// Chooses a join order (a permutation of pattern indices) for a
+/// compiled query. Installed by the query optimizer.
+using JoinOrderProvider =
+    std::function<std::vector<int>(const CompiledQuery&)>;
+
+class QueryEngine {
+ public:
+  QueryEngine(const TemporalStore* store, const Dictionary* dict,
+              EngineOptions options = {});
+
+  /// Parses and runs a SPARQLt query.
+  Result<ResultSet> Execute(std::string_view text) const;
+
+  /// Runs a parsed query with the configured join-order policy.
+  Result<ResultSet> Execute(const sparqlt::Query& query) const;
+
+  /// Runs a parsed query with an explicit join order (used by the
+  /// optimizer-effectiveness experiment, Fig 10(a)).
+  Result<ResultSet> ExecutePlan(const sparqlt::Query& query,
+                                const std::vector<int>& order) const;
+
+  /// Installs the optimizer's join-order callback.
+  void set_join_order_provider(JoinOrderProvider provider) {
+    join_order_provider_ = std::move(provider);
+  }
+
+  const ExecStats& last_stats() const { return stats_; }
+
+  /// Fallback order: starts from the most selective-looking pattern
+  /// (most constants) and greedily appends connected patterns.
+  static std::vector<int> GreedyOrder(const CompiledQuery& cq);
+
+ private:
+  Result<ResultSet> Run(const sparqlt::Query& query,
+                        const CompiledQuery& cq,
+                        const std::vector<int>& order) const;
+
+  /// Synchronized-join fast path; returns true and fills `rows` when
+  /// the query shape and store support it.
+  bool TrySynchronizedJoin(const CompiledQuery& cq,
+                           std::vector<Row>* rows) const;
+
+  const TemporalStore* store_;
+  const Dictionary* dict_;
+  EngineOptions options_;
+  JoinOrderProvider join_order_provider_;
+  mutable ExecStats stats_;
+};
+
+}  // namespace rdftx::engine
+
+#endif  // RDFTX_ENGINE_EXECUTOR_H_

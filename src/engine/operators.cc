@@ -1,0 +1,597 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace rdftx::engine {
+namespace {
+
+using sparqlt::CompareOp;
+using sparqlt::Expr;
+
+bool CompareScalar(int64_t a, CompareOp op, int64_t b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+bool CompareDouble(double a, CompareOp op, double b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+// Scalar value lattice for FILTER evaluation.
+struct Value {
+  enum class Kind { kNull, kBool, kInt, kChronon, kString, kTime };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  int64_t num = 0;
+  Chronon chronon = 0;
+  std::string str;
+  const TemporalSet* time = nullptr;
+};
+
+// ∃ point x in `set` with point-classifier `fn`(x) `op` c. Runs of a
+// year or longer contain every month and day-of-month value, so only
+// short runs need a point scan.
+template <typename Fn>
+bool ExistsPoint(const TemporalSet& set, Fn fn, CompareOp op, int64_t c,
+                 Chronon now) {
+  for (const Interval& run : set.runs()) {
+    Chronon end = std::min(run.end, now);
+    if (end <= run.start) continue;
+    if (end - run.start >= 366) return true;
+    for (Chronon x = run.start; x < end; ++x) {
+      if (CompareScalar(fn(x), op, c)) return true;
+    }
+  }
+  return false;
+}
+
+// ∃ point x in `set` with x `op` c (identity classifier; exact).
+bool ExistsIdentity(const TemporalSet& set, CompareOp op, Chronon c) {
+  if (set.empty()) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return set.Contains(c);
+    case CompareOp::kLt:
+      return set.Start() < c;
+    case CompareOp::kLe:
+      return set.Start() <= c;
+    case CompareOp::kGt:
+      return set.End() > c + 1 || (set.End() == kChrononNow);
+    case CompareOp::kGe:
+      return set.End() > c;
+    case CompareOp::kNe:
+      // Some point differs from c: false only if set == {c}.
+      return !(set.runs().size() == 1 &&
+               set.runs()[0] == Interval(c, c + 1));
+  }
+  return false;
+}
+
+// ∃ point x with YEAR(x) `op` c (exact via year boundaries).
+bool ExistsYear(const TemporalSet& set, CompareOp op, int64_t c,
+                Chronon now) {
+  if (set.empty()) return false;
+  const int year = static_cast<int>(c);
+  const Chronon lo = YearStart(year);
+  const Chronon hi = YearEnd(year) + 1;
+  Chronon last = set.End() == kChrononNow ? now : set.End() - 1;
+  switch (op) {
+    case CompareOp::kEq:
+      return !set.Intersect(TemporalSet(Interval(lo, hi))).empty();
+    case CompareOp::kLt:
+      return set.Start() < lo;
+    case CompareOp::kLe:
+      return set.Start() < hi;
+    case CompareOp::kGt:
+      return last >= hi;
+    case CompareOp::kGe:
+      return last >= lo;
+    case CompareOp::kNe:
+      return set.Start() < lo || last >= hi;
+  }
+  return false;
+}
+
+class Evaluator {
+ public:
+  Evaluator(const Row& row, const EvalContext& ctx) : row_(row), ctx_(ctx) {}
+
+  bool Truthy(const Expr& e) {
+    Value v = Eval(e);
+    switch (v.kind) {
+      case Value::Kind::kBool:
+        return v.boolean;
+      case Value::Kind::kInt:
+        return v.num != 0;
+      case Value::Kind::kChronon:
+        return true;
+      case Value::Kind::kString:
+        return !v.str.empty();
+      case Value::Kind::kTime:
+        return v.time != nullptr && !v.time->empty();
+      case Value::Kind::kNull:
+        return false;
+    }
+    return false;
+  }
+
+ private:
+  Value Eval(const Expr& e) {
+    Value v;
+    switch (e.kind) {
+      case Expr::Kind::kAnd:
+        v.kind = Value::Kind::kBool;
+        v.boolean = Truthy(*e.children[0]) && Truthy(*e.children[1]);
+        return v;
+      case Expr::Kind::kOr:
+        v.kind = Value::Kind::kBool;
+        v.boolean = Truthy(*e.children[0]) || Truthy(*e.children[1]);
+        return v;
+      case Expr::Kind::kNot:
+        v.kind = Value::Kind::kBool;
+        v.boolean = !Truthy(*e.children[0]);
+        return v;
+      case Expr::Kind::kCompare:
+        v.kind = Value::Kind::kBool;
+        v.boolean = EvalCompare(e);
+        return v;
+      case Expr::Kind::kVariable: {
+        int slot = SlotOf(e.text);
+        if (slot < 0) return v;  // unbound name -> null
+        const VarInfo& info = (*ctx_.vars)[static_cast<size_t>(slot)];
+        if (info.is_time) {
+          const TemporalSet& set = row_.times[static_cast<size_t>(slot)];
+          if (set.empty()) return v;
+          v.kind = Value::Kind::kTime;
+          v.time = &set;
+          return v;
+        }
+        TermId id = row_.terms[static_cast<size_t>(slot)];
+        if (id == kInvalidTerm) return v;
+        v.kind = Value::Kind::kString;
+        v.str = ctx_.dict->Decode(id);
+        return v;
+      }
+      case Expr::Kind::kIntLit:
+        v.kind = Value::Kind::kInt;
+        v.num = e.int_value;
+        return v;
+      case Expr::Kind::kDateLit:
+        v.kind = Value::Kind::kChronon;
+        v.chronon = e.date_value;
+        return v;
+      case Expr::Kind::kStringLit:
+        v.kind = Value::Kind::kString;
+        v.str = e.text;
+        return v;
+      case Expr::Kind::kTStart:
+      case Expr::Kind::kTEnd:
+      case Expr::Kind::kLength:
+      case Expr::Kind::kTotalLength: {
+        Value arg = Eval(*e.children[0]);
+        if (arg.kind != Value::Kind::kTime) return v;  // null
+        const TemporalSet& set = *arg.time;
+        switch (e.kind) {
+          case Expr::Kind::kTStart:
+            v.kind = Value::Kind::kChronon;
+            v.chronon = set.Start();
+            return v;
+          case Expr::Kind::kTEnd:
+            // Exclusive end: the first chronon after the element, so
+            // TEND(?t1) = TSTART(?t2) expresses MEETS (paper Example 5).
+            v.kind = Value::Kind::kChronon;
+            v.chronon = set.End();
+            return v;
+          case Expr::Kind::kLength:
+            v.kind = Value::Kind::kInt;
+            v.num = static_cast<int64_t>(set.MaxRunLength(ctx_.now));
+            return v;
+          default:
+            v.kind = Value::Kind::kInt;
+            v.num = static_cast<int64_t>(set.TotalLength(ctx_.now));
+            return v;
+        }
+      }
+      case Expr::Kind::kYear:
+      case Expr::Kind::kMonth:
+      case Expr::Kind::kDay: {
+        // Outside a comparison these classify a single chronon; over a
+        // temporal element they are handled existentially in
+        // EvalCompare. Here, reduce a one-point element to its point.
+        Value arg = Eval(*e.children[0]);
+        Chronon point;
+        if (arg.kind == Value::Kind::kChronon) {
+          point = arg.chronon;
+        } else if (arg.kind == Value::Kind::kTime &&
+                   arg.time->TotalLength(ctx_.now) == 1) {
+          point = arg.time->Start();
+        } else {
+          return v;  // null: not scalarizable
+        }
+        v.kind = Value::Kind::kInt;
+        if (e.kind == Expr::Kind::kYear) {
+          v.num = ChrononYear(point);
+        } else if (e.kind == Expr::Kind::kMonth) {
+          v.num = ChrononMonth(point);
+        } else {
+          v.num = ChrononDay(point);
+        }
+        return v;
+      }
+    }
+    return v;
+  }
+
+  // True when `e` is <classifier>(?timevar) or a bare time variable;
+  // fills the set and classifier kind.
+  bool AsTimeClassifier(const Expr& e, const TemporalSet** set,
+                        Expr::Kind* classifier) {
+    const Expr* var = &e;
+    Expr::Kind kind = Expr::Kind::kVariable;  // identity
+    if (e.kind == Expr::Kind::kYear || e.kind == Expr::Kind::kMonth ||
+        e.kind == Expr::Kind::kDay) {
+      var = e.children[0].get();
+      kind = e.kind;
+    }
+    if (var->kind != Expr::Kind::kVariable) return false;
+    int slot = SlotOf(var->text);
+    if (slot < 0 || !(*ctx_.vars)[static_cast<size_t>(slot)].is_time) {
+      return false;
+    }
+    const TemporalSet& s = row_.times[static_cast<size_t>(slot)];
+    if (s.empty()) return false;
+    *set = &s;
+    *classifier = kind;
+    return true;
+  }
+
+  bool EvalCompare(const Expr& e) {
+    const Expr* lhs = e.children[0].get();
+    const Expr* rhs = e.children[1].get();
+    CompareOp op = e.op;
+
+    // Existential comparisons of a temporal element against a scalar.
+    const TemporalSet* set = nullptr;
+    Expr::Kind classifier;
+    if (AsTimeClassifier(*lhs, &set, &classifier)) {
+      Value r = Eval(*rhs);
+      return EvalExistential(*set, classifier, op, r);
+    }
+    if (AsTimeClassifier(*rhs, &set, &classifier)) {
+      Value l = Eval(*lhs);
+      return EvalExistential(*set, classifier, Flip(op), l);
+    }
+
+    Value l = Eval(*lhs);
+    Value r = Eval(*rhs);
+    if (l.kind == Value::Kind::kNull || r.kind == Value::Kind::kNull) {
+      return false;
+    }
+    if (l.kind == Value::Kind::kChronon && r.kind == Value::Kind::kChronon) {
+      return CompareScalar(static_cast<int64_t>(l.chronon), op,
+                           static_cast<int64_t>(r.chronon));
+    }
+    if (l.kind == Value::Kind::kInt && r.kind == Value::Kind::kInt) {
+      return CompareScalar(l.num, op, r.num);
+    }
+    // Mixed numeric/string comparisons go through doubles when both
+    // sides parse as numbers, else lexicographic.
+    auto as_string = [](const Value& v) -> std::string {
+      if (v.kind == Value::Kind::kInt) return std::to_string(v.num);
+      if (v.kind == Value::Kind::kChronon) return FormatChronon(v.chronon);
+      return v.str;
+    };
+    std::string ls = as_string(l), rs = as_string(r);
+    double ln, rn;
+    if (ParseNumber(ls, &ln) && ParseNumber(rs, &rn)) {
+      return CompareDouble(ln, op, rn);
+    }
+    int cmp = ls.compare(rs);
+    return CompareScalar(cmp, op, 0);
+  }
+
+  bool EvalExistential(const TemporalSet& set, Expr::Kind classifier,
+                       CompareOp op, const Value& scalar) {
+    if (classifier == Expr::Kind::kVariable) {
+      // Bare ?t against a date (or another element).
+      if (scalar.kind == Value::Kind::kChronon) {
+        if (scalar.chronon == kChrononNow) {
+          // ... op now: only = / >= / <= are meaningful: live elements.
+          bool live = set.End() == kChrononNow;
+          switch (op) {
+            case CompareOp::kEq:
+            case CompareOp::kGe:
+              return live;
+            case CompareOp::kLe:
+            case CompareOp::kLt:
+              return true;
+            case CompareOp::kGt:
+              return false;
+            case CompareOp::kNe:
+              return !live;
+          }
+        }
+        return ExistsIdentity(set, op, scalar.chronon);
+      }
+      if (scalar.kind == Value::Kind::kTime) {
+        // ?t1 = ?t2 : element equality; != : inequality; ordering by
+        // start point.
+        switch (op) {
+          case CompareOp::kEq:
+            return set == *scalar.time;
+          case CompareOp::kNe:
+            return !(set == *scalar.time);
+          default:
+            return CompareScalar(static_cast<int64_t>(set.Start()), op,
+                                 static_cast<int64_t>(scalar.time->Start()));
+        }
+      }
+      return false;
+    }
+    if (scalar.kind != Value::Kind::kInt) return false;
+    if (classifier == Expr::Kind::kYear) {
+      return ExistsYear(set, op, scalar.num, ctx_.now);
+    }
+    if (classifier == Expr::Kind::kMonth) {
+      return ExistsPoint(
+          set,
+          [](Chronon x) { return static_cast<int64_t>(ChrononMonth(x)); },
+          op, scalar.num, ctx_.now);
+    }
+    return ExistsPoint(
+        set, [](Chronon x) { return static_cast<int64_t>(ChrononDay(x)); },
+        op, scalar.num, ctx_.now);
+  }
+
+  static CompareOp Flip(CompareOp op) {
+    switch (op) {
+      case CompareOp::kLt:
+        return CompareOp::kGt;
+      case CompareOp::kLe:
+        return CompareOp::kGe;
+      case CompareOp::kGt:
+        return CompareOp::kLt;
+      case CompareOp::kGe:
+        return CompareOp::kLe;
+      default:
+        return op;
+    }
+  }
+
+  int SlotOf(const std::string& name) const {
+    for (size_t i = 0; i < ctx_.vars->size(); ++i) {
+      if ((*ctx_.vars)[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  const Row& row_;
+  const EvalContext& ctx_;
+};
+
+}  // namespace
+
+bool EvalPredicate(const Expr& expr, const Row& row,
+                   const EvalContext& ctx) {
+  Evaluator ev(row, ctx);
+  return ev.Truthy(expr);
+}
+
+void ScanToRows(const TemporalStore& store, const CompiledPattern& cp,
+                size_t num_vars, const std::vector<VarInfo>& vars,
+                std::vector<Row>* out) {
+  if (cp.never_matches || cp.spec.time.empty()) return;
+  std::unordered_map<Triple, std::vector<Interval>, TripleHash> groups;
+  store.ScanPattern(cp.spec, [&](const Triple& t, const Interval& iv) {
+    groups[t].push_back(iv);
+  });
+  out->reserve(out->size() + groups.size());
+  const bool needs_full =
+      cp.var_t >= 0 && vars[static_cast<size_t>(cp.var_t)].needs_full;
+  for (auto& [triple, fragments] : groups) {
+    // Repeated-variable consistency (e.g. {?x ?p ?x}).
+    if (cp.var_s >= 0 && cp.var_s == cp.var_p && triple.s != triple.p) {
+      continue;
+    }
+    if (cp.var_s >= 0 && cp.var_s == cp.var_o && triple.s != triple.o) {
+      continue;
+    }
+    if (cp.var_p >= 0 && cp.var_p == cp.var_o && triple.p != triple.o) {
+      continue;
+    }
+    Row row(num_vars);
+    if (cp.var_s >= 0) row.terms[static_cast<size_t>(cp.var_s)] = triple.s;
+    if (cp.var_p >= 0) row.terms[static_cast<size_t>(cp.var_p)] = triple.p;
+    if (cp.var_o >= 0) row.terms[static_cast<size_t>(cp.var_o)] = triple.o;
+    if (cp.var_t >= 0) {
+      TemporalSet element;
+      if (needs_full) {
+        // Expand to the complete temporal element with an exact-key
+        // full-history probe.
+        PatternSpec full{triple.s, triple.p, triple.o, Interval::All()};
+        std::vector<Interval> runs;
+        store.ScanPattern(full, [&](const Triple&, const Interval& iv) {
+          runs.push_back(iv);
+        });
+        element = TemporalSet::FromIntervals(std::move(runs));
+      } else {
+        std::vector<Interval> clipped;
+        clipped.reserve(fragments.size());
+        for (const Interval& iv : fragments) {
+          Interval c = iv.Intersect(cp.spec.time);
+          if (!c.empty()) clipped.push_back(c);
+        }
+        element = TemporalSet::FromIntervals(std::move(clipped));
+      }
+      if (element.empty()) continue;
+      row.times[static_cast<size_t>(cp.var_t)] = std::move(element);
+    }
+    out->push_back(std::move(row));
+  }
+}
+
+namespace {
+
+uint64_t RowHash(const Row& r, const std::vector<int>& slots) {
+  uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (int slot : slots) {
+    h ^= r.terms[static_cast<size_t>(slot)] + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool KeysMatch(const Row& a, const Row& b, const std::vector<int>& slots) {
+  for (int slot : slots) {
+    if (a.terms[static_cast<size_t>(slot)] !=
+        b.terms[static_cast<size_t>(slot)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Merges b into a copy of a; false if a shared temporal slot has an
+// empty intersection.
+bool MergeRows(const Row& a, const Row& b, Row* out) {
+  const size_t num_vars = a.terms.size();
+  *out = Row(num_vars);
+  for (size_t i = 0; i < num_vars; ++i) {
+    out->terms[i] = a.terms[i] != kInvalidTerm ? a.terms[i] : b.terms[i];
+    const bool a_has = !a.times[i].empty();
+    const bool b_has = !b.times[i].empty();
+    if (a_has && b_has) {
+      out->times[i] = a.times[i].Intersect(b.times[i]);
+      if (out->times[i].empty()) return false;
+    } else if (a_has) {
+      out->times[i] = a.times[i];
+    } else if (b_has) {
+      out->times[i] = b.times[i];
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Row> LeftHashJoinRows(const std::vector<Row>& left,
+                                  const std::vector<Row>& right,
+                                  const std::vector<int>& shared_key_slots) {
+  std::vector<Row> out;
+  if (left.empty()) return out;
+  std::unordered_multimap<uint64_t, const Row*> table;
+  table.reserve(right.size());
+  for (const Row& r : right) table.emplace(RowHash(r, shared_key_slots), &r);
+  for (const Row& lr : left) {
+    bool matched = false;
+    auto [lo, hi] = table.equal_range(RowHash(lr, shared_key_slots));
+    for (auto it = lo; it != hi; ++it) {
+      if (!KeysMatch(lr, *it->second, shared_key_slots)) continue;
+      Row merged;
+      if (!MergeRows(lr, *it->second, &merged)) continue;
+      out.push_back(std::move(merged));
+      matched = true;
+    }
+    if (!matched) out.push_back(lr);
+  }
+  return out;
+}
+
+std::vector<Row> HashJoinRows(const std::vector<Row>& left,
+                              const std::vector<Row>& right,
+                              const std::vector<int>& shared_key_slots) {
+  std::vector<Row> out;
+  if (left.empty() || right.empty()) return out;
+
+  const std::vector<Row>& build = left.size() <= right.size() ? left : right;
+  const std::vector<Row>& probe = left.size() <= right.size() ? right : left;
+
+  auto hash_key = [&](const Row& r) {
+    uint64_t h = 0x9E3779B97F4A7C15ull;
+    for (int slot : shared_key_slots) {
+      h ^= r.terms[static_cast<size_t>(slot)] + 0x9E3779B97F4A7C15ull +
+           (h << 6) + (h >> 2);
+    }
+    return h;
+  };
+
+  std::unordered_multimap<uint64_t, const Row*> table;
+  table.reserve(build.size());
+  for (const Row& r : build) table.emplace(hash_key(r), &r);
+
+  const size_t num_vars = left[0].terms.size();
+  for (const Row& pr : probe) {
+    auto [lo, hi] = table.equal_range(hash_key(pr));
+    for (auto it = lo; it != hi; ++it) {
+      const Row& br = *it->second;
+      bool keys_match = true;
+      for (int slot : shared_key_slots) {
+        if (br.terms[static_cast<size_t>(slot)] !=
+            pr.terms[static_cast<size_t>(slot)]) {
+          keys_match = false;
+          break;
+        }
+      }
+      if (!keys_match) continue;
+      Row merged(num_vars);
+      bool time_ok = true;
+      for (size_t i = 0; i < num_vars && time_ok; ++i) {
+        // Terms: take whichever side binds the slot.
+        merged.terms[i] = br.terms[i] != kInvalidTerm ? br.terms[i]
+                                                      : pr.terms[i];
+        const bool b_has = !br.times[i].empty();
+        const bool p_has = !pr.times[i].empty();
+        if (b_has && p_has) {
+          merged.times[i] = br.times[i].Intersect(pr.times[i]);
+          if (merged.times[i].empty()) time_ok = false;
+        } else if (b_has) {
+          merged.times[i] = br.times[i];
+        } else if (p_has) {
+          merged.times[i] = pr.times[i];
+        }
+      }
+      if (!time_ok) continue;
+      out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+}  // namespace rdftx::engine

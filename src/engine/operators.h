@@ -1,0 +1,58 @@
+// Physical operators of the SPARQLt engine (paper §5.2): index-scan to
+// binding rows, hash join with temporal-set intersection, and FILTER
+// predicate evaluation under the point-based semantics.
+#ifndef RDFTX_ENGINE_OPERATORS_H_
+#define RDFTX_ENGINE_OPERATORS_H_
+
+#include <vector>
+
+#include "engine/binding.h"
+#include "engine/translate.h"
+#include "rdf/store_interface.h"
+
+namespace rdftx::engine {
+
+/// Evaluation environment for FILTER expressions.
+struct EvalContext {
+  const std::vector<VarInfo>* vars = nullptr;
+  const Dictionary* dict = nullptr;
+  /// "now" used when measuring live runs (LENGTH/TOTAL_LENGTH).
+  Chronon now = kChrononMax;
+};
+
+/// Evaluates a FILTER expression as a predicate over one row.
+/// Comparisons involving a temporal element follow the point-based
+/// semantics: range conditions (?t <= d, YEAR(?t) = c, ...) hold if some
+/// point of the element satisfies them; TSTART/TEND/LENGTH/TOTAL_LENGTH
+/// are scalar functions of the whole element.
+bool EvalPredicate(const sparqlt::Expr& expr, const Row& row,
+                   const EvalContext& ctx);
+
+/// Scans one compiled pattern into binding rows. Fragments are grouped
+/// per matching triple; the temporal variable (if any) binds to the
+/// coalesced validity clipped to the scan window, or to the full
+/// temporal element when the variable needs it.
+void ScanToRows(const TemporalStore& store, const CompiledPattern& cp,
+                size_t num_vars, const std::vector<VarInfo>& vars,
+                std::vector<Row>* out);
+
+/// Hash join of two row sets on `shared_key_slots` (term equality).
+/// Temporal slots bound on both sides intersect (the temporal join);
+/// rows with an empty intersection are dropped. With no shared key
+/// slots this degenerates to a cross product filtered by the temporal
+/// intersections.
+std::vector<Row> HashJoinRows(const std::vector<Row>& left,
+                              const std::vector<Row>& right,
+                              const std::vector<int>& shared_key_slots);
+
+/// Left outer variant for OPTIONAL groups: every left row survives; when
+/// no right row matches (key equality + nonempty temporal
+/// intersections), the left row passes through with the group's
+/// variables unbound.
+std::vector<Row> LeftHashJoinRows(const std::vector<Row>& left,
+                                  const std::vector<Row>& right,
+                                  const std::vector<int>& shared_key_slots);
+
+}  // namespace rdftx::engine
+
+#endif  // RDFTX_ENGINE_OPERATORS_H_

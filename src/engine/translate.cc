@@ -1,0 +1,268 @@
+#include "engine/translate.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace rdftx::engine {
+namespace {
+
+using sparqlt::CompareOp;
+using sparqlt::Expr;
+using sparqlt::GraphPattern;
+using sparqlt::Term;
+
+CompareOp Flip(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // = and != are symmetric
+  }
+}
+
+Interval Hull(const Interval& a, const Interval& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return Interval(std::min(a.start, b.start), std::max(a.end, b.end));
+}
+
+// Window for "f(x) op c" where the monotone classifier f maps the point
+// interval [lo, hi) onto the constant c (identity: [d, d+1); YEAR:
+// [Jan 1, Dec 31]).
+Interval CompareWindow(CompareOp op, Chronon lo, Chronon hi) {
+  switch (op) {
+    case CompareOp::kEq:
+      return Interval(lo, hi);
+    case CompareOp::kLt:
+      return Interval(0, lo);
+    case CompareOp::kLe:
+      return Interval(0, hi);
+    case CompareOp::kGt:
+      return Interval(std::min<Chronon>(hi, kChrononMax), kChrononNow);
+    case CompareOp::kGe:
+      return Interval(lo, kChrononNow);
+    case CompareOp::kNe:
+      return Interval::All();
+  }
+  return Interval::All();
+}
+
+// If `e` is <fn>(?time_var) or bare ?time_var, reports which function.
+enum class TimeFn { kNone, kIdentity, kYear };
+
+TimeFn ClassifyTimeSide(const Expr& e, const std::string& time_var) {
+  if (e.kind == Expr::Kind::kVariable && e.text == time_var) {
+    return TimeFn::kIdentity;
+  }
+  if (e.kind == Expr::Kind::kYear && e.children.size() == 1 &&
+      e.children[0]->kind == Expr::Kind::kVariable &&
+      e.children[0]->text == time_var) {
+    return TimeFn::kYear;
+  }
+  return TimeFn::kNone;
+}
+
+}  // namespace
+
+Interval FilterWindow(const Expr& expr, const std::string& time_var) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd:
+      return FilterWindow(*expr.children[0], time_var)
+          .Intersect(FilterWindow(*expr.children[1], time_var));
+    case Expr::Kind::kOr:
+      return Hull(FilterWindow(*expr.children[0], time_var),
+                  FilterWindow(*expr.children[1], time_var));
+    case Expr::Kind::kCompare: {
+      const Expr* lhs = expr.children[0].get();
+      const Expr* rhs = expr.children[1].get();
+      CompareOp op = expr.op;
+      TimeFn fn = ClassifyTimeSide(*lhs, time_var);
+      if (fn == TimeFn::kNone) {
+        fn = ClassifyTimeSide(*rhs, time_var);
+        if (fn == TimeFn::kNone) return Interval::All();
+        std::swap(lhs, rhs);
+        op = Flip(op);
+      }
+      if (fn == TimeFn::kIdentity && rhs->kind == Expr::Kind::kDateLit) {
+        Chronon d = rhs->date_value;
+        if (d == kChrononNow) return Interval::All();
+        return CompareWindow(op, d, d + 1);
+      }
+      if (fn == TimeFn::kYear && rhs->kind == Expr::Kind::kIntLit) {
+        int year = static_cast<int>(rhs->int_value);
+        return CompareWindow(op, YearStart(year), YearEnd(year) + 1);
+      }
+      return Interval::All();
+    }
+    default:
+      // NOT, bare operands, endpoint/duration conditions: no pruning.
+      return Interval::All();
+  }
+}
+
+Result<CompiledQuery> Compile(const sparqlt::Query& query,
+                              const Dictionary& dict) {
+  CompiledQuery out;
+  if (!query.union_branches.empty()) {
+    return Status::InvalidArgument(
+        "UNION queries are executed branch-by-branch; compile a branch");
+  }
+  std::map<std::string, int> slots;
+
+  auto slot_for = [&](const std::string& name, bool is_time) -> Result<int> {
+    auto it = slots.find(name);
+    if (it != slots.end()) {
+      if (out.vars[static_cast<size_t>(it->second)].is_time != is_time) {
+        return Status::InvalidArgument(
+            "variable ?" + name + " used in both key and time positions");
+      }
+      return it->second;
+    }
+    int slot = static_cast<int>(out.vars.size());
+    out.vars.push_back(VarInfo{name, is_time, false});
+    slots.emplace(name, slot);
+    return slot;
+  };
+
+  auto compile_pattern = [&](const GraphPattern& gp) -> Result<CompiledPattern> {
+    CompiledPattern cp;
+    auto key_pos = [&](const Term& term, TermId* constant,
+                       int* var) -> Status {
+      switch (term.kind) {
+        case Term::Kind::kConstant: {
+          TermId id = dict.Lookup(term.text);
+          if (id == kInvalidTerm) cp.never_matches = true;
+          *constant = id;
+          return Status::OK();
+        }
+        case Term::Kind::kVariable: {
+          auto slot = slot_for(term.text, /*is_time=*/false);
+          if (!slot.ok()) return slot.status();
+          *var = *slot;
+          return Status::OK();
+        }
+        default:
+          return Status::InvalidArgument(
+              "s/p/o positions must be constants or variables");
+      }
+    };
+    RDFTX_RETURN_IF_ERROR(key_pos(gp.s, &cp.spec.s, &cp.var_s));
+    RDFTX_RETURN_IF_ERROR(key_pos(gp.p, &cp.spec.p, &cp.var_p));
+    RDFTX_RETURN_IF_ERROR(key_pos(gp.o, &cp.spec.o, &cp.var_o));
+    switch (gp.t.kind) {
+      case Term::Kind::kVariable: {
+        auto slot = slot_for(gp.t.text, /*is_time=*/true);
+        if (!slot.ok()) return slot.status();
+        cp.var_t = *slot;
+        break;
+      }
+      case Term::Kind::kDate:
+        cp.spec.time = Interval(gp.t.date,
+                                gp.t.date == kChrononNow
+                                    ? kChrononNow
+                                    : gp.t.date + 1);
+        break;
+      case Term::Kind::kWildcard:
+        break;
+      default:
+        return Status::InvalidArgument(
+            "temporal position must be a variable or a date");
+    }
+    return cp;
+  };
+
+  for (const GraphPattern& gp : query.patterns) {
+    auto cp = compile_pattern(gp);
+    if (!cp.ok()) return cp.status();
+    out.patterns.push_back(*cp);
+  }
+  for (const auto& opt : query.optionals) {
+    CompiledOptional block;
+    for (const GraphPattern& gp : opt.patterns) {
+      auto cp = compile_pattern(gp);
+      if (!cp.ok()) return cp.status();
+      block.patterns.push_back(*cp);
+    }
+    for (const auto& f : opt.filters) block.filters.push_back(f.get());
+    out.optionals.push_back(std::move(block));
+  }
+
+  for (const auto& f : query.filters) out.filters.push_back(f.get());
+
+  // Mark time variables whose full temporal element is needed: any use
+  // under a duration or endpoint built-in.
+  std::function<void(const Expr&)> mark = [&](const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kTStart:
+      case Expr::Kind::kTEnd:
+      case Expr::Kind::kLength:
+      case Expr::Kind::kTotalLength:
+        if (e.children[0]->kind == Expr::Kind::kVariable) {
+          auto it = slots.find(e.children[0]->text);
+          if (it != slots.end()) {
+            out.vars[static_cast<size_t>(it->second)].needs_full = true;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    for (const auto& child : e.children) mark(*child);
+  };
+  for (const Expr* f : out.filters) mark(*f);
+  for (const CompiledOptional& opt : out.optionals) {
+    for (const Expr* f : opt.filters) mark(*f);
+  }
+
+  // Scan windows: intersect the windows implied by every FILTER clause
+  // (the clauses are conjunctive). Optional patterns additionally take
+  // their own group's filters into account.
+  auto window_for = [&](int slot,
+                        const std::vector<const Expr*>* extra) {
+    const std::string& name = out.vars[static_cast<size_t>(slot)].name;
+    Interval window = Interval::All();
+    for (const Expr* f : out.filters) {
+      window = window.Intersect(FilterWindow(*f, name));
+    }
+    if (extra != nullptr) {
+      for (const Expr* f : *extra) {
+        window = window.Intersect(FilterWindow(*f, name));
+      }
+    }
+    return window;
+  };
+  for (CompiledPattern& cp : out.patterns) {
+    if (cp.var_t >= 0) cp.spec.time = window_for(cp.var_t, nullptr);
+  }
+  for (CompiledOptional& opt : out.optionals) {
+    for (CompiledPattern& cp : opt.patterns) {
+      if (cp.var_t >= 0) cp.spec.time = window_for(cp.var_t, &opt.filters);
+    }
+  }
+
+  // Projection: SELECT * projects every variable in appearance order.
+  if (query.select.empty()) {
+    for (size_t i = 0; i < out.vars.size(); ++i) {
+      out.projection.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& name : query.select) {
+      auto it = slots.find(name);
+      if (it == slots.end()) {
+        return Status::InvalidArgument("projected variable ?" + name +
+                                       " does not occur in any pattern");
+      }
+      out.projection.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace rdftx::engine

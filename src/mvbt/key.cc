@@ -1,0 +1,10 @@
+#include "mvbt/key.h"
+
+namespace rdftx::mvbt {
+
+std::string Key3::ToString() const {
+  return "(" + std::to_string(a) + "," + std::to_string(b) + "," +
+         std::to_string(c) + ")";
+}
+
+}  // namespace rdftx::mvbt

@@ -1,0 +1,40 @@
+// The MVBT key type: a dictionary-encoded RDF triple in one of the four
+// index orders (SPO, SOP, POS, OPS). Kept concrete (three uint64 words)
+// so the delta compressor and the node layouts stay simple.
+#ifndef RDFTX_MVBT_KEY_H_
+#define RDFTX_MVBT_KEY_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rdftx::mvbt {
+
+/// A lexicographically ordered 3-component key.
+struct Key3 {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+
+  auto operator<=>(const Key3&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Smallest possible key.
+inline constexpr Key3 kKeyMin{0, 0, 0};
+/// Largest possible key.
+inline constexpr Key3 kKeyMax{UINT64_MAX, UINT64_MAX, UINT64_MAX};
+
+/// Inclusive key range [lo, hi].
+struct KeyRange {
+  Key3 lo = kKeyMin;
+  Key3 hi = kKeyMax;
+
+  bool Contains(const Key3& k) const { return lo <= k && k <= hi; }
+  bool Overlaps(const KeyRange& o) const { return lo <= o.hi && o.lo <= hi; }
+};
+
+}  // namespace rdftx::mvbt
+
+#endif  // RDFTX_MVBT_KEY_H_

@@ -1,0 +1,385 @@
+#include "mvbt/leaf_block.h"
+
+#include <cassert>
+
+#include "util/varint.h"
+
+namespace rdftx::mvbt {
+namespace {
+
+// Normal header (2 bytes):
+//   bit 15    : H flag = 0
+//   bits 14-13: te rule (0 short-interval length, 1 delta vs base, 2 live)
+//   bits 12-10: byte-width code of v1 delta (code 7 => 8 bytes)
+//   bits  9-7 : width code of v2 delta
+//   bits  6-4 : width code of v3 delta
+//   bit   3   : v1 delta source (0 neighbour, 1 block base)
+//   bit   2   : v2 delta source
+//   bit   1   : v3 delta source
+//
+// Compact header (1 byte), usable when the entry shares v1 with its
+// neighbour and is live (te = now):
+//   bit 7     : H flag = 1
+//   bits 6-4  : width code of v2 delta (vs neighbour)
+//   bits 3-1  : width code of v3 delta (vs neighbour)
+//
+// For entry 0 the neighbour and base references are all-zero, i.e. the
+// first entry is stored with absolute values.
+constexpr unsigned kTeShort = 0;
+constexpr unsigned kTeDelta = 1;
+constexpr unsigned kTeLive = 2;
+
+unsigned WidthCode(uint64_t v) {
+  unsigned w = ByteWidth(v);
+  return w >= 7 ? 7u : w;
+}
+
+unsigned CodeBytes(unsigned code) { return code == 7 ? 8u : code; }
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+struct KeyDelta {
+  uint64_t zz = 0;     // zigzag-encoded delta
+  unsigned code = 0;   // width code
+  bool from_base = false;
+};
+
+KeyDelta PickDelta(uint64_t value, uint64_t neighbor, uint64_t base) {
+  uint64_t zn = ZigZagEncode(static_cast<int64_t>(value - neighbor));
+  uint64_t zb = ZigZagEncode(static_cast<int64_t>(value - base));
+  KeyDelta d;
+  if (ByteWidth(zn) <= ByteWidth(zb)) {
+    d.zz = zn;
+    d.from_base = false;
+  } else {
+    d.zz = zb;
+    d.from_base = true;
+  }
+  d.code = WidthCode(d.zz);
+  return d;
+}
+
+}  // namespace
+
+void LeafBlock::Append(const Entry& e) {
+  if (!compressed_) {
+    assert(plain_.empty() || e.start >= plain_.back().start);
+    plain_.push_back(e);
+    ++count_;
+    return;
+  }
+  assert(!checkpoint_.valid || e.start >= checkpoint_.last.start);
+  AppendEncoded(e, nullptr);
+  ++count_;
+}
+
+// Reference end-version for the te-delta rule: the block base entry's end,
+// or its start when the base entry is live; zero for entry 0.
+Chronon LeafBlock::RefTe() const {
+  if (!checkpoint_.valid) return 0;  // encoding entry 0
+  return base_.end == kChrononNow ? base_.start : base_.end;
+}
+
+void LeafBlock::AppendEncoded(const Entry& e, CompressionStats* stats) {
+  // Entry 0: references are all-zero (absolute encoding); it also becomes
+  // the block base for subsequent entries.
+  const bool first = !checkpoint_.valid;
+  const Entry prev = first ? Entry{Key3{}, 0, 0} : checkpoint_.last;
+  const Entry base = first ? Entry{Key3{}, 0, 0} : base_;
+  const Chronon ref_te = RefTe();
+
+  const bool compact_ok = !first && e.key.a == prev.key.a && e.live();
+  if (compact_ok) {
+    uint64_t z2 = ZigZagEncode(static_cast<int64_t>(e.key.b - prev.key.b));
+    uint64_t z3 = ZigZagEncode(static_cast<int64_t>(e.key.c - prev.key.c));
+    unsigned c2 = WidthCode(z2), c3 = WidthCode(z3);
+    uint8_t header = 0x80 | static_cast<uint8_t>(c2 << 4) |
+                     static_cast<uint8_t>(c3 << 1);
+    bytes_.push_back(header);
+    PutFixed(&bytes_, z2, CodeBytes(c2));
+    PutFixed(&bytes_, z3, CodeBytes(c3));
+    PutVarint(&bytes_, e.start - prev.start);
+    if (stats != nullptr) {
+      ++stats->compact_headers;
+      ++stats->te_live;
+    }
+  } else {
+    KeyDelta d1 = PickDelta(e.key.a, prev.key.a, base.key.a);
+    KeyDelta d2 = PickDelta(e.key.b, prev.key.b, base.key.b);
+    KeyDelta d3 = PickDelta(e.key.c, prev.key.c, base.key.c);
+    unsigned te_flag;
+    uint64_t te_payload = 0;
+    if (e.live()) {
+      te_flag = kTeLive;
+    } else {
+      uint64_t len = e.end - e.start;
+      uint64_t zd = ZigZagEncode(static_cast<int64_t>(e.end) -
+                                 static_cast<int64_t>(ref_te));
+      if (VarintLen(len) <= VarintLen(zd)) {
+        te_flag = kTeShort;
+        te_payload = len;
+      } else {
+        te_flag = kTeDelta;
+        te_payload = zd;
+      }
+    }
+    uint16_t header = 0;
+    header |= static_cast<uint16_t>(te_flag) << 13;
+    header |= static_cast<uint16_t>(d1.code) << 10;
+    header |= static_cast<uint16_t>(d2.code) << 7;
+    header |= static_cast<uint16_t>(d3.code) << 4;
+    if (d1.from_base) header |= 1u << 3;
+    if (d2.from_base) header |= 1u << 2;
+    if (d3.from_base) header |= 1u << 1;
+    // High byte first: its top bit is the H flag (0 = normal), so the
+    // decoder can discriminate normal from compact headers on byte one.
+    bytes_.push_back(static_cast<uint8_t>(header >> 8));
+    bytes_.push_back(static_cast<uint8_t>(header & 0xFF));
+    PutFixed(&bytes_, d1.zz, CodeBytes(d1.code));
+    PutFixed(&bytes_, d2.zz, CodeBytes(d2.code));
+    PutFixed(&bytes_, d3.zz, CodeBytes(d3.code));
+    PutVarint(&bytes_, e.start - prev.start);
+    if (te_flag != kTeLive) PutVarint(&bytes_, te_payload);
+    if (stats != nullptr) {
+      ++stats->normal_headers;
+      if (te_flag == kTeLive) {
+        ++stats->te_live;
+      } else if (te_flag == kTeShort) {
+        ++stats->te_short;
+      } else {
+        ++stats->te_delta;
+      }
+    }
+  }
+  if (first) base_ = e;
+  checkpoint_.last = e;
+  checkpoint_.valid = true;
+}
+
+void LeafBlock::DecodeInto(std::vector<Entry>* out) const {
+  out->clear();
+  out->reserve(count_);
+  Entry prev{Key3{}, 0, 0};
+  Entry base{Key3{}, 0, 0};
+  Chronon ref_te = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    Entry e;
+    uint8_t first_byte = bytes_[pos];
+    if (first_byte & 0x80) {
+      // Compact header.
+      ++pos;
+      unsigned c2 = (first_byte >> 4) & 0x7, c3 = (first_byte >> 1) & 0x7;
+      uint64_t z2 = GetFixed(&bytes_[pos], CodeBytes(c2));
+      pos += CodeBytes(c2);
+      uint64_t z3 = GetFixed(&bytes_[pos], CodeBytes(c3));
+      pos += CodeBytes(c3);
+      e.key.a = prev.key.a;
+      e.key.b = prev.key.b + static_cast<uint64_t>(ZigZagDecode(z2));
+      e.key.c = prev.key.c + static_cast<uint64_t>(ZigZagDecode(z3));
+      e.start =
+          prev.start + static_cast<Chronon>(GetVarint(bytes_.data(), &pos));
+      e.end = kChrononNow;
+    } else {
+      uint16_t header = (static_cast<uint16_t>(bytes_[pos]) << 8) |
+                        static_cast<uint16_t>(bytes_[pos + 1]);
+      pos += 2;
+      unsigned te_flag = (header >> 13) & 0x3;
+      unsigned c1 = (header >> 10) & 0x7;
+      unsigned c2 = (header >> 7) & 0x7;
+      unsigned c3 = (header >> 4) & 0x7;
+      bool s1 = header & (1u << 3);
+      bool s2 = header & (1u << 2);
+      bool s3 = header & (1u << 1);
+      uint64_t z1 = GetFixed(&bytes_[pos], CodeBytes(c1));
+      pos += CodeBytes(c1);
+      uint64_t z2 = GetFixed(&bytes_[pos], CodeBytes(c2));
+      pos += CodeBytes(c2);
+      uint64_t z3 = GetFixed(&bytes_[pos], CodeBytes(c3));
+      pos += CodeBytes(c3);
+      e.key.a = (s1 ? base.key.a : prev.key.a) +
+                static_cast<uint64_t>(ZigZagDecode(z1));
+      e.key.b = (s2 ? base.key.b : prev.key.b) +
+                static_cast<uint64_t>(ZigZagDecode(z2));
+      e.key.c = (s3 ? base.key.c : prev.key.c) +
+                static_cast<uint64_t>(ZigZagDecode(z3));
+      e.start =
+          prev.start + static_cast<Chronon>(GetVarint(bytes_.data(), &pos));
+      if (te_flag == kTeLive) {
+        e.end = kChrononNow;
+      } else if (te_flag == kTeShort) {
+        e.end =
+            e.start + static_cast<Chronon>(GetVarint(bytes_.data(), &pos));
+      } else {
+        int64_t d = ZigZagDecode(GetVarint(bytes_.data(), &pos));
+        e.end = static_cast<Chronon>(static_cast<int64_t>(ref_te) + d);
+      }
+    }
+    if (i == 0) {
+      base = e;
+      ref_te = base.end == kChrononNow ? base.start : base.end;
+    }
+    out->push_back(e);
+    prev = e;
+  }
+  assert(pos == bytes_.size());
+}
+
+bool LeafBlock::CloseEntry(const Key3& key, Chronon te) {
+  if (!compressed_) {
+    // Scan from the back: the live entry for a key is unique and recent
+    // inserts cluster at the end.
+    for (auto it = plain_.rbegin(); it != plain_.rend(); ++it) {
+      if (it->live() && it->key == key) {
+        it->end = te;
+        return true;
+      }
+    }
+    return false;
+  }
+  std::vector<Entry> entries;
+  DecodeInto(&entries);
+  bool found = false;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (it->live() && it->key == key) {
+      it->end = te;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return false;
+  // Re-encode the whole block (paper §4.2.2: deletion scans all entries).
+  bytes_.clear();
+  checkpoint_ = Checkpoint{};
+  for (const Entry& e : entries) AppendEncoded(e, nullptr);
+  return true;
+}
+
+void LeafBlock::CapLiveEntries(Chronon t, std::vector<Key3>* extracted) {
+  if (!compressed_) {
+    for (Entry& e : plain_) {
+      if (e.live()) {
+        extracted->push_back(e.key);
+        e.end = t;
+      }
+    }
+    plain_.shrink_to_fit();  // capped blocks belong to dying nodes
+    return;
+  }
+  std::vector<Entry> entries;
+  DecodeInto(&entries);
+  bool changed = false;
+  for (Entry& e : entries) {
+    if (e.live()) {
+      extracted->push_back(e.key);
+      e.end = t;
+      changed = true;
+    }
+  }
+  if (!changed) return;
+  bytes_.clear();
+  checkpoint_ = Checkpoint{};
+  for (const Entry& e : entries) AppendEncoded(e, nullptr);
+}
+
+void LeafBlock::PurgeEmptyEntries() {
+  std::vector<Entry> entries = Decode();
+  std::erase_if(entries, [](const Entry& e) { return e.start == e.end; });
+  count_ = entries.size();
+  if (!compressed_) {
+    plain_ = std::move(entries);
+    return;
+  }
+  bytes_.clear();
+  checkpoint_ = Checkpoint{};
+  size_t n = entries.size();
+  count_ = 0;
+  for (size_t i = 0; i < n; ++i) {
+    AppendEncoded(entries[i], nullptr);
+    ++count_;
+  }
+}
+
+bool LeafBlock::FindLive(const Key3& key, Entry* out) const {
+  bool found = false;
+  Visit([&](const Entry& e) {
+    if (e.live() && e.key == key) {
+      *out = e;
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+void LeafBlock::Visit(const std::function<bool(const Entry&)>& fn) const {
+  if (!compressed_) {
+    for (const Entry& e : plain_) {
+      if (!fn(e)) return;
+    }
+    return;
+  }
+  // Decode into a reusable per-thread scratch buffer: scans visit many
+  // compressed leaves and a per-visit allocation would dominate. The
+  // buffer is checked out of a pool stack so a callback that triggers
+  // another Visit (e.g. a validity expansion probe) gets its own.
+  thread_local std::vector<std::vector<Entry>> pool;
+  std::vector<Entry> entries;
+  if (!pool.empty()) {
+    entries = std::move(pool.back());
+    pool.pop_back();
+  }
+  DecodeInto(&entries);
+  for (const Entry& e : entries) {
+    if (!fn(e)) break;
+  }
+  pool.push_back(std::move(entries));
+}
+
+std::vector<Entry> LeafBlock::Decode() const {
+  if (!compressed_) return plain_;
+  std::vector<Entry> entries;
+  DecodeInto(&entries);
+  return entries;
+}
+
+void LeafBlock::Compress(CompressionStats* stats) {
+  if (compressed_) return;
+  std::vector<Entry> entries = std::move(plain_);
+  plain_.clear();
+  plain_.shrink_to_fit();
+  compressed_ = true;
+  bytes_.clear();
+  checkpoint_ = Checkpoint{};
+  for (const Entry& e : entries) AppendEncoded(e, stats);
+  bytes_.shrink_to_fit();
+}
+
+void LeafBlock::Decompress() {
+  if (!compressed_) return;
+  std::vector<Entry> entries;
+  DecodeInto(&entries);
+  compressed_ = false;
+  plain_ = std::move(entries);
+  bytes_.clear();
+  bytes_.shrink_to_fit();
+  checkpoint_.valid = !plain_.empty();
+  if (checkpoint_.valid) checkpoint_.last = plain_.back();
+}
+
+size_t LeafBlock::MemoryUsage() const {
+  if (compressed_) {
+    return bytes_.capacity() + sizeof(base_) + sizeof(checkpoint_);
+  }
+  return plain_.capacity() * sizeof(Entry);
+}
+
+}  // namespace rdftx::mvbt

@@ -1,0 +1,114 @@
+// Leaf entry storage for the MVBT, in two interchangeable representations:
+//
+//  * Plain: a vector of fixed-size entries (the "standard MVBT" of §7.2).
+//  * Compressed: the paper's delta encoding (§4.2.1) — per-entry headers
+//    (2-byte normal / 1-byte compact), key-block deltas computed against
+//    either the neighbouring entry or the block base values, and a 2-bit
+//    te rule (short-interval length / delta vs block base / live).
+//
+// Entries are appended in nondecreasing start-version order, which the
+// MVBT guarantees (transaction-time updates). A checkpoint — the byte
+// offset and decoded values of the last entry — lets appends run without
+// rescanning the block (§4.2.2). Closing an entry (deletion) decodes and
+// re-encodes the block, matching the paper's "scan all the entries and
+// modify the te of the matched entry".
+#ifndef RDFTX_MVBT_LEAF_BLOCK_H_
+#define RDFTX_MVBT_LEAF_BLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mvbt/key.h"
+#include "temporal/interval.h"
+#include "util/date.h"
+
+namespace rdftx::mvbt {
+
+/// One temporal record: key valid over [start, end).
+struct Entry {
+  Key3 key;
+  Chronon start = 0;
+  Chronon end = kChrononNow;
+
+  bool live() const { return end == kChrononNow; }
+  Interval interval() const { return Interval(start, end); }
+  bool operator==(const Entry&) const = default;
+};
+
+/// Statistics about a compressed block's encoding decisions, used by the
+/// compression ablation bench.
+struct CompressionStats {
+  uint64_t compact_headers = 0;
+  uint64_t normal_headers = 0;
+  uint64_t te_short = 0;
+  uint64_t te_delta = 0;
+  uint64_t te_live = 0;
+};
+
+/// Entry storage of a single MVBT leaf.
+class LeafBlock {
+ public:
+  LeafBlock() = default;
+
+  bool compressed() const { return compressed_; }
+  size_t count() const { return count_; }
+
+  /// Appends an entry; `e.start` must be >= the last appended start.
+  void Append(const Entry& e);
+
+  /// Sets the end version of the live entry with `key` to `te`.
+  /// Returns false if no live entry with that key exists.
+  bool CloseEntry(const Key3& key, Chronon te);
+
+  /// Version-split support: caps every live entry at `t` in this block and
+  /// appends the capped entries' keys to `extracted`. Single pass.
+  void CapLiveEntries(Chronon t, std::vector<Key3>* extracted);
+
+  /// Drops entries with empty intervals (start == end); used by the
+  /// same-version in-place reorganization.
+  void PurgeEmptyEntries();
+
+  /// Returns the live entry with `key`, or nullptr-like miss via bool.
+  bool FindLive(const Key3& key, Entry* out) const;
+
+  /// Visits every entry in append order; return false to stop.
+  void Visit(const std::function<bool(const Entry&)>& fn) const;
+
+  /// Copies all entries out in append order.
+  std::vector<Entry> Decode() const;
+
+  /// Converts to the delta-compressed representation. Idempotent.
+  void Compress(CompressionStats* stats = nullptr);
+
+  /// Converts back to the plain representation. Idempotent.
+  void Decompress();
+
+  /// Bytes used by entry storage (the quantity Fig 8 compares).
+  size_t MemoryUsage() const;
+
+ private:
+  struct Checkpoint {
+    Entry last;       // previously appended entry (delta base)
+    bool valid = false;
+  };
+
+  void DecodeInto(std::vector<Entry>* out) const;
+  void AppendEncoded(const Entry& e, CompressionStats* stats);
+  Chronon RefTe() const;
+
+  bool compressed_ = false;
+  size_t count_ = 0;
+
+  // Plain representation.
+  std::vector<Entry> plain_;
+
+  // Compressed representation.
+  std::vector<uint8_t> bytes_;
+  Entry base_;              // block base values = first entry
+  Checkpoint checkpoint_;   // last appended entry (append fast path)
+};
+
+}  // namespace rdftx::mvbt
+
+#endif  // RDFTX_MVBT_LEAF_BLOCK_H_

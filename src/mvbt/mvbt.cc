@@ -1,0 +1,679 @@
+#include "mvbt/mvbt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace rdftx::mvbt {
+namespace {
+
+/// Largest key strictly smaller than `k`. Precondition: k > kKeyMin.
+Key3 KeyPred(const Key3& k) {
+  Key3 p = k;
+  if (p.c > 0) {
+    --p.c;
+  } else if (p.b > 0) {
+    --p.b;
+    p.c = UINT64_MAX;
+  } else {
+    assert(p.a > 0);
+    --p.a;
+    p.b = UINT64_MAX;
+    p.c = UINT64_MAX;
+  }
+  return p;
+}
+
+KeyRange UnionRange(const KeyRange& x, const KeyRange& y) {
+  return KeyRange{std::min(x.lo, y.lo), std::max(x.hi, y.hi)};
+}
+
+}  // namespace
+
+Mvbt::Mvbt(const MvbtOptions& options) : options_(options) {
+  options_.block_capacity = std::max<size_t>(8, options_.block_capacity);
+  const size_t b = options_.block_capacity;
+  weak_min_ = std::max<size_t>(2, b / 5);
+  strong_max_ = std::max(weak_min_ * 2 + 2, b * 4 / 5);
+  Node* root = NewNode(/*is_leaf=*/true, /*created=*/0,
+                       KeyRange{kKeyMin, kKeyMax});
+  roots_.push_back(RootEntry{0, kChrononNow, root});
+  live_root_ = root;
+  stats_.roots = 1;
+}
+
+Mvbt::Node* Mvbt::NewNode(bool is_leaf, Chronon created,
+                          const KeyRange& range) {
+  arena_.emplace_back();
+  Node* n = &arena_.back();
+  n->is_leaf = is_leaf;
+  n->created = created;
+  n->range = range;
+  if (is_leaf) {
+    ++stats_.leaf_nodes;
+  } else {
+    ++stats_.inner_nodes;
+  }
+  return n;
+}
+
+Mvbt::Node* Mvbt::DescendLive(const Key3& key) const {
+  Node* n = live_root_;
+  while (!n->is_leaf) {
+    Node* next = nullptr;
+    Key3 best{};
+    bool found = false;
+    for (const IndexEntry& e : n->entries) {
+      if (!e.live() || e.min_key > key) continue;
+      if (!found || e.min_key >= best) {
+        best = e.min_key;
+        next = e.child;
+        found = true;
+      }
+    }
+    assert(found && "live routing entries must partition the key space");
+    n = next;
+  }
+  return n;
+}
+
+Status Mvbt::Insert(const Key3& key, Chronon t) {
+  if (t < last_time_) {
+    return Status::InvalidArgument("versions must be nondecreasing");
+  }
+  if (t > kChrononMax) {
+    return Status::InvalidArgument("version beyond temporal domain");
+  }
+  last_time_ = t;
+  Node* leaf = DescendLive(key);
+  Entry existing;
+  if (leaf->block.FindLive(key, &existing)) {
+    return Status::AlreadyExists("key is live: " + key.ToString());
+  }
+  leaf->block.Append(Entry{key, t, kChrononNow});
+  ++leaf->live_count;
+  ++live_size_;
+  if (leaf->block.count() > options_.block_capacity) {
+    HandleLeafOverflow(leaf, t);
+  }
+  return Status::OK();
+}
+
+Status Mvbt::Erase(const Key3& key, Chronon t) {
+  if (t < last_time_) {
+    return Status::InvalidArgument("versions must be nondecreasing");
+  }
+  last_time_ = t;
+  Node* leaf = DescendLive(key);
+  if (!leaf->block.CloseEntry(key, t)) {
+    return Status::NotFound("key not live: " + key.ToString());
+  }
+  --leaf->live_count;
+  --live_size_;
+  if (leaf != live_root_ && leaf->live_count < weak_min_) {
+    HandleLeafUnderflow(leaf, t);
+  }
+  return Status::OK();
+}
+
+void Mvbt::HandleLeafOverflow(Node* leaf, Chronon t) {
+  if (leaf->created == t) {
+    InPlaceSplitLeaf(leaf, t);
+  } else {
+    RestructureLeaf(leaf, t, /*try_merge=*/false);
+  }
+}
+
+void Mvbt::HandleLeafUnderflow(Node* leaf, Chronon t) {
+  RestructureLeaf(leaf, t, /*try_merge=*/true);
+}
+
+void Mvbt::HandleInnerOverflow(Node* inner, Chronon t) {
+  if (inner->created == t) {
+    InPlaceSplitInner(inner, t);
+  } else {
+    RestructureInner(inner, t, /*try_merge=*/false);
+  }
+}
+
+void Mvbt::HandleInnerUnderflow(Node* inner, Chronon t) {
+  RestructureInner(inner, t, /*try_merge=*/true);
+}
+
+void Mvbt::AttachBacklinks(Node* successor, Node* source) const {
+  if (!source->lifespan().empty()) {
+    successor->backlinks.push_back(source);
+    return;
+  }
+  // Zero-lifespan predecessor is invisible to every query; inherit its
+  // links so the chain stays connected.
+  for (Node* p : source->backlinks) successor->backlinks.push_back(p);
+}
+
+void Mvbt::MaybeCompressDeadLeaf(Node* leaf) {
+  if (options_.compress_leaves && !leaf->block.compressed()) {
+    leaf->block.Compress();
+  }
+  leaf->backlinks.shrink_to_fit();  // dead leaves are immutable
+}
+
+void Mvbt::RestructureLeaf(Node* leaf, Chronon t, bool try_merge) {
+  ++stats_.version_splits;
+  std::vector<Key3> keys;
+  leaf->block.CapLiveEntries(t, &keys);
+  leaf->live_count = 0;
+  leaf->dead = t;
+  MaybeCompressDeadLeaf(leaf);
+
+  KeyRange range = leaf->range;
+  Node* sib = nullptr;
+  if (try_merge || keys.size() < weak_min_ * 2) {
+    sib = FindLiveSibling(leaf);
+    if (sib != nullptr) {
+      ++stats_.merges;
+      sib->block.CapLiveEntries(t, &keys);
+      sib->live_count = 0;
+      sib->dead = t;
+      MaybeCompressDeadLeaf(sib);
+      range = UnionRange(range, sib->range);
+    }
+  }
+
+  std::sort(keys.begin(), keys.end());
+  std::vector<Node*> new_nodes;
+  if (keys.size() > strong_max_) {
+    ++stats_.key_splits;
+    const Key3 m = keys[keys.size() / 2];
+    Node* n1 = NewNode(true, t, KeyRange{range.lo, KeyPred(m)});
+    Node* n2 = NewNode(true, t, KeyRange{m, range.hi});
+    for (const Key3& k : keys) {
+      Node* dst = k < m ? n1 : n2;
+      dst->block.Append(Entry{k, t, kChrononNow});
+      ++dst->live_count;
+    }
+    new_nodes = {n1, n2};
+  } else {
+    Node* n = NewNode(true, t, range);
+    for (const Key3& k : keys) {
+      n->block.Append(Entry{k, t, kChrononNow});
+      ++n->live_count;
+    }
+    new_nodes = {n};
+  }
+  for (Node* n : new_nodes) {
+    AttachBacklinks(n, leaf);
+    if (sib != nullptr) AttachBacklinks(n, sib);
+  }
+
+  if (leaf->parent == nullptr) {
+    InstallNewRoot(new_nodes, t);
+  } else {
+    ReplaceInParent(leaf, sib, new_nodes, t);
+  }
+}
+
+void Mvbt::RestructureInner(Node* inner, Chronon t, bool try_merge) {
+  ++stats_.version_splits;
+  std::vector<IndexEntry> live;
+  auto extract = [&](Node* n) {
+    for (IndexEntry& e : n->entries) {
+      if (e.live()) {
+        live.push_back(IndexEntry{e.min_key, t, kChrononNow, e.child});
+        e.end = t;
+      }
+    }
+    n->live_count = 0;
+    n->dead = t;
+    n->entries.shrink_to_fit();  // dead inner nodes are immutable
+  };
+  extract(inner);
+
+  KeyRange range = inner->range;
+  Node* sib = nullptr;
+  if (try_merge || live.size() < weak_min_ * 2) {
+    sib = FindLiveSibling(inner);
+    if (sib != nullptr) {
+      ++stats_.merges;
+      extract(sib);
+      range = UnionRange(range, sib->range);
+    }
+  }
+
+  std::sort(live.begin(), live.end(),
+            [](const IndexEntry& x, const IndexEntry& y) {
+              return x.min_key < y.min_key;
+            });
+  std::vector<Node*> new_nodes;
+  if (live.size() > strong_max_) {
+    ++stats_.key_splits;
+    const Key3 m = live[live.size() / 2].min_key;
+    Node* n1 = NewNode(false, t, KeyRange{range.lo, KeyPred(m)});
+    Node* n2 = NewNode(false, t, KeyRange{m, range.hi});
+    for (const IndexEntry& e : live) {
+      Node* dst = e.min_key < m ? n1 : n2;
+      dst->entries.push_back(e);
+      ++dst->live_count;
+      e.child->parent = dst;
+    }
+    new_nodes = {n1, n2};
+  } else {
+    Node* n = NewNode(false, t, range);
+    for (const IndexEntry& e : live) {
+      n->entries.push_back(e);
+      ++n->live_count;
+      e.child->parent = n;
+    }
+    new_nodes = {n};
+  }
+
+  if (inner->parent == nullptr) {
+    InstallNewRoot(new_nodes, t);
+  } else {
+    ReplaceInParent(inner, sib, new_nodes, t);
+  }
+}
+
+void Mvbt::InPlaceSplitLeaf(Node* leaf, Chronon t) {
+  leaf->block.PurgeEmptyEntries();
+  leaf->live_count = leaf->block.count();
+  if (leaf->block.count() <= options_.block_capacity) return;
+
+  ++stats_.inplace_splits;
+  ++stats_.key_splits;
+  std::vector<Entry> entries = leaf->block.Decode();
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& x, const Entry& y) { return x.key < y.key; });
+  const Key3 m = entries[entries.size() / 2].key;
+
+  Node* sib = NewNode(true, t, KeyRange{m, leaf->range.hi});
+  leaf->range.hi = KeyPred(m);
+  sib->backlinks = leaf->backlinks;
+  const bool was_compressed = leaf->block.compressed();
+  LeafBlock left;
+  if (was_compressed) left.Compress(nullptr);
+  for (const Entry& e : entries) {
+    if (e.key < m) {
+      left.Append(e);
+    } else {
+      sib->block.Append(e);
+    }
+  }
+  if (was_compressed) sib->block.Compress(nullptr);
+  leaf->block = std::move(left);
+  leaf->live_count = leaf->block.count();
+  sib->live_count = sib->block.count();
+
+  if (leaf->parent == nullptr) {
+    // A root split at creation version: hoist a fresh inner root above
+    // both halves.
+    Node* root = NewNode(false, t, KeyRange{kKeyMin, kKeyMax});
+    root->entries.push_back(IndexEntry{leaf->range.lo, t, kChrononNow, leaf});
+    root->entries.push_back(IndexEntry{sib->range.lo, t, kChrononNow, sib});
+    root->live_count = 2;
+    leaf->parent = root;
+    sib->parent = root;
+    InstallNewRoot({root}, t);
+    return;
+  }
+  Node* p = leaf->parent;
+  sib->parent = p;
+  p->entries.push_back(IndexEntry{sib->range.lo, t, kChrononNow, sib});
+  ++p->live_count;
+  CheckNodeConditions(p, t);
+}
+
+void Mvbt::InPlaceSplitInner(Node* inner, Chronon t) {
+  std::erase_if(inner->entries,
+                [](const IndexEntry& e) { return e.start == e.end; });
+  inner->live_count = inner->entries.size();
+  if (inner->entries.size() <= options_.block_capacity) return;
+
+  ++stats_.inplace_splits;
+  ++stats_.key_splits;
+  std::sort(inner->entries.begin(), inner->entries.end(),
+            [](const IndexEntry& x, const IndexEntry& y) {
+              return x.min_key < y.min_key;
+            });
+  const Key3 m = inner->entries[inner->entries.size() / 2].min_key;
+
+  Node* sib = NewNode(false, t, KeyRange{m, inner->range.hi});
+  inner->range.hi = KeyPred(m);
+  std::vector<IndexEntry> left;
+  for (const IndexEntry& e : inner->entries) {
+    if (e.min_key < m) {
+      left.push_back(e);
+    } else {
+      sib->entries.push_back(e);
+      e.child->parent = sib;
+    }
+  }
+  inner->entries = std::move(left);
+  inner->live_count = inner->entries.size();
+  sib->live_count = sib->entries.size();
+
+  if (inner->parent == nullptr) {
+    Node* root = NewNode(false, t, KeyRange{kKeyMin, kKeyMax});
+    root->entries.push_back(
+        IndexEntry{inner->range.lo, t, kChrononNow, inner});
+    root->entries.push_back(IndexEntry{sib->range.lo, t, kChrononNow, sib});
+    root->live_count = 2;
+    inner->parent = root;
+    sib->parent = root;
+    InstallNewRoot({root}, t);
+    return;
+  }
+  Node* p = inner->parent;
+  sib->parent = p;
+  p->entries.push_back(IndexEntry{sib->range.lo, t, kChrononNow, sib});
+  ++p->live_count;
+  CheckNodeConditions(p, t);
+}
+
+Mvbt::Node* Mvbt::FindLiveSibling(Node* node) const {
+  Node* p = node->parent;
+  if (p == nullptr) return nullptr;
+  // Gather the live routing entries sorted by min_key; the sibling is the
+  // key-adjacent live node (right neighbour preferred).
+  std::vector<const IndexEntry*> live;
+  for (const IndexEntry& e : p->entries) {
+    if (e.live()) live.push_back(&e);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const IndexEntry* x, const IndexEntry* y) {
+              return x->min_key < y->min_key;
+            });
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (live[i]->child == node) {
+      if (i + 1 < live.size()) return live[i + 1]->child;
+      if (i > 0) return live[i - 1]->child;
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+void Mvbt::ReplaceInParent(Node* old_node, Node* old_sibling,
+                           const std::vector<Node*>& new_nodes, Chronon t) {
+  Node* p = old_node->parent;
+  assert(p != nullptr);
+  for (IndexEntry& e : p->entries) {
+    if (e.live() && (e.child == old_node || e.child == old_sibling)) {
+      e.end = t;
+      --p->live_count;
+    }
+  }
+  for (Node* n : new_nodes) {
+    n->parent = p;
+    p->entries.push_back(IndexEntry{n->range.lo, t, kChrononNow, n});
+    ++p->live_count;
+  }
+  CheckNodeConditions(p, t);
+}
+
+void Mvbt::CheckNodeConditions(Node* node, Chronon t) {
+  if (node->entries.size() > options_.block_capacity) {
+    HandleInnerOverflow(node, t);
+  } else if (node != live_root_ && node->alive() &&
+             node->live_count < weak_min_) {
+    HandleInnerUnderflow(node, t);
+  }
+}
+
+void Mvbt::InstallNewRoot(const std::vector<Node*>& new_nodes, Chronon t) {
+  Node* new_root;
+  if (new_nodes.size() == 1) {
+    new_root = new_nodes[0];
+  } else {
+    new_root = NewNode(false, t, KeyRange{kKeyMin, kKeyMax});
+    for (Node* n : new_nodes) {
+      new_root->entries.push_back(
+          IndexEntry{n->range.lo, t, kChrononNow, n});
+      ++new_root->live_count;
+      n->parent = new_root;
+    }
+  }
+  new_root->parent = nullptr;
+  if (roots_.back().start == t) {
+    roots_.back().node = new_root;
+  } else {
+    roots_.back().end = t;
+    roots_.push_back(RootEntry{t, kChrononNow, new_root});
+    ++stats_.roots;
+  }
+  live_root_ = new_root;
+}
+
+const Mvbt::Node* Mvbt::FindRoot(Chronon t) const {
+  // roots_ is sorted by start and contiguous.
+  auto it = std::upper_bound(
+      roots_.begin(), roots_.end(), t,
+      [](Chronon v, const RootEntry& r) { return v < r.start; });
+  if (it == roots_.begin()) return nullptr;
+  --it;
+  return t < it->end ? it->node : nullptr;
+}
+
+void Mvbt::CollectBorderLeaves(const KeyRange& range, Chronon border,
+                               std::vector<const Node*>* out) const {
+  const Node* root = FindRoot(border);
+  if (root == nullptr) return;
+  std::vector<const Node*> stack{root};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      out->push_back(n);
+      continue;
+    }
+    for (const IndexEntry& e : n->entries) {
+      if (e.start <= border && border < e.end &&
+          e.child->range.Overlaps(range)) {
+        stack.push_back(e.child);
+      }
+    }
+  }
+}
+
+void Mvbt::CollectRegionLeaves(const KeyRange& range, const Interval& time,
+                               std::vector<const Node*>* out) const {
+  if (time.empty() || range.lo > range.hi) return;
+  const Chronon border =
+      time.end == kChrononNow ? kChrononMax : time.end - 1;
+  std::vector<const Node*> stack;
+  CollectBorderLeaves(range, border, &stack);
+  std::unordered_set<const Node*> visited;
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!visited.insert(n).second) continue;
+    out->push_back(n);
+    for (const Node* pred : n->backlinks) {
+      if (!visited.contains(pred) && pred->lifespan().Overlaps(time) &&
+          pred->range.Overlaps(range)) {
+        stack.push_back(pred);
+      }
+    }
+  }
+}
+
+void Mvbt::QueryRange(
+    const KeyRange& range, const Interval& time,
+    const std::function<void(const Key3&, const Interval&)>& visit) const {
+  std::vector<const Node*> leaves;
+  CollectRegionLeaves(range, time, &leaves);
+  for (const Node* n : leaves) {
+    n->block.Visit([&](const Entry& e) {
+      if (range.Contains(e.key) && e.interval().Overlaps(time)) {
+        visit(e.key, e.interval());
+      }
+      return true;
+    });
+  }
+}
+
+void Mvbt::QuerySnapshot(const KeyRange& range, Chronon t,
+                         const std::function<void(const Key3&)>& visit) const {
+  std::vector<const Node*> leaves;
+  CollectBorderLeaves(range, t, &leaves);
+  for (const Node* leaf : leaves) {
+    leaf->block.Visit([&](const Entry& e) {
+      if (range.Contains(e.key) && e.interval().Contains(t)) visit(e.key);
+      return true;
+    });
+  }
+}
+
+bool Mvbt::FindLive(const Key3& key, Chronon* start) const {
+  Node* leaf = DescendLive(key);
+  Entry e;
+  if (!leaf->block.FindLive(key, &e)) return false;
+  *start = e.start;
+  return true;
+}
+
+size_t Mvbt::MemoryUsage() const {
+  size_t bytes = roots_.capacity() * sizeof(RootEntry);
+  for (const Node& n : arena_) {
+    bytes += sizeof(Node);
+    bytes += n.entries.capacity() * sizeof(IndexEntry);
+    bytes += n.backlinks.capacity() * sizeof(Node*);
+    bytes += n.block.MemoryUsage();
+  }
+  return bytes;
+}
+
+size_t Mvbt::CompressAllLeaves(CompressionStats* stats) {
+  size_t compressed = 0;
+  for (Node& n : arena_) {
+    if (n.is_leaf && !n.block.compressed()) {
+      n.block.Compress(stats);
+      ++compressed;
+    }
+  }
+  return compressed;
+}
+
+Status Mvbt::ValidateNode(const Node* node, const KeyRange& range) const {
+  if (node->range.lo != range.lo || node->range.hi != range.hi) {
+    return Status::Corruption("node range mismatch");
+  }
+  if (node->is_leaf) {
+    if (node->block.count() > options_.block_capacity + 1) {
+      return Status::Corruption("leaf over capacity");
+    }
+    size_t live = 0;
+    Status st = Status::OK();
+    node->block.Visit([&](const Entry& e) {
+      if (e.live()) ++live;
+      if (!node->range.Contains(e.key)) {
+        st = Status::Corruption("leaf entry key out of range");
+        return false;
+      }
+      if (e.start < node->created ||
+          (e.end != kChrononNow && e.end > node->dead)) {
+        st = Status::Corruption("leaf entry interval outside node lifespan");
+        return false;
+      }
+      if (e.live() && !node->alive()) {
+        st = Status::Corruption("live entry in dead leaf");
+        return false;
+      }
+      return true;
+    });
+    if (!st.ok()) return st;
+    if (node->alive() && live != node->live_count) {
+      return Status::Corruption("leaf live_count mismatch");
+    }
+    return Status::OK();
+  }
+  if (node->entries.size() > options_.block_capacity + 1) {
+    return Status::Corruption("inner over capacity");
+  }
+  size_t live = 0;
+  for (const IndexEntry& e : node->entries) {
+    if (e.live()) {
+      ++live;
+      if (!e.child->alive()) {
+        return Status::Corruption("live entry points to dead child");
+      }
+      if (node->alive() && e.child->parent != node) {
+        return Status::Corruption("child parent pointer mismatch");
+      }
+    } else if (e.child->dead != e.end) {
+      return Status::Corruption("closed entry end != child death");
+    }
+    if (e.child->created > e.start) {
+      return Status::Corruption("entry starts before child exists");
+    }
+    if (!node->range.Contains(e.min_key)) {
+      return Status::Corruption("router key out of node range");
+    }
+  }
+  if (node->alive() && live != node->live_count) {
+    return Status::Corruption("inner live_count mismatch");
+  }
+  // The live routers of a live inner node partition its key range.
+  if (node->alive()) {
+    std::vector<const IndexEntry*> lives;
+    for (const IndexEntry& e : node->entries) {
+      if (e.live()) lives.push_back(&e);
+    }
+    std::sort(lives.begin(), lives.end(),
+              [](const IndexEntry* x, const IndexEntry* y) {
+                return x->min_key < y->min_key;
+              });
+    if (!lives.empty()) {
+      if (lives.front()->min_key != node->range.lo) {
+        return Status::Corruption("first live router != node range.lo");
+      }
+      for (size_t i = 0; i < lives.size(); ++i) {
+        const KeyRange& cr = lives[i]->child->range;
+        if (cr.lo != lives[i]->min_key) {
+          return Status::Corruption("child range.lo != router key");
+        }
+        const Key3 expect_hi = (i + 1 < lives.size())
+                                   ? KeyPred(lives[i + 1]->min_key)
+                                   : node->range.hi;
+        if (cr.hi != expect_hi) {
+          return Status::Corruption("live children do not tile key range");
+        }
+      }
+    }
+    // Recurse into live children.
+    for (const IndexEntry* e : lives) {
+      RDFTX_RETURN_IF_ERROR(ValidateNode(e->child, e->child->range));
+    }
+  }
+  return Status::OK();
+}
+
+Status Mvbt::Validate() const {
+  if (roots_.empty()) return Status::Corruption("no roots");
+  if (roots_.front().start != 0) {
+    return Status::Corruption("first root does not start at 0");
+  }
+  for (size_t i = 1; i < roots_.size(); ++i) {
+    if (roots_[i].start != roots_[i - 1].end) {
+      return Status::Corruption("root directory not contiguous");
+    }
+  }
+  if (roots_.back().end != kChrononNow) {
+    return Status::Corruption("last root not live");
+  }
+  if (roots_.back().node != live_root_) {
+    return Status::Corruption("live root mismatch");
+  }
+  if (live_root_->parent != nullptr) {
+    return Status::Corruption("live root has a parent");
+  }
+  // Validate every node (dead and alive) against its own stored range,
+  // plus the live tree's tiling invariants from the live root.
+  for (const Node& n : arena_) {
+    if (n.is_leaf) {
+      RDFTX_RETURN_IF_ERROR(ValidateNode(&n, n.range));
+    }
+  }
+  return ValidateNode(live_root_, live_root_->range);
+}
+
+}  // namespace rdftx::mvbt

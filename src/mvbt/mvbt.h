@@ -1,0 +1,202 @@
+// Multiversion B+ Tree (Becker et al., VLDB Journal 1996), the index at
+// the core of RDF-TX (paper §4.1). The tree is a forest: each root covers
+// a temporal partition of the data. Updates arrive in nondecreasing time
+// order (transaction time). Node structure changes — version split, key
+// split, merge, merge + key split — keep every live node within the weak
+// version condition so that a query in any version touches O(log n_v)
+// nodes of the B+ tree that "exists" at that version.
+//
+// Deviations from the original, chosen for interval-exact query results
+// (see DESIGN.md §4):
+//  * At a version split, the live entries of the dying node are capped at
+//    the split version and re-inserted into the successor with that start
+//    version. Entries are therefore never duplicated across nodes, and a
+//    range-interval scan emits each validity fragment exactly once; the
+//    query layer coalesces fragments per key.
+//  * Same-version structure changes reorganize in place instead of
+//    producing zero-lifespan nodes.
+//
+// Leaf nodes carry backward links to their temporal predecessors, which
+// the link-based range-interval scan of van den Bercken & Seeger (VLDB
+// 1996) follows from the query rectangle's right border (paper §5.2.1).
+#ifndef RDFTX_MVBT_MVBT_H_
+#define RDFTX_MVBT_MVBT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mvbt/key.h"
+#include "mvbt/leaf_block.h"
+#include "temporal/interval.h"
+#include "util/status.h"
+
+namespace rdftx::mvbt {
+
+/// Tuning knobs for one MVBT index.
+struct MvbtOptions {
+  /// Max entries per node (the paper's block capacity b). >= 8.
+  size_t block_capacity = 64;
+  /// When true, leaf nodes are delta-compressed as soon as they die
+  /// (dead leaves are immutable) and CompressAllLeaves() compresses the
+  /// live ones too. When false the tree is the "standard MVBT" baseline.
+  bool compress_leaves = false;
+};
+
+/// Structure-change and size counters, exposed for tests and benches.
+struct MvbtStats {
+  uint64_t version_splits = 0;
+  uint64_t key_splits = 0;
+  uint64_t merges = 0;
+  uint64_t inplace_splits = 0;
+  uint64_t leaf_nodes = 0;
+  uint64_t inner_nodes = 0;
+  uint64_t roots = 0;
+};
+
+/// An MVBT over Key3 records with chronon versions.
+class Mvbt {
+ public:
+  explicit Mvbt(const MvbtOptions& options = {});
+
+  Mvbt(const Mvbt&) = delete;
+  Mvbt& operator=(const Mvbt&) = delete;
+
+  /// Inserts `key` as live at version `t`. Versions must be
+  /// nondecreasing. Fails with AlreadyExists if `key` is live.
+  Status Insert(const Key3& key, Chronon t);
+
+  /// Logically deletes `key` at version `t` (sets its end version).
+  /// Fails with NotFound if `key` is not live.
+  Status Erase(const Key3& key, Chronon t);
+
+  /// Emits every validity fragment (key, [start,end)) with key in
+  /// `range` (inclusive) and interval overlapping `time`. Fragments of
+  /// one logical record are emitted exactly once and can be coalesced by
+  /// the caller. Uses the backward-link range-interval scan.
+  void QueryRange(
+      const KeyRange& range, const Interval& time,
+      const std::function<void(const Key3&, const Interval&)>& visit) const;
+
+  /// Keys alive at version `t` within `range` (timeslice query).
+  void QuerySnapshot(const KeyRange& range, Chronon t,
+                     const std::function<void(const Key3&)>& visit) const;
+
+  /// Liveness probe: true iff `key` is live now. `start` receives the
+  /// start version of the live *fragment* (>= the logical insertion
+  /// version when version splits have fragmented the record); use
+  /// QueryRange over the full time domain to reconstruct the complete
+  /// validity interval.
+  bool FindLive(const Key3& key, Chronon* start) const;
+
+  /// Number of live records.
+  size_t live_size() const { return live_size_; }
+
+  /// Latest version seen by an update.
+  Chronon last_time() const { return last_time_; }
+
+  /// Total bytes of all nodes (the Fig 8 index-size quantity).
+  size_t MemoryUsage() const;
+
+  /// Delta-compresses every uncompressed leaf (paper §4.2 / Fig 3(b)).
+  /// Returns the number of leaves compressed.
+  size_t CompressAllLeaves(CompressionStats* stats = nullptr);
+
+  /// Structural invariant check for tests.
+  Status Validate() const;
+
+  const MvbtStats& stats() const { return stats_; }
+  const MvbtOptions& options() const { return options_; }
+
+  // --- internal node structure, public for white-box tests and the
+  // synchronized join (sync_join.cc) ---
+
+  struct Node;
+
+  /// Router entry of an inner node: child covers keys >= min_key within
+  /// the parent's range, during [start, end).
+  struct IndexEntry {
+    Key3 min_key;
+    Chronon start = 0;
+    Chronon end = kChrononNow;
+    Node* child = nullptr;
+
+    bool live() const { return end == kChrononNow; }
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    Chronon created = 0;
+    Chronon dead = kChrononNow;  // version-split time
+    KeyRange range;              // inclusive key range
+    Node* parent = nullptr;      // live parent (meaningful while alive)
+    size_t live_count = 0;
+
+    // Leaf state.
+    LeafBlock block;
+    std::vector<Node*> backlinks;  // temporal predecessors
+
+    // Inner state.
+    std::vector<IndexEntry> entries;
+
+    bool alive() const { return dead == kChrononNow; }
+    Interval lifespan() const { return Interval(created, dead); }
+  };
+
+  /// Collects the leaves intersecting the rectangle's right border
+  /// (step (i) of the link-based scan); used by the synchronized join.
+  void CollectBorderLeaves(const KeyRange& range, Chronon border,
+                           std::vector<const Node*>* out) const;
+
+  /// Collects every leaf whose (key range x lifespan) rectangle
+  /// intersects the query region, via the border search plus the
+  /// backward-link walk (steps (i)+(ii) of §5.2.1).
+  void CollectRegionLeaves(const KeyRange& range, const Interval& time,
+                           std::vector<const Node*>* out) const;
+
+ private:
+  struct RootEntry {
+    Chronon start = 0;
+    Chronon end = kChrononNow;
+    Node* node = nullptr;
+  };
+
+  Node* NewNode(bool is_leaf, Chronon created, const KeyRange& range);
+  Node* DescendLive(const Key3& key) const;
+  const Node* FindRoot(Chronon t) const;
+
+  // Structure changes.
+  void HandleLeafOverflow(Node* leaf, Chronon t);
+  void HandleLeafUnderflow(Node* leaf, Chronon t);
+  void HandleInnerOverflow(Node* inner, Chronon t);
+  void HandleInnerUnderflow(Node* inner, Chronon t);
+  void RestructureLeaf(Node* leaf, Chronon t, bool try_merge);
+  void RestructureInner(Node* inner, Chronon t, bool try_merge);
+  void InPlaceSplitLeaf(Node* leaf, Chronon t);
+  void InPlaceSplitInner(Node* inner, Chronon t);
+  Node* FindLiveSibling(Node* node) const;
+  void ReplaceInParent(Node* old_node, Node* old_sibling,
+                       const std::vector<Node*>& new_nodes, Chronon t);
+  void InstallNewRoot(const std::vector<Node*>& new_nodes, Chronon t);
+  void AttachBacklinks(Node* successor, Node* source) const;
+  void CheckNodeConditions(Node* node, Chronon t);
+  void MaybeCompressDeadLeaf(Node* leaf);
+
+  Status ValidateNode(const Node* node, const KeyRange& range) const;
+
+  MvbtOptions options_;
+  size_t weak_min_;    // d: min live entries in a live non-root node
+  size_t strong_max_;  // post-restructure max live entries
+
+  std::deque<Node> arena_;
+  std::vector<RootEntry> roots_;
+  Node* live_root_ = nullptr;
+  Chronon last_time_ = 0;
+  size_t live_size_ = 0;
+  MvbtStats stats_;
+};
+
+}  // namespace rdftx::mvbt
+
+#endif  // RDFTX_MVBT_MVBT_H_

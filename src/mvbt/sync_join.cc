@@ -1,0 +1,146 @@
+#include "mvbt/sync_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace rdftx::mvbt {
+namespace {
+
+using Node = Mvbt::Node;
+
+// Decoded-record cache: one decode per node regardless of how many node
+// pairs it participates in.
+class RecordCache {
+ public:
+  explicit RecordCache(SyncJoinStats* stats) : stats_(stats) {}
+
+  const std::vector<Entry>& Get(const Node* node) {
+    auto it = cache_.find(node);
+    if (it != cache_.end()) {
+      if (stats_ != nullptr) ++stats_->cache_hits;
+      return it->second;
+    }
+    if (stats_ != nullptr) ++stats_->cache_misses;
+    return cache_.emplace(node, node->block.Decode()).first->second;
+  }
+
+ private:
+  std::unordered_map<const Node*, std::vector<Entry>> cache_;
+  SyncJoinStats* stats_;
+};
+
+struct SweepEvent {
+  Chronon time;
+  bool is_start;
+  bool from_a;
+  const Node* node;
+};
+
+}  // namespace
+
+void SynchronizedJoin(
+    const Mvbt& a, const KeyRange& ra, const Interval& ta, const Mvbt& b,
+    const KeyRange& rb, const Interval& tb, const SyncJoinSpec& spec,
+    const std::function<void(const Entry&, const Entry&, const Interval&)>&
+        emit,
+    SyncJoinStats* stats) {
+  const Interval shared = ta.Intersect(tb);
+  if (shared.empty()) return;
+
+  // Step (i): leaves of each tree intersecting its own query region,
+  // restricted to the shared time window (pairs can only match there).
+  std::vector<const Node*> leaves_a, leaves_b;
+  a.CollectRegionLeaves(ra, ta.Intersect(shared), &leaves_a);
+  b.CollectRegionLeaves(rb, tb.Intersect(shared), &leaves_b);
+  if (leaves_a.empty() || leaves_b.empty()) return;
+
+  // Sweep over node lifespans to enumerate exactly the overlapping
+  // node pairs.
+  std::vector<SweepEvent> events;
+  events.reserve(2 * (leaves_a.size() + leaves_b.size()));
+  auto add_events = [&events](const std::vector<const Node*>& leaves,
+                              bool from_a) {
+    for (const Node* n : leaves) {
+      events.push_back({n->created, true, from_a, n});
+      events.push_back({n->dead, false, from_a, n});
+    }
+  };
+  add_events(leaves_a, true);
+  add_events(leaves_b, false);
+  // Ends sort before starts at equal time: lifespans are half-open, so
+  // [x, t) and [t, y) do not overlap.
+  std::sort(events.begin(), events.end(),
+            [](const SweepEvent& x, const SweepEvent& y) {
+              if (x.time != y.time) return x.time < y.time;
+              return x.is_start < y.is_start;
+            });
+
+  RecordCache cache(stats);
+  std::vector<const Node*> active_a, active_b;
+
+  auto join_pair = [&](const Node* na, const Node* nb) {
+    if (stats != nullptr) ++stats->node_pairs;
+    const std::vector<Entry>& ea = cache.Get(na);
+    const std::vector<Entry>& eb = cache.Get(nb);
+    // Per-pair hash join on the join keys (build on the smaller side).
+    const bool build_a = ea.size() <= eb.size();
+    const std::vector<Entry>& build = build_a ? ea : eb;
+    const std::vector<Entry>& probe = build_a ? eb : ea;
+    const KeyRange& build_range = build_a ? ra : rb;
+    const Interval& build_time = build_a ? ta : tb;
+    const KeyRange& probe_range = build_a ? rb : ra;
+    const Interval& probe_time = build_a ? tb : ta;
+    const auto& build_key = build_a ? spec.key_a : spec.key_b;
+    const auto& probe_key = build_a ? spec.key_b : spec.key_a;
+
+    std::unordered_multimap<uint64_t, const Entry*> table;
+    table.reserve(build.size());
+    for (const Entry& e : build) {
+      if (build_range.Contains(e.key) && e.interval().Overlaps(build_time)) {
+        table.emplace(build_key(e), &e);
+      }
+    }
+    for (const Entry& e : probe) {
+      if (!probe_range.Contains(e.key) || !e.interval().Overlaps(probe_time)) {
+        continue;
+      }
+      auto [lo, hi] = table.equal_range(probe_key(e));
+      for (auto it = lo; it != hi; ++it) {
+        const Entry& other = *it->second;
+        // Each fragment lives in exactly one leaf, and fragment intervals
+        // are contained in their leaf's lifespan, so every matching
+        // fragment pair is produced by exactly one node pair: no dedup
+        // needed.
+        Interval iv = e.interval().Intersect(other.interval());
+        iv = iv.Intersect(shared);
+        if (iv.empty()) continue;
+        if (stats != nullptr) ++stats->output_rows;
+        if (build_a) {
+          emit(other, e, iv);
+        } else {
+          emit(e, other, iv);
+        }
+      }
+    }
+  };
+
+  for (const SweepEvent& ev : events) {
+    std::vector<const Node*>& mine = ev.from_a ? active_a : active_b;
+    if (!ev.is_start) {
+      mine.erase(std::find(mine.begin(), mine.end(), ev.node));
+      continue;
+    }
+    const std::vector<const Node*>& others = ev.from_a ? active_b : active_a;
+    for (const Node* other : others) {
+      if (ev.from_a) {
+        join_pair(ev.node, other);
+      } else {
+        join_pair(other, ev.node);
+      }
+    }
+    mine.push_back(ev.node);
+  }
+}
+
+}  // namespace rdftx::mvbt

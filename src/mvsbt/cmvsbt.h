@@ -1,0 +1,89 @@
+// Compressed Multiversion SB-Tree (paper §6.2): a temporal aggregate
+// index for COUNT dominance-sum queries over (key, time) points,
+// tolerating bounded approximation in exchange for a small footprint.
+//
+// The key-time plane is tiled with rectangles. Each live rectangle
+// absorbs up to `cm` points, tracking only (count, max key, max time);
+// reaching the threshold splits it at (km, tm) into up to three
+// rectangles, carrying dominance bases forward with the uniform-
+// distribution approximation of the paper's leafEntrySplit (Fig. 6).
+// Estimation combines the frozen base value v with the current count c
+// scaled by the covered-area ratio (§6.3). Setting cm = 1 degenerates to
+// (nearly) the exact MVSBT behaviour.
+//
+// Like MVSBT, points must arrive in nondecreasing time order, which the
+// transaction-time setting guarantees.
+#ifndef RDFTX_MVSBT_CMVSBT_H_
+#define RDFTX_MVSBT_CMVSBT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/date.h"
+
+namespace rdftx::mvsbt {
+
+/// Tuning for one CMVSBT.
+struct CmvsbtOptions {
+  /// Points absorbed by a leaf rectangle before it splits (the paper's
+  /// cm). Larger => smaller histogram, coarser estimates.
+  uint32_t cm = 16;
+  /// Soft cap on the number of rectangles. When exceeded, cm doubles
+  /// and time-adjacent frozen rectangles merge (§6.2.2's size control).
+  size_t max_entries = 1u << 20;
+};
+
+/// COUNT dominance-sum index over (uint64 key, chronon time) points.
+class Cmvsbt {
+ public:
+  explicit Cmvsbt(const CmvsbtOptions& options = {});
+
+  /// Adds a point. Times must be nondecreasing across calls.
+  void Insert(uint64_t key, Chronon t);
+
+  /// Estimated number of points with key <= k and time <= t.
+  double Query(uint64_t k, Chronon t) const;
+
+  /// Estimated number of points with key == k and time <= t
+  /// (Query(k, t) - Query(k - 1, t), clamped to >= 0).
+  double QueryExact(uint64_t k, Chronon t) const;
+
+  size_t entry_count() const { return entries_.size(); }
+  size_t point_count() const { return points_; }
+  size_t MemoryUsage() const;
+
+ private:
+  struct Entry {
+    uint64_t ks = 0, ke = 0;  // key range [ks, ke)
+    Chronon ts = 0;           // time range [ts, te); te open = kChrononNow
+    Chronon te = kChrononNow;
+    uint64_t kmin = 0, km = 0;  // key bounding box of current points
+    Chronon tmin = 0, tm = 0;   // time bounding box of current points
+    double v = 0;   // this column's share of points before ts (see .cc)
+    uint64_t vks = 0;  // effective key floor of the carried mass
+    uint64_t vke = 0;  // effective key ceiling of the carried mass
+    uint32_t c = 0;  // current points in this rectangle
+
+    bool live() const { return te == kChrononNow; }
+  };
+
+  void TimeFreeze(size_t live_index);
+  void KeySplit(size_t live_index);
+  void Compact();
+  void CompactLive();
+  size_t FindLive(uint64_t key) const;
+  static uint64_t SplitBoundary(const Entry& e);
+  static double CarriedFractionBelow(const Entry& e, uint64_t m);
+
+  CmvsbtOptions options_;
+  uint32_t cm_;
+  size_t points_ = 0;
+  size_t last_frozen_compact_ = 0;
+  Chronon last_time_ = 0;
+  std::vector<Entry> entries_;       // frozen entries, any order
+  std::vector<Entry> live_;          // live column tiling, sorted by ks
+};
+
+}  // namespace rdftx::mvsbt
+
+#endif  // RDFTX_MVSBT_CMVSBT_H_

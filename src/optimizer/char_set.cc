@@ -1,0 +1,116 @@
+#include "optimizer/char_set.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rdftx::optimizer {
+
+void CharSetCatalog::Build(const std::vector<TemporalTriple>& triples,
+                           size_t max_sets) {
+  // Subject -> sorted predicate set, plus occurrence counts.
+  std::unordered_map<TermId, std::set<TermId>> subject_preds;
+  std::unordered_map<TermId, std::map<TermId, uint64_t>> subject_occ;
+  std::unordered_map<TermId, std::set<TermId>> pred_objects;
+  std::unordered_map<TermId, std::set<TermId>> pred_subjects;
+  std::set<TermId> all_objects;
+  for (const TemporalTriple& tt : triples) {
+    all_objects.insert(tt.triple.o);
+    subject_preds[tt.triple.s].insert(tt.triple.p);
+    ++subject_occ[tt.triple.s][tt.triple.p];
+    pred_objects[tt.triple.p].insert(tt.triple.o);
+    pred_subjects[tt.triple.p].insert(tt.triple.s);
+    ++pred_stats_[tt.triple.p].occurrences;
+    ++total_triples_;
+  }
+  for (auto& [p, stats] : pred_stats_) {
+    stats.distinct_objects = pred_objects[p].size();
+    stats.distinct_subjects = pred_subjects[p].size();
+  }
+  total_objects_ = all_objects.size();
+
+  // Group subjects by distinct predicate set and rank sets by
+  // popularity; only the top `max_sets` stay distinct.
+  std::map<std::vector<TermId>, std::vector<TermId>> groups;
+  for (const auto& [subject, preds] : subject_preds) {
+    groups[std::vector<TermId>(preds.begin(), preds.end())].push_back(
+        subject);
+  }
+  std::vector<const std::pair<const std::vector<TermId>,
+                              std::vector<TermId>>*> ranked;
+  ranked.reserve(groups.size());
+  for (const auto& g : groups) ranked.push_back(&g);
+  std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+    return a->second.size() > b->second.size();
+  });
+
+  const size_t kept = std::min(max_sets, ranked.size());
+  const bool has_overflow = kept < ranked.size();
+  sets_.resize(kept + (has_overflow ? 1 : 0));
+  std::set<TermId> overflow_preds;
+
+  auto account = [&](CharSetId id, TermId subject) {
+    subject_to_set_.emplace(subject, id);
+    SetStats& stats = sets_[id];
+    ++stats.distinct_subjects;
+    for (const auto& [p, n] : subject_occ[subject]) {
+      stats.occurrences[p] += n;
+    }
+  };
+
+  for (size_t i = 0; i < kept; ++i) {
+    const auto& [preds, subjects] = *ranked[i];
+    CharSetId id = static_cast<CharSetId>(i);
+    sets_[id].predicates = preds;
+    for (TermId p : preds) pred_to_sets_[p].push_back(id);
+    for (TermId s : subjects) account(id, s);
+  }
+  if (has_overflow) {
+    const CharSetId overflow = static_cast<CharSetId>(kept);
+    for (size_t i = kept; i < ranked.size(); ++i) {
+      const auto& [preds, subjects] = *ranked[i];
+      overflow_preds.insert(preds.begin(), preds.end());
+      for (TermId s : subjects) account(overflow, s);
+    }
+    sets_[overflow].predicates.assign(overflow_preds.begin(),
+                                      overflow_preds.end());
+    for (TermId p : sets_[overflow].predicates) {
+      pred_to_sets_[p].push_back(overflow);
+    }
+  }
+}
+
+CharSetId CharSetCatalog::SetOf(TermId subject) const {
+  auto it = subject_to_set_.find(subject);
+  return it == subject_to_set_.end() ? kNoCharSet : it->second;
+}
+
+const std::vector<CharSetId>& CharSetCatalog::SetsWithPredicate(
+    TermId p) const {
+  auto it = pred_to_sets_.find(p);
+  return it == pred_to_sets_.end() ? empty_ : it->second;
+}
+
+const CharSetCatalog::PredStats* CharSetCatalog::pred_stats(TermId p) const {
+  auto it = pred_stats_.find(p);
+  return it == pred_stats_.end() ? nullptr : &it->second;
+}
+
+size_t CharSetCatalog::MemoryUsage() const {
+  size_t bytes = sizeof(*this);
+  for (const SetStats& s : sets_) {
+    bytes += s.predicates.capacity() * sizeof(TermId) +
+             s.occurrences.size() * (sizeof(TermId) + sizeof(uint64_t) +
+                                     3 * sizeof(void*));
+  }
+  bytes += subject_to_set_.size() * (sizeof(TermId) + sizeof(CharSetId) +
+                                     2 * sizeof(void*));
+  for (const auto& [p, v] : pred_to_sets_) {
+    (void)p;
+    bytes += v.capacity() * sizeof(CharSetId) + 2 * sizeof(void*);
+  }
+  bytes += pred_stats_.size() * (sizeof(TermId) + sizeof(PredStats) +
+                                 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace rdftx::optimizer

@@ -1,0 +1,157 @@
+#include "optimizer/histogram.h"
+
+#include <algorithm>
+
+namespace rdftx::optimizer {
+namespace {
+
+struct Point {
+  uint64_t key;
+  Chronon t;
+};
+
+void BulkInsert(mvsbt::Cmvsbt* tree, std::vector<Point>* points) {
+  std::sort(points->begin(), points->end(),
+            [](const Point& a, const Point& b) { return a.t < b.t; });
+  for (const Point& p : *points) tree->Insert(p.key, p.t);
+}
+
+mvsbt::CmvsbtOptions TreeOptions(const HistogramOptions& options,
+                                 size_t raw_bytes) {
+  mvsbt::CmvsbtOptions out;
+  out.cm = options.cm;
+  // Four trees share the size budget.
+  size_t budget =
+      static_cast<size_t>(options.max_fraction_of_raw *
+                          static_cast<double>(raw_bytes));
+  out.max_entries = std::max<size_t>(64, budget / 4 / 96);
+  return out;
+}
+
+}  // namespace
+
+TemporalHistogram::TemporalHistogram(
+    const CharSetCatalog* catalog,
+    const std::vector<TemporalTriple>& triples, size_t raw_bytes,
+    HistogramOptions options)
+    : catalog_(catalog),
+      subj_starts_(TreeOptions(options, raw_bytes)),
+      subj_ends_(TreeOptions(options, raw_bytes)),
+      occ_starts_(TreeOptions(options, raw_bytes)),
+      occ_ends_(TreeOptions(options, raw_bytes)) {
+  for (const TemporalTriple& tt : triples) {
+    horizon_ = std::max(horizon_, tt.iv.start);
+    if (tt.iv.end != kChrononNow) horizon_ = std::max(horizon_, tt.iv.end);
+  }
+  if (horizon_ == 0) horizon_ = 1;
+
+  std::vector<Point> occ_start_points, occ_end_points;
+  occ_start_points.reserve(triples.size());
+  occ_end_points.reserve(triples.size());
+  struct Span {
+    Chronon start = kChrononMax;
+    Chronon end = 0;
+  };
+  std::unordered_map<TermId, Span> subject_spans;
+  // Dense occurrence keys: sorted by composite so related predicates of
+  // one characteristic set stay adjacent in the CMVSBT key dimension.
+  {
+    std::vector<uint64_t> composites;
+    composites.reserve(triples.size());
+    for (const TemporalTriple& tt : triples) {
+      CharSetId cs = catalog_->SetOf(tt.triple.s);
+      if (cs == kNoCharSet) continue;
+      composites.push_back(CompositeKey(cs, tt.triple.p));
+    }
+    std::sort(composites.begin(), composites.end());
+    composites.erase(std::unique(composites.begin(), composites.end()),
+                     composites.end());
+    for (size_t i = 0; i < composites.size(); ++i) {
+      dense_occ_keys_.emplace(composites[i], i);
+    }
+  }
+  for (const TemporalTriple& tt : triples) {
+    CharSetId cs = catalog_->SetOf(tt.triple.s);
+    if (cs == kNoCharSet) continue;
+    const uint64_t key =
+        dense_occ_keys_.at(CompositeKey(cs, tt.triple.p));
+    const Chronon end =
+        tt.iv.end == kChrononNow ? horizon_ : tt.iv.end;
+    occ_start_points.push_back({key, tt.iv.start});
+    occ_end_points.push_back({key, end});
+    Span& span = subject_spans[tt.triple.s];
+    span.start = std::min(span.start, tt.iv.start);
+    span.end = std::max(span.end, end);
+  }
+  BulkInsert(&occ_starts_, &occ_start_points);
+  BulkInsert(&occ_ends_, &occ_end_points);
+
+  std::vector<Point> subj_start_points, subj_end_points;
+  subj_start_points.reserve(subject_spans.size());
+  for (const auto& [subject, span] : subject_spans) {
+    CharSetId cs = catalog_->SetOf(subject);
+    subj_start_points.push_back({cs, span.start});
+    subj_end_points.push_back({cs, span.end});
+  }
+  BulkInsert(&subj_starts_, &subj_start_points);
+  BulkInsert(&subj_ends_, &subj_end_points);
+}
+
+double TemporalHistogram::RangeCount(const mvsbt::Cmvsbt& starts,
+                                     const mvsbt::Cmvsbt& ends,
+                                     uint64_t key,
+                                     const Interval& window) const {
+  if (window.empty()) return 0.0;
+  // Cache key mixes the tree identity, point key, and window.
+  uint64_t ck = reinterpret_cast<uintptr_t>(&starts);
+  ck = ck * 0x9E3779B97F4A7C15ull + key;
+  ck = ck * 0x9E3779B97F4A7C15ull + window.start;
+  ck = ck * 0x9E3779B97F4A7C15ull + window.end;
+  auto it = cache_.find(ck);
+  if (it != cache_.end()) return it->second;
+
+  const Chronon border =
+      window.end == kChrononNow ? kChrononMax : window.end - 1;
+  // Records alive somewhere in [t1, t2) = started by t2-1 minus ended
+  // at or before t1 (§6.3 query reduction).
+  double started = starts.QueryExact(key, border);
+  double ended = window.start == 0 ? 0.0 : ends.QueryExact(key, window.start);
+  double result = std::max(0.0, started - ended);
+  cache_.emplace(ck, result);
+  return result;
+}
+
+uint64_t TemporalHistogram::DenseOccKey(CharSetId cs, TermId p) const {
+  auto it = dense_occ_keys_.find(CompositeKey(cs, p));
+  return it == dense_occ_keys_.end() ? ~0ull : it->second;
+}
+
+double TemporalHistogram::EstimateOccurrences(CharSetId cs, TermId p,
+                                              const Interval& window) const {
+  uint64_t key = DenseOccKey(cs, p);
+  if (key == ~0ull) return 0.0;
+  return RangeCount(occ_starts_, occ_ends_, key, window);
+}
+
+double TemporalHistogram::EstimateSubjects(CharSetId cs,
+                                           const Interval& window) const {
+  return RangeCount(subj_starts_, subj_ends_, cs, window);
+}
+
+double TemporalHistogram::EstimatePredicateTriples(
+    TermId p, const Interval& window) const {
+  double total = 0.0;
+  for (CharSetId cs : catalog_->SetsWithPredicate(p)) {
+    total += EstimateOccurrences(cs, p, window);
+  }
+  return total;
+}
+
+void TemporalHistogram::ClearCache() const { cache_.clear(); }
+
+size_t TemporalHistogram::MemoryUsage() const {
+  return subj_starts_.MemoryUsage() + subj_ends_.MemoryUsage() +
+         occ_starts_.MemoryUsage() + occ_ends_.MemoryUsage();
+}
+
+}  // namespace rdftx::optimizer

@@ -1,0 +1,79 @@
+// The temporal histogram (paper §6.2): four compressed MVSBTs — one
+// {start, end} pair for distinct-subject counts and one pair for
+// predicate occurrences — keyed by (characteristic set, predicate)
+// composites, plus the characteristic-set schema. Range statistics come
+// from the §6.3 query reduction: the count of records in key range K
+// alive during [t1, t2) equals starts(K, <= t2-1) - ends(K, <= t1).
+#ifndef RDFTX_OPTIMIZER_HISTOGRAM_H_
+#define RDFTX_OPTIMIZER_HISTOGRAM_H_
+
+#include <unordered_map>
+
+#include "mvsbt/cmvsbt.h"
+#include "optimizer/char_set.h"
+#include "temporal/interval.h"
+
+namespace rdftx::optimizer {
+
+/// Options for the histogram.
+struct HistogramOptions {
+  /// CMVSBT leaf threshold.
+  uint32_t cm = 16;
+  /// Target ceiling for the histogram as a fraction of raw-data bytes
+  /// (the paper caps it at 10%). Enforced by growing cm and merging.
+  double max_fraction_of_raw = 0.10;
+};
+
+/// Time-varying statistics of a temporal RDF graph.
+class TemporalHistogram {
+ public:
+  /// Builds the histogram (and uses `catalog` for cs membership).
+  /// `raw_bytes` is the raw dataset size used for the 10% size cap.
+  TemporalHistogram(const CharSetCatalog* catalog,
+                    const std::vector<TemporalTriple>& triples,
+                    size_t raw_bytes, HistogramOptions options = {});
+
+  /// Estimated occurrences of predicate `p` in characteristic set `cs`
+  /// on triples alive somewhere in `window`.
+  double EstimateOccurrences(CharSetId cs, TermId p,
+                             const Interval& window) const;
+
+  /// Estimated number of distinct subjects of `cs` alive in `window`.
+  double EstimateSubjects(CharSetId cs, const Interval& window) const;
+
+  /// Estimated triples with predicate `p` alive in `window` (summed over
+  /// every characteristic set containing `p`).
+  double EstimatePredicateTriples(TermId p, const Interval& window) const;
+
+  /// Clears the per-query statistics cache (paper §6.3 caches all
+  /// statistics during one optimization).
+  void ClearCache() const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  static uint64_t CompositeKey(CharSetId cs, TermId p) {
+    return (static_cast<uint64_t>(cs) << 24) | (p & 0xFFFFFF);
+  }
+
+  /// Dense id of an occurrence composite (CMVSBT columns stay tight when
+  /// the key space has no sparse gaps); ~0ull when never seen.
+  uint64_t DenseOccKey(CharSetId cs, TermId p) const;
+
+  double RangeCount(const mvsbt::Cmvsbt& starts, const mvsbt::Cmvsbt& ends,
+                    uint64_t key, const Interval& window) const;
+
+  const CharSetCatalog* catalog_;
+  mvsbt::Cmvsbt subj_starts_;
+  mvsbt::Cmvsbt subj_ends_;
+  mvsbt::Cmvsbt occ_starts_;
+  mvsbt::Cmvsbt occ_ends_;
+  Chronon horizon_ = 0;  // substitute for `now` on live records
+  std::unordered_map<uint64_t, uint64_t> dense_occ_keys_;
+
+  mutable std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace rdftx::optimizer
+
+#endif  // RDFTX_OPTIMIZER_HISTOGRAM_H_

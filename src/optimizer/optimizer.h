@@ -1,0 +1,64 @@
+// The RDF-TX query optimizer (paper §6): cost-based join ordering via
+// bottom-up dynamic programming [Moerkotte & Neumann], with cardinality
+// estimates that combine characteristic sets and the temporal histogram.
+// Plans are left-deep (the executor pipelines pattern scans into a chain
+// of hash joins) and avoid cross products when the query graph allows.
+#ifndef RDFTX_OPTIMIZER_OPTIMIZER_H_
+#define RDFTX_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "engine/executor.h"
+#include "optimizer/char_set.h"
+#include "optimizer/histogram.h"
+
+namespace rdftx::optimizer {
+
+/// Estimation/search knobs.
+struct OptimizerOptions {
+  /// Selectivity charged for each shared temporal variable between two
+  /// joined patterns (chance two validity elements intersect).
+  double temporal_selectivity = 0.25;
+  /// Queries with more patterns than this use the greedy order (the DP
+  /// table is 2^n).
+  size_t max_dp_patterns = 14;
+};
+
+/// Cost-based join-order optimizer over a loaded graph's statistics.
+class QueryOptimizer {
+ public:
+  QueryOptimizer(const CharSetCatalog* catalog,
+                 const TemporalHistogram* histogram,
+                 OptimizerOptions options = {});
+
+  /// Estimated result cardinality of one pattern scan.
+  double EstimatePattern(const engine::CompiledPattern& cp) const;
+
+  /// Estimated cardinality of joining the given patterns (subset of the
+  /// query). Subject-star subsets use the characteristic-set formula.
+  double EstimateSubsetCard(const engine::CompiledQuery& cq,
+                            uint32_t mask) const;
+
+  /// Estimated cost of executing the patterns in `order` left-deep.
+  double EstimateOrderCost(const engine::CompiledQuery& cq,
+                           const std::vector<int>& order) const;
+
+  /// Cost-optimal left-deep order via dynamic programming.
+  std::vector<int> ChooseOrder(const engine::CompiledQuery& cq) const;
+
+  /// Adapter for QueryEngine::set_join_order_provider.
+  engine::JoinOrderProvider AsProvider() const;
+
+ private:
+  double DistinctOfVar(const engine::CompiledPattern& cp, int slot) const;
+  double JoinSelectivity(const engine::CompiledQuery& cq, uint32_t mask,
+                         int next) const;
+
+  const CharSetCatalog* catalog_;
+  const TemporalHistogram* histogram_;
+  OptimizerOptions options_;
+};
+
+}  // namespace rdftx::optimizer
+
+#endif  // RDFTX_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,49 @@
+// The common store abstraction that RDF-TX and every baseline system
+// implement, so the query engine and the Fig 8/9 benches run the same
+// SPARQLt workloads end-to-end through each storage architecture.
+#ifndef RDFTX_RDF_STORE_INTERFACE_H_
+#define RDFTX_RDF_STORE_INTERFACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace rdftx {
+
+/// Callback for pattern scans: one validity fragment of one matching
+/// triple. Fragments of the same triple may arrive unordered; callers
+/// coalesce per binding.
+using ScanCallback =
+    std::function<void(const Triple&, const Interval&)>;
+
+/// A queryable store of temporal RDF triples.
+class TemporalStore {
+ public:
+  virtual ~TemporalStore() = default;
+
+  /// Bulk-loads interval triples. Overlapping intervals of the same
+  /// triple are coalesced. May be called once on an empty store.
+  virtual Status Load(const std::vector<TemporalTriple>& triples) = 0;
+
+  /// Emits every triple matching the pattern constants whose validity
+  /// overlaps spec.time (fragments, see ScanCallback).
+  virtual void ScanPattern(const PatternSpec& spec,
+                           const ScanCallback& visit) const = 0;
+
+  /// Approximate heap footprint of indices + payload (Fig 8).
+  virtual size_t MemoryUsage() const = 0;
+
+  /// Latest event time in the store (used as the "now" hint for LENGTH
+  /// over live facts).
+  virtual Chronon last_time() const = 0;
+
+  /// Human-readable system name for bench output.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rdftx
+
+#endif  // RDFTX_RDF_STORE_INTERFACE_H_

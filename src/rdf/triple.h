@@ -1,0 +1,54 @@
+// Temporal RDF triples at the dictionary-id level (paper §2.2): an RDF
+// triple (s, p, o) annotated with the interval encoding of its temporal
+// element.
+#ifndef RDFTX_RDF_TRIPLE_H_
+#define RDFTX_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "dict/dictionary.h"
+#include "temporal/interval.h"
+
+namespace rdftx {
+
+/// A dictionary-encoded RDF triple.
+struct Triple {
+  TermId s = kInvalidTerm;
+  TermId p = kInvalidTerm;
+  TermId o = kInvalidTerm;
+
+  auto operator<=>(const Triple&) const = default;
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.s * 0x9E3779B97F4A7C15ull;
+    h ^= t.p + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= t.o + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// An interval-encoded temporal RDF triple: (s, p, o) [start ... end).
+struct TemporalTriple {
+  Triple triple;
+  Interval iv;
+
+  auto operator<=>(const TemporalTriple&) const = default;
+};
+
+/// A single-pattern query at the id level: constants are nonzero,
+/// kInvalidTerm marks a variable position; `time` is the scan window.
+/// The 8 (s,p,o) boundness combinations x {t constant, t variable}
+/// realize the paper's 16 SPARQLt graph pattern types.
+struct PatternSpec {
+  TermId s = kInvalidTerm;
+  TermId p = kInvalidTerm;
+  TermId o = kInvalidTerm;
+  Interval time = Interval::All();
+};
+
+}  // namespace rdftx
+
+#endif  // RDFTX_RDF_TRIPLE_H_

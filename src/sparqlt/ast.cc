@@ -1,0 +1,182 @@
+#include "sparqlt/ast.h"
+
+namespace rdftx::sparqlt {
+namespace {
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* FuncName(Expr::Kind kind) {
+  switch (kind) {
+    case Expr::Kind::kYear:
+      return "YEAR";
+    case Expr::Kind::kMonth:
+      return "MONTH";
+    case Expr::Kind::kDay:
+      return "DAY";
+    case Expr::Kind::kTStart:
+      return "TSTART";
+    case Expr::Kind::kTEnd:
+      return "TEND";
+    case Expr::Kind::kLength:
+      return "LENGTH";
+    case Expr::Kind::kTotalLength:
+      return "TOTAL_LENGTH";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return text;
+    case Kind::kVariable:
+      return "?" + text;
+    case Kind::kDate:
+      return FormatChronon(date);
+    case Kind::kWildcard:
+      return "_";
+  }
+  return "?";
+}
+
+std::string GraphPattern::ToString() const {
+  std::string out =
+      s.ToString() + " " + p.ToString() + " " + o.ToString();
+  if (t.kind != Term::Kind::kWildcard) out += " " + t.ToString();
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kAnd:
+      return "(" + children[0]->ToString() + " && " +
+             children[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children[0]->ToString() + " || " +
+             children[1]->ToString() + ")";
+    case Kind::kNot:
+      return "!(" + children[0]->ToString() + ")";
+    case Kind::kCompare:
+      return "(" + children[0]->ToString() + " " + OpName(op) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kVariable:
+      return "?" + text;
+    case Kind::kDateLit:
+      return FormatChronon(date_value);
+    case Kind::kIntLit:
+      return std::to_string(int_value);
+    case Kind::kStringLit:
+      return "\"" + text + "\"";
+    default:
+      return std::string(FuncName(kind)) + "(" + children[0]->ToString() +
+             ")";
+  }
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT";
+  if (select.empty()) {
+    out += " *";
+  } else {
+    for (const auto& v : select) out += " ?" + v;
+  }
+  out += " {";
+  if (!union_branches.empty()) {
+    for (size_t i = 0; i < union_branches.size(); ++i) {
+      if (i > 0) out += " UNION";
+      out += " {";
+      for (const auto& p : union_branches[i].patterns) {
+        out += " " + p.ToString() + " .";
+      }
+      for (const auto& f : union_branches[i].filters) {
+        out += " FILTER" + f->ToString() + " .";
+      }
+      out += " }";
+    }
+    out += " }";
+    return out;
+  }
+  for (const auto& p : patterns) out += " " + p.ToString() + " .";
+  for (const auto& f : filters) out += " FILTER" + f->ToString() + " .";
+  for (const auto& opt : optionals) {
+    out += " OPTIONAL {";
+    for (const auto& p : opt.patterns) out += " " + p.ToString() + " .";
+    for (const auto& f : opt.filters) out += " FILTER" + f->ToString() + " .";
+    out += " } .";
+  }
+  out += " }";
+  return out;
+}
+
+ExprPtr MakeVar(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kVariable;
+  e->text = std::move(name);
+  return e;
+}
+
+ExprPtr MakeInt(int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kIntLit;
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr MakeDate(Chronon d) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kDateLit;
+  e->date_value = d;
+  return e;
+}
+
+ExprPtr MakeString(std::string s) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kStringLit;
+  e->text = std::move(s);
+  return e;
+}
+
+ExprPtr MakeUnary(Expr::Kind fn, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = fn;
+  e->children.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr MakeCompare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kCompare;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeLogic(Expr::Kind kind, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+}  // namespace rdftx::sparqlt

@@ -1,0 +1,123 @@
+// Abstract syntax of SPARQLt (paper §3): conjunctive temporal graph
+// patterns {s p o t} plus FILTER expressions over comparison operators,
+// logical connectors, and the temporal built-ins YEAR / MONTH / DAY /
+// TSTART / TEND / LENGTH / TOTAL_LENGTH. UNION and OPT are not part of
+// SPARQLt (§3.1).
+#ifndef RDFTX_SPARQLT_AST_H_
+#define RDFTX_SPARQLT_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/date.h"
+
+namespace rdftx::sparqlt {
+
+/// A term position in a graph pattern.
+struct Term {
+  enum class Kind {
+    kConstant,  // IRI or literal text
+    kVariable,  // ?name (text holds the name without '?')
+    kDate,      // temporal constant (only valid in the t position)
+    kWildcard,  // unnamed, unconstrained (omitted t position)
+  };
+
+  Kind kind = Kind::kWildcard;
+  std::string text;
+  Chronon date = 0;
+
+  static Term Constant(std::string s) {
+    return Term{Kind::kConstant, std::move(s), 0};
+  }
+  static Term Variable(std::string name) {
+    return Term{Kind::kVariable, std::move(name), 0};
+  }
+  static Term Date(Chronon d) { return Term{Kind::kDate, {}, d}; }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+
+  std::string ToString() const;
+};
+
+/// One SPARQLt graph pattern {s p o t}.
+struct GraphPattern {
+  Term s, p, o, t;
+
+  std::string ToString() const;
+};
+
+/// Comparison operators in FILTER clauses.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// FILTER expression tree.
+struct Expr {
+  enum class Kind {
+    kAnd,          // children[0] && children[1]
+    kOr,           // children[0] || children[1]
+    kNot,          // !children[0]
+    kCompare,      // children[0] op children[1]
+    kVariable,     // ?name
+    kDateLit,      // date constant -> chronon
+    kIntLit,       // integer (durations normalized to days)
+    kStringLit,    // string/IRI constant
+    kYear,         // YEAR(children[0])
+    kMonth,        // MONTH(children[0])
+    kDay,          // DAY(children[0])
+    kTStart,       // TSTART(children[0])
+    kTEnd,         // TEND(children[0])
+    kLength,       // LENGTH(children[0])
+    kTotalLength,  // TOTAL_LENGTH(children[0])
+  };
+
+  Kind kind;
+  CompareOp op = CompareOp::kEq;  // for kCompare
+  std::string text;               // variable name / string literal
+  int64_t int_value = 0;          // for kIntLit
+  Chronon date_value = 0;         // for kDateLit
+  std::vector<std::unique_ptr<Expr>> children;
+
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A group of patterns made optional: results keep solutions of the
+/// enclosing block even when the group has no match (left join). This
+/// and UNION extend the paper's SPARQLt, which lists both as future
+/// work (§3.1).
+struct OptionalBlock {
+  std::vector<GraphPattern> patterns;
+  /// Filters referencing only this block's variables; evaluated on the
+  /// group's matches before the left join.
+  std::vector<ExprPtr> filters;
+};
+
+/// A parsed SPARQLt query: SELECT projection + either conjunctive
+/// patterns (+ FILTERs + OPTIONAL groups), or top-level UNION branches.
+struct Query {
+  std::vector<std::string> select;  // empty => SELECT *
+  std::vector<GraphPattern> patterns;
+  std::vector<ExprPtr> filters;
+  std::vector<OptionalBlock> optionals;
+  /// When non-empty, the query is `{ branch } UNION { branch } ...` and
+  /// patterns/filters/optionals above are unused.
+  std::vector<Query> union_branches;
+
+  std::string ToString() const;
+};
+
+/// Helpers for building Expr nodes (used by tests and the optimizer).
+ExprPtr MakeVar(std::string name);
+ExprPtr MakeInt(int64_t v);
+ExprPtr MakeDate(Chronon d);
+ExprPtr MakeString(std::string s);
+ExprPtr MakeUnary(Expr::Kind fn, ExprPtr arg);
+ExprPtr MakeCompare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeLogic(Expr::Kind kind, ExprPtr lhs, ExprPtr rhs);
+
+}  // namespace rdftx::sparqlt
+
+#endif  // RDFTX_SPARQLT_AST_H_

@@ -1,0 +1,266 @@
+#include "sparqlt/lexer.h"
+
+#include <cctype>
+
+namespace rdftx::sparqlt {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Identifier bodies admit URI-ish characters. '.' and '-' are admitted
+// only when followed by an alphanumeric, so a trailing pattern separator
+// '.' is not swallowed.
+bool IsIdentBody(char c) { return std::isalnum(static_cast<unsigned char>(c)) ||
+                                  c == '_' || c == ':' || c == '/' ||
+                                  c == '#'; }
+
+std::string AsciiUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool LooksLikeDate(std::string_view s) {
+  int dashes = 0, slashes = 0;
+  for (char c : s) {
+    if (c == '-') ++dashes;
+    if (c == '/') ++slashes;
+  }
+  return dashes == 2 || slashes == 2;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto peek_nonspace = [&](size_t from) -> char {
+    while (from < n &&
+           std::isspace(static_cast<unsigned char>(input[from]))) {
+      ++from;
+    }
+    return from < n ? input[from] : '\0';
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    switch (c) {
+      case '{':
+        out.push_back({TokenKind::kLBrace, "{", 0, 0, start});
+        ++i;
+        continue;
+      case '}':
+        out.push_back({TokenKind::kRBrace, "}", 0, 0, start});
+        ++i;
+        continue;
+      case '(':
+        out.push_back({TokenKind::kLParen, "(", 0, 0, start});
+        ++i;
+        continue;
+      case ')':
+        out.push_back({TokenKind::kRParen, ")", 0, 0, start});
+        ++i;
+        continue;
+      case '.':
+        out.push_back({TokenKind::kDot, ".", 0, 0, start});
+        ++i;
+        continue;
+      case ',':
+        out.push_back({TokenKind::kComma, ",", 0, 0, start});
+        ++i;
+        continue;
+      case '*':
+        out.push_back({TokenKind::kStar, "*", 0, 0, start});
+        ++i;
+        continue;
+      case '=':
+        ++i;
+        if (i < n && input[i] == '=') ++i;
+        out.push_back({TokenKind::kEq, "=", 0, 0, start});
+        continue;
+      case '!':
+        ++i;
+        if (i < n && input[i] == '=') {
+          ++i;
+          out.push_back({TokenKind::kNe, "!=", 0, 0, start});
+        } else {
+          out.push_back({TokenKind::kBang, "!", 0, 0, start});
+        }
+        continue;
+      case '<':
+        ++i;
+        if (i < n && input[i] == '=') {
+          ++i;
+          out.push_back({TokenKind::kLe, "<=", 0, 0, start});
+        } else {
+          out.push_back({TokenKind::kLt, "<", 0, 0, start});
+        }
+        continue;
+      case '>':
+        ++i;
+        if (i < n && input[i] == '=') {
+          ++i;
+          out.push_back({TokenKind::kGe, ">=", 0, 0, start});
+        } else {
+          out.push_back({TokenKind::kGt, ">", 0, 0, start});
+        }
+        continue;
+      case '&':
+        if (i + 1 < n && input[i + 1] == '&') {
+          i += 2;
+          out.push_back({TokenKind::kAnd, "&&", 0, 0, start});
+          continue;
+        }
+        return Status::ParseError("stray '&' at offset " +
+                                  std::to_string(start));
+      case '|':
+        if (i + 1 < n && input[i + 1] == '|') {
+          i += 2;
+          out.push_back({TokenKind::kOr, "||", 0, 0, start});
+          continue;
+        }
+        return Status::ParseError("stray '|' at offset " +
+                                  std::to_string(start));
+      case '"': {
+        ++i;
+        std::string text;
+        while (i < n && input[i] != '"') {
+          if (input[i] == '\\' && i + 1 < n) ++i;
+          text.push_back(input[i]);
+          ++i;
+        }
+        if (i >= n) {
+          return Status::ParseError("unterminated string at offset " +
+                                    std::to_string(start));
+        }
+        ++i;  // closing quote
+        out.push_back({TokenKind::kString, std::move(text), 0, 0, start});
+        continue;
+      }
+      case '?': {
+        ++i;
+        std::string name;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                         input[i] == '_')) {
+          name.push_back(input[i]);
+          ++i;
+        }
+        if (name.empty()) {
+          return Status::ParseError("empty variable name at offset " +
+                                    std::to_string(start));
+        }
+        out.push_back({TokenKind::kVariable, std::move(name), 0, 0, start});
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Digit-led token: integer, date, or numeric-looking literal.
+      std::string text;
+      while (i < n) {
+        char d = input[i];
+        bool ok = std::isdigit(static_cast<unsigned char>(d));
+        if ((d == '-' || d == '/' || d == '.') && i + 1 < n &&
+            std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+          ok = true;
+        }
+        if (!ok) break;
+        text.push_back(d);
+        ++i;
+      }
+      if (LooksLikeDate(text)) {
+        auto parsed = ParseChronon(text);
+        if (!parsed.ok()) {
+          return Status::ParseError("bad date '" + text + "' at offset " +
+                                    std::to_string(start));
+        }
+        out.push_back({TokenKind::kDate, text, 0, *parsed, start});
+      } else if (text.find('.') == std::string::npos &&
+                 text.find('/') == std::string::npos &&
+                 text.find('-') == std::string::npos) {
+        out.push_back(
+            {TokenKind::kNumber, text, std::stoll(text), 0, start});
+      } else {
+        // e.g. "22.7": a literal, not a number we do arithmetic on.
+        out.push_back({TokenKind::kIdent, std::move(text), 0, 0, start});
+      }
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < n) {
+        char d = input[i];
+        bool ok = IsIdentBody(d);
+        if ((d == '.' || d == '-') && i + 1 < n &&
+            (std::isalnum(static_cast<unsigned char>(input[i + 1])) ||
+             input[i + 1] == '_')) {
+          ok = true;
+        }
+        if (!ok) break;
+        text.push_back(d);
+        ++i;
+      }
+      const std::string upper = AsciiUpper(text);
+      const bool call_follows = peek_nonspace(i) == '(';
+      if (upper == "SELECT") {
+        out.push_back({TokenKind::kSelect, text, 0, 0, start});
+      } else if (upper == "WHERE") {
+        out.push_back({TokenKind::kWhere, text, 0, 0, start});
+      } else if (upper == "FILTER") {
+        out.push_back({TokenKind::kFilter, text, 0, 0, start});
+      } else if (upper == "OPTIONAL" || upper == "OPT") {
+        out.push_back({TokenKind::kOptional, text, 0, 0, start});
+      } else if (upper == "UNION") {
+        out.push_back({TokenKind::kUnion, text, 0, 0, start});
+      } else if (upper == "YEAR" && call_follows) {
+        out.push_back({TokenKind::kFuncYear, text, 0, 0, start});
+      } else if (upper == "MONTH" && call_follows) {
+        out.push_back({TokenKind::kFuncMonth, text, 0, 0, start});
+      } else if (upper == "DAY" && call_follows) {
+        out.push_back({TokenKind::kFuncDay, text, 0, 0, start});
+      } else if (upper == "TSTART" && call_follows) {
+        out.push_back({TokenKind::kFuncTStart, text, 0, 0, start});
+      } else if (upper == "TEND" && call_follows) {
+        out.push_back({TokenKind::kFuncTEnd, text, 0, 0, start});
+      } else if (upper == "LENGTH" && call_follows) {
+        out.push_back({TokenKind::kFuncLength, text, 0, 0, start});
+      } else if (upper == "TOTAL_LENGTH" && call_follows) {
+        out.push_back({TokenKind::kFuncTotalLength, text, 0, 0, start});
+      } else if (upper == "DAY" || upper == "DAYS") {
+        out.push_back({TokenKind::kUnitDay, text, 0, 0, start});
+      } else if (upper == "MONTH" || upper == "MONTHS") {
+        out.push_back({TokenKind::kUnitMonth, text, 0, 0, start});
+      } else if (upper == "YEAR" || upper == "YEARS") {
+        out.push_back({TokenKind::kUnitYear, text, 0, 0, start});
+      } else if (upper == "NOW") {
+        out.push_back({TokenKind::kDate, text, 0, kChrononNow, start});
+      } else {
+        out.push_back({TokenKind::kIdent, std::move(text), 0, 0, start});
+      }
+      continue;
+    }
+
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  out.push_back({TokenKind::kEof, "", 0, 0, n});
+  return out;
+}
+
+}  // namespace rdftx::sparqlt

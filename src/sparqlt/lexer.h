@@ -1,0 +1,69 @@
+// Tokenizer for SPARQLt query text. Keywords are case-insensitive;
+// IRIs/literals are bare identifier-like tokens or quoted strings; dates
+// are recognized in ISO (2013-09-30) and paper (09/30/2013) formats.
+#ifndef RDFTX_SPARQLT_LEXER_H_
+#define RDFTX_SPARQLT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/date.h"
+#include "util/status.h"
+
+namespace rdftx::sparqlt {
+
+enum class TokenKind {
+  kSelect,
+  kWhere,
+  kFilter,
+  kOptional,
+  kUnion,
+  kStar,       // *
+  kVariable,   // ?name
+  kIdent,      // bare IRI / literal / keywordless word
+  kString,     // "quoted"
+  kNumber,     // integer
+  kDate,       // chronon constant
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kDot,
+  kComma,
+  kEq,         // =  (also ==)
+  kNe,         // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,        // &&
+  kOr,         // ||
+  kBang,       // !
+  kFuncYear,
+  kFuncMonth,
+  kFuncDay,
+  kFuncTStart,
+  kFuncTEnd,
+  kFuncLength,
+  kFuncTotalLength,
+  kUnitDay,    // DAY / DAYS used as a duration unit
+  kUnitMonth,
+  kUnitYear,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;     // identifier / variable / string payload
+  int64_t number = 0;   // for kNumber
+  Chronon date = 0;     // for kDate
+  size_t offset = 0;    // byte offset in the input, for error messages
+};
+
+/// Tokenizes `input`. On success the vector ends with a kEof token.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace rdftx::sparqlt
+
+#endif  // RDFTX_SPARQLT_LEXER_H_

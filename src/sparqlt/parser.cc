@@ -1,0 +1,328 @@
+#include "sparqlt/parser.h"
+
+#include <utility>
+
+#include "sparqlt/lexer.h"
+
+namespace rdftx::sparqlt {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Run() {
+    Query q;
+    RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kSelect, "SELECT"));
+    if (Peek().kind == TokenKind::kStar) {
+      Advance();
+    } else {
+      while (Peek().kind == TokenKind::kVariable) {
+        q.select.push_back(Advance().text);
+      }
+      if (q.select.empty()) {
+        return Error("expected projection variables or '*' after SELECT");
+      }
+    }
+    if (Peek().kind == TokenKind::kWhere) Advance();
+    RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+    // `{ { ... } UNION { ... } }`: top-level union of branches.
+    if (Peek().kind == TokenKind::kLBrace) {
+      while (true) {
+        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+        Query branch;
+        RDFTX_RETURN_IF_ERROR(ParseBlock(&branch, /*allow_optional=*/true));
+        if (branch.patterns.empty()) {
+          return Error("empty UNION branch");
+        }
+        q.union_branches.push_back(std::move(branch));
+        if (Peek().kind == TokenKind::kUnion) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+      if (q.union_branches.size() < 2) {
+        return Error("UNION needs at least two branches");
+      }
+    } else {
+      RDFTX_RETURN_IF_ERROR(ParseBlock(&q, /*allow_optional=*/true));
+      if (q.patterns.empty()) {
+        return Error("query needs at least one graph pattern");
+      }
+    }
+    if (Peek().kind != TokenKind::kEof) {
+      return Error("trailing tokens after query");
+    }
+    return q;
+  }
+
+  /// Parses pattern/filter/OPTIONAL items up to (and consuming) the
+  /// closing '}'.
+  Status ParseBlock(Query* out, bool allow_optional) {
+    while (Peek().kind != TokenKind::kRBrace) {
+      if (Peek().kind == TokenKind::kEof) {
+        return Error("unterminated query block");
+      }
+      if (Peek().kind == TokenKind::kFilter) {
+        Advance();
+        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        out->filters.push_back(std::move(expr).value());
+      } else if (Peek().kind == TokenKind::kOptional) {
+        if (!allow_optional) {
+          return Error("OPTIONAL cannot nest inside OPTIONAL");
+        }
+        Advance();
+        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+        Query group;
+        RDFTX_RETURN_IF_ERROR(ParseBlock(&group, /*allow_optional=*/false));
+        if (group.patterns.empty()) {
+          return Error("empty OPTIONAL group");
+        }
+        OptionalBlock opt;
+        opt.patterns = std::move(group.patterns);
+        opt.filters = std::move(group.filters);
+        out->optionals.push_back(std::move(opt));
+      } else {
+        auto pattern = ParsePattern();
+        if (!pattern.ok()) return pattern.status();
+        out->patterns.push_back(std::move(pattern).value());
+      }
+      if (Peek().kind == TokenKind::kDot) Advance();
+    }
+    Advance();  // '}'
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) return Error("expected " + what);
+    Advance();
+    return Status::OK();
+  }
+
+  static bool IsTermToken(TokenKind k) {
+    return k == TokenKind::kIdent || k == TokenKind::kString ||
+           k == TokenKind::kVariable || k == TokenKind::kNumber ||
+           k == TokenKind::kDate;
+  }
+
+  Result<Term> ParseKeyTerm() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable:
+        return Term::Variable(Advance().text);
+      case TokenKind::kIdent:
+      case TokenKind::kString:
+      case TokenKind::kNumber:
+        return Term::Constant(Advance().text);
+      default:
+        return Error("expected an IRI, literal, or variable");
+    }
+  }
+
+  Result<GraphPattern> ParsePattern() {
+    GraphPattern p;
+    auto s = ParseKeyTerm();
+    if (!s.ok()) return s.status();
+    p.s = *s;
+    auto pr = ParseKeyTerm();
+    if (!pr.ok()) return pr.status();
+    p.p = *pr;
+    auto o = ParseKeyTerm();
+    if (!o.ok()) return o.status();
+    p.o = *o;
+    // Optional temporal term: a variable or a date constant. When
+    // omitted, the pattern is temporally unconstrained and unbound.
+    if (Peek().kind == TokenKind::kVariable) {
+      p.t = Term::Variable(Advance().text);
+    } else if (Peek().kind == TokenKind::kDate) {
+      p.t = Term::Date(Advance().date);
+    } else if (IsTermToken(Peek().kind)) {
+      return Error("temporal position must be a variable or a date");
+    } else {
+      p.t = Term{};  // wildcard
+    }
+    return p;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr e = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kOr) {
+      Advance();
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs.status();
+      e = MakeLogic(Expr::Kind::kOr, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    ExprPtr e = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kAnd) {
+      Advance();
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs.status();
+      e = MakeLogic(Expr::Kind::kAnd, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kBang) {
+      Advance();
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      return MakeUnary(Expr::Kind::kNot, std::move(inner).value());
+    }
+    return ParseCompare();
+  }
+
+  Result<ExprPtr> ParseCompare() {
+    auto lhs = ParseOperand();
+    if (!lhs.ok()) return lhs.status();
+    CompareOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CompareOp::kGe;
+        break;
+      default:
+        return lhs;  // bare operand (e.g. inside parentheses)
+    }
+    Advance();
+    auto rhs = ParseOperand();
+    if (!rhs.ok()) return rhs.status();
+    return MakeCompare(op, std::move(lhs).value(), std::move(rhs).value());
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable:
+        return MakeVar(Advance().text);
+      case TokenKind::kDate: {
+        Chronon d = Advance().date;
+        return MakeDate(d);
+      }
+      case TokenKind::kNumber: {
+        int64_t v = Advance().number;
+        // Optional duration unit (normalized to days; see DESIGN.md).
+        switch (Peek().kind) {
+          case TokenKind::kUnitDay:
+            Advance();
+            break;
+          case TokenKind::kUnitMonth:
+            Advance();
+            v *= 30;
+            break;
+          case TokenKind::kUnitYear:
+            Advance();
+            v *= 365;
+            break;
+          default:
+            break;
+        }
+        return MakeInt(v);
+      }
+      case TokenKind::kString:
+      case TokenKind::kIdent:
+        return MakeString(Advance().text);
+      case TokenKind::kLParen: {
+        Advance();
+        auto inner = ParseExpr();
+        if (!inner.ok()) return inner.status();
+        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kFuncYear:
+      case TokenKind::kFuncMonth:
+      case TokenKind::kFuncDay:
+      case TokenKind::kFuncTStart:
+      case TokenKind::kFuncTEnd:
+      case TokenKind::kFuncLength:
+      case TokenKind::kFuncTotalLength: {
+        Expr::Kind fn;
+        switch (tok.kind) {
+          case TokenKind::kFuncYear:
+            fn = Expr::Kind::kYear;
+            break;
+          case TokenKind::kFuncMonth:
+            fn = Expr::Kind::kMonth;
+            break;
+          case TokenKind::kFuncDay:
+            fn = Expr::Kind::kDay;
+            break;
+          case TokenKind::kFuncTStart:
+            fn = Expr::Kind::kTStart;
+            break;
+          case TokenKind::kFuncTEnd:
+            fn = Expr::Kind::kTEnd;
+            break;
+          case TokenKind::kFuncLength:
+            fn = Expr::Kind::kLength;
+            break;
+          default:
+            fn = Expr::Kind::kTotalLength;
+            break;
+        }
+        Advance();
+        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+        auto arg = ParseExpr();
+        if (!arg.ok()) return arg.status();
+        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return MakeUnary(fn, std::move(arg).value());
+      }
+      default:
+        return Error("expected a FILTER operand");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Run();
+}
+
+}  // namespace rdftx::sparqlt

@@ -1,0 +1,18 @@
+// Recursive-descent parser: SPARQLt text -> ast::Query.
+#ifndef RDFTX_SPARQLT_PARSER_H_
+#define RDFTX_SPARQLT_PARSER_H_
+
+#include <string_view>
+
+#include "sparqlt/ast.h"
+#include "util/status.h"
+
+namespace rdftx::sparqlt {
+
+/// Parses one SPARQLt query. Returns ParseError with a human-readable
+/// message on malformed input.
+Result<Query> Parse(std::string_view text);
+
+}  // namespace rdftx::sparqlt
+
+#endif  // RDFTX_SPARQLT_PARSER_H_

@@ -1,0 +1,16 @@
+#include "temporal/interval.h"
+
+namespace rdftx {
+
+std::string Interval::ToString() const {
+  if (empty()) return "[]";
+  std::string out = "[";
+  out += FormatChronon(start);
+  out += " ... ";
+  // Inclusive display: the last covered chronon, or "now" for live data.
+  out += (end == kChrononNow) ? "now" : FormatChronon(end - 1);
+  out += "]";
+  return out;
+}
+
+}  // namespace rdftx

@@ -1,0 +1,58 @@
+// Half-open chronon intervals [start, end). The paper's user-facing
+// notation [ts ... te] is inclusive; conversion happens at the formatting
+// boundary only.
+#ifndef RDFTX_TEMPORAL_INTERVAL_H_
+#define RDFTX_TEMPORAL_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "util/date.h"
+
+namespace rdftx {
+
+/// A half-open interval of chronons, start <= end. Empty iff start == end.
+/// `end == kChrononNow` denotes a live interval.
+struct Interval {
+  Chronon start = 0;
+  Chronon end = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(Chronon s, Chronon e) : start(s), end(e) {}
+
+  /// The full temporal domain [0, now).
+  static constexpr Interval All() { return Interval(0, kChrononNow); }
+
+  bool empty() const { return start >= end; }
+
+  /// Number of chronons covered; live intervals report up to `now_hint`.
+  uint64_t Length(Chronon now_hint = kChrononNow) const {
+    Chronon e = std::min(end, now_hint);
+    return e > start ? static_cast<uint64_t>(e - start) : 0;
+  }
+
+  bool Contains(Chronon t) const { return t >= start && t < end; }
+
+  bool Overlaps(const Interval& o) const {
+    return start < o.end && o.start < end;
+  }
+
+  /// Allen MEETS: this interval ends exactly where `o` starts.
+  bool Meets(const Interval& o) const { return end == o.start; }
+
+  Interval Intersect(const Interval& o) const {
+    Chronon s = std::max(start, o.start);
+    Chronon e = std::min(end, o.end);
+    return s < e ? Interval(s, e) : Interval();
+  }
+
+  bool operator==(const Interval& o) const = default;
+
+  /// Paper display format "[ts ... te]" with inclusive end.
+  std::string ToString() const;
+};
+
+}  // namespace rdftx
+
+#endif  // RDFTX_TEMPORAL_INTERVAL_H_

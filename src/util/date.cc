@@ -1,0 +1,109 @@
+#include "util/date.h"
+
+#include <cstdio>
+
+namespace rdftx {
+namespace {
+
+// Days from civil algorithm (Howard Hinnant), relative to 1970-01-01.
+int64_t DaysFromCivil1970(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse: civil date from days since 1970-01-01.
+CivilDate CivilFromDays1970(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  CivilDate out;
+  out.year = static_cast<int>(y + (m <= 2));
+  out.month = m;
+  out.day = d;
+  return out;
+}
+
+// 1800-01-01 relative to 1970-01-01.
+const int64_t kEpochOffset = DaysFromCivil1970(1800, 1, 1);
+
+}  // namespace
+
+Chronon ChrononFromCivil(const CivilDate& date) {
+  int64_t days = DaysFromCivil1970(date.year, date.month, date.day);
+  int64_t rel = days - kEpochOffset;
+  if (rel < 0) return 0;
+  if (rel > static_cast<int64_t>(kChrononMax)) return kChrononMax;
+  return static_cast<Chronon>(rel);
+}
+
+Chronon ChrononFromYmd(int year, unsigned month, unsigned day) {
+  return ChrononFromCivil(CivilDate{year, month, day});
+}
+
+CivilDate CivilFromChronon(Chronon t) {
+  if (t == kChrononNow) return CivilDate{9999, 12, 31};
+  return CivilFromDays1970(static_cast<int64_t>(t) + kEpochOffset);
+}
+
+int ChrononYear(Chronon t) { return CivilFromChronon(t).year; }
+unsigned ChrononMonth(Chronon t) { return CivilFromChronon(t).month; }
+unsigned ChrononDay(Chronon t) { return CivilFromChronon(t).day; }
+
+Chronon YearStart(int year) { return ChrononFromYmd(year, 1, 1); }
+Chronon YearEnd(int year) { return ChrononFromYmd(year, 12, 31); }
+
+Result<Chronon> ParseChronon(std::string_view text) {
+  if (text == "now") return kChrononNow;
+  int a = 0, b = 0, c = 0;
+  char sep = 0;
+  // Find the separator style.
+  for (char ch : text) {
+    if (ch == '-' || ch == '/') {
+      sep = ch;
+      break;
+    }
+  }
+  if (sep == 0) {
+    return Status::ParseError("unrecognized date: " + std::string(text));
+  }
+  const std::string buf(text);
+  if (sep == '-') {
+    if (std::sscanf(buf.c_str(), "%d-%d-%d", &a, &b, &c) != 3) {
+      return Status::ParseError("bad date: " + buf);
+    }
+    // YYYY-MM-DD
+    if (b < 1 || b > 12 || c < 1 || c > 31) {
+      return Status::ParseError("date out of range: " + buf);
+    }
+    return ChrononFromYmd(a, static_cast<unsigned>(b),
+                          static_cast<unsigned>(c));
+  }
+  if (std::sscanf(buf.c_str(), "%d/%d/%d", &a, &b, &c) != 3) {
+    return Status::ParseError("bad date: " + buf);
+  }
+  // MM/DD/YYYY
+  if (a < 1 || a > 12 || b < 1 || b > 31) {
+    return Status::ParseError("date out of range: " + buf);
+  }
+  return ChrononFromYmd(c, static_cast<unsigned>(a), static_cast<unsigned>(b));
+}
+
+std::string FormatChronon(Chronon t) {
+  if (t == kChrononNow) return "now";
+  CivilDate d = CivilFromChronon(t);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", d.year, d.month, d.day);
+  return buf;
+}
+
+}  // namespace rdftx

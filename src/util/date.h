@@ -1,0 +1,62 @@
+// Chronon: the discrete temporal domain of RDF-TX (paper §3.1). The
+// minimum time unit is one DAY; a Chronon is the day count since
+// 1800-01-01 (day 0), which comfortably covers knowledge-base history.
+#ifndef RDFTX_UTIL_DATE_H_
+#define RDFTX_UTIL_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rdftx {
+
+/// A single timestamp at day granularity.
+using Chronon = uint32_t;
+
+/// The open upper bound "now" of live data (paper: end version `*`).
+inline constexpr Chronon kChrononNow = 0xFFFFFFFFu;
+
+/// Largest chronon that still denotes a real day.
+inline constexpr Chronon kChrononMax = kChrononNow - 1;
+
+/// A calendar date (proleptic Gregorian).
+struct CivilDate {
+  int year = 0;
+  unsigned month = 1;  // 1..12
+  unsigned day = 1;    // 1..31
+};
+
+/// Days from 1800-01-01 for a civil date. Dates before the epoch clamp
+/// to 0 (knowledge-base histories never predate it).
+Chronon ChrononFromCivil(const CivilDate& date);
+
+/// Convenience overload.
+Chronon ChrononFromYmd(int year, unsigned month, unsigned day);
+
+/// Inverse of ChrononFromCivil. `kChrononNow` maps to a sentinel date
+/// with year 9999.
+CivilDate CivilFromChronon(Chronon t);
+
+/// Calendar year of a chronon (paper built-in YEAR).
+int ChrononYear(Chronon t);
+/// Calendar month, 1..12 (paper built-in MONTH).
+unsigned ChrononMonth(Chronon t);
+/// Day of month, 1..31 (paper built-in DAY).
+unsigned ChrononDay(Chronon t);
+
+/// First and last day of a calendar year, as chronons.
+Chronon YearStart(int year);
+Chronon YearEnd(int year);
+
+/// Parses "YYYY-MM-DD" or "MM/DD/YYYY" (the paper's display format) or
+/// the literal "now".
+Result<Chronon> ParseChronon(std::string_view text);
+
+/// Formats as "YYYY-MM-DD", or "now" for kChrononNow.
+std::string FormatChronon(Chronon t);
+
+}  // namespace rdftx
+
+#endif  // RDFTX_UTIL_DATE_H_

@@ -1,0 +1,73 @@
+// Little-endian fixed/variable width integer packing used by the MVBT
+// delta compressor (paper §4.2.1: delta values stored in 1..8 bytes, the
+// byte width recorded in the entry header payload).
+#ifndef RDFTX_UTIL_VARINT_H_
+#define RDFTX_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace rdftx {
+
+/// Number of bytes (0..8) needed to represent `v`; 0 means the value is 0
+/// and no payload bytes are stored.
+inline unsigned ByteWidth(uint64_t v) {
+  unsigned n = 0;
+  while (v != 0) {
+    ++n;
+    v >>= 8;
+  }
+  return n;
+}
+
+/// Appends the low `width` bytes of `v` to `out` (little endian).
+inline void PutFixed(std::vector<uint8_t>* out, uint64_t v, unsigned width) {
+  for (unsigned i = 0; i < width; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Reads `width` bytes starting at `p` as a little-endian integer.
+inline uint64_t GetFixed(const uint8_t* p, unsigned width) {
+  uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// LEB128-style varint append (used where widths are not pre-recorded).
+inline void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Varint decode; advances *pos.
+inline uint64_t GetVarint(const uint8_t* data, size_t* pos) {
+  uint64_t v = 0;
+  unsigned shift = 0;
+  while (true) {
+    uint8_t b = data[*pos];
+    ++*pos;
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+/// ZigZag transform for signed deltas.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace rdftx
+
+#endif  // RDFTX_UTIL_VARINT_H_

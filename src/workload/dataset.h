@@ -1,0 +1,35 @@
+// Shared shape of generated benchmark datasets.
+#ifndef RDFTX_WORKLOAD_DATASET_H_
+#define RDFTX_WORKLOAD_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "rdf/triple.h"
+
+namespace rdftx::workload {
+
+/// Per-(category, property) update statistics, for Table 1.
+struct PropertyStats {
+  std::string category;
+  std::string property;
+  double avg_updates = 0;   // mean versions per (subject, property)
+  uint64_t subjects = 0;    // subjects carrying the property
+  uint64_t triples = 0;     // total versions
+};
+
+/// A generated temporal RDF dataset plus the handles query generators
+/// need.
+struct Dataset {
+  std::vector<TemporalTriple> triples;
+  std::vector<TermId> subjects;    // all generated subjects
+  std::vector<TermId> predicates;  // all generated predicates
+  Chronon start = 0;               // history begin
+  Chronon horizon = 0;             // latest closed event time
+  std::vector<PropertyStats> stats;
+};
+
+}  // namespace rdftx::workload
+
+#endif  // RDFTX_WORKLOAD_DATASET_H_

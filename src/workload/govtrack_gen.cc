@@ -1,0 +1,143 @@
+#include "workload/govtrack_gen.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace rdftx::workload {
+namespace {
+
+// 60 predicates: a few state-like relations plus vote/action events.
+std::vector<std::string> PredicateNames() {
+  std::vector<std::string> names = {
+      "member_of_house", "member_of_senate", "represents_state",
+      "party",           "committee_member", "committee_chair",
+      "sponsor_of",      "cosponsor_of",     "office_building",
+      "term_in_office",
+  };
+  for (int i = 0; i < 25; ++i) {
+    names.push_back("voted_yes_on_category_" + std::to_string(i));
+  }
+  for (int i = 0; i < 25; ++i) {
+    names.push_back("voted_no_on_category_" + std::to_string(i));
+  }
+  return names;  // 60 total
+}
+
+}  // namespace
+
+Dataset GenerateGovTrack(Dictionary* dict, const GovTrackOptions& options) {
+  Dataset out;
+  Rng rng(options.seed);
+  const Chronon history_start = ChrononFromYmd(1994, 1, 3);
+  const Chronon history_end = ChrononFromYmd(2016, 1, 4);
+  out.start = history_start;
+  out.horizon = history_end;
+
+  // Timestamps snap to weeks: ~1150 boundaries over 22 years, giving the
+  // small distinct-period count the paper highlights (~10k periods from
+  // pairs of week boundaries).
+  const uint64_t weeks = (history_end - history_start) / 7;
+  auto week = [&](uint64_t w) {
+    return history_start + static_cast<Chronon>(7 * std::min(w, weeks));
+  };
+
+  std::vector<TermId> preds;
+  for (const std::string& name : PredicateNames()) {
+    preds.push_back(dict->Intern(name));
+  }
+  out.predicates = preds;
+
+  // ~20 records per subject at full scale (20M records / 0.4M subjects
+  // plus bills); keep that ratio.
+  const size_t num_members =
+      std::max<size_t>(20, options.num_triples / 40);
+  const size_t num_bills = std::max<size_t>(20, options.num_triples / 30);
+
+  std::vector<TermId> states, parties, committees, bills;
+  for (int i = 0; i < 50; ++i) {
+    states.push_back(dict->Intern("state_" + std::to_string(i)));
+  }
+  for (const char* p : {"party_D", "party_R", "party_I"}) {
+    parties.push_back(dict->Intern(p));
+  }
+  for (int i = 0; i < 40; ++i) {
+    committees.push_back(dict->Intern("committee_" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_bills; ++i) {
+    bills.push_back(dict->Intern("bill_" + std::to_string(i)));
+  }
+
+  auto add = [&](TermId s, TermId p, TermId o, Chronon ts, Chronon te) {
+    if (te != kChrononNow && te <= ts) te = ts + 7;
+    out.triples.push_back(TemporalTriple{{s, p, o}, Interval(ts, te)});
+  };
+
+  // Members: terms, party, state, committees, votes.
+  for (size_t m = 0; m < num_members; ++m) {
+    TermId member = dict->Intern("congressman_" + std::to_string(m));
+    out.subjects.push_back(member);
+    const bool senate = rng.Bernoulli(0.2);
+    const uint64_t term_weeks = senate ? 6 * 52 : 2 * 52;
+    uint64_t w = rng.Uniform(weeks / 2);
+    const uint64_t terms = 1 + rng.Uniform(4);
+    const Chronon career_start = week(w);
+    TermId chamber_pred = senate ? preds[1] : preds[0];
+    TermId chamber = dict->Intern(senate ? "senate" : "house");
+    Chronon career_end = 0;
+    for (uint64_t term = 0; term < terms; ++term) {
+      uint64_t w_end = w + term_weeks;
+      Chronon ts = week(w), te = w_end >= weeks ? kChrononNow : week(w_end);
+      add(member, chamber_pred, chamber, ts, te);
+      add(member, preds[9], dict->Intern("term_" + std::to_string(term)),
+          ts, te);
+      career_end = te == kChrononNow ? history_end : te;
+      w = w_end;
+      if (w >= weeks) break;
+    }
+    add(member, preds[2], states[rng.Uniform(states.size())], career_start,
+        career_end == history_end ? kChrononNow : career_end);
+    add(member, preds[3], parties[rng.Uniform(parties.size())],
+        career_start, career_end == history_end ? kChrononNow : career_end);
+    // Committee memberships (state-like, mid-length).
+    const uint64_t ncommittees = 1 + rng.Uniform(3);
+    for (uint64_t c = 0; c < ncommittees; ++c) {
+      uint64_t cw = rng.Uniform(weeks);
+      uint64_t cl = 26 + rng.Uniform(200);
+      add(member, rng.Bernoulli(0.1) ? preds[5] : preds[4],
+          committees[rng.Uniform(committees.size())], week(cw),
+          cw + cl >= weeks ? kChrononNow : week(cw + cl));
+    }
+    // Votes: events lasting one week, on shared bills.
+    const uint64_t nvotes = 5 + rng.Uniform(20);
+    for (uint64_t v = 0; v < nvotes; ++v) {
+      uint64_t vw = rng.Uniform(weeks);
+      TermId vote_pred = preds[10 + rng.Uniform(50)];
+      add(member, vote_pred, bills[rng.Uniform(bills.size())], week(vw),
+          week(vw + 1));
+    }
+  }
+
+  // Bills: sponsorship records.
+  for (size_t b = 0; b < num_bills && out.triples.size() <
+                                          options.num_triples * 11 / 10;
+       ++b) {
+    uint64_t bw = rng.Uniform(weeks);
+    TermId sponsor = dict->Intern(
+        "congressman_" + std::to_string(rng.Uniform(num_members)));
+    add(bills[b], preds[6], sponsor, week(bw),
+        week(bw + 4 + rng.Uniform(50)));
+    const uint64_t cosponsors = rng.Uniform(4);
+    for (uint64_t c = 0; c < cosponsors; ++c) {
+      add(bills[b], preds[7],
+          dict->Intern("congressman_" +
+                       std::to_string(rng.Uniform(num_members))),
+          week(bw + rng.Uniform(4)), week(bw + 4 + rng.Uniform(50)));
+    }
+    out.subjects.push_back(bills[b]);
+  }
+
+  return out;
+}
+
+}  // namespace rdftx::workload

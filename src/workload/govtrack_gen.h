@@ -1,0 +1,25 @@
+// Synthetic GovTrack history (paper §7.1.1 substitution; see DESIGN.md):
+// congressmen, bills, votes, and committees. Reproduces the properties
+// the paper attributes GovTrack's behaviour to — a small predicate set
+// (~60 event types) and few distinct time periods (~10,000; timestamps
+// snap to legislative weeks), with high per-predicate cardinality.
+#ifndef RDFTX_WORKLOAD_GOVTRACK_GEN_H_
+#define RDFTX_WORKLOAD_GOVTRACK_GEN_H_
+
+#include "workload/dataset.h"
+
+namespace rdftx::workload {
+
+/// Generator knobs.
+struct GovTrackOptions {
+  /// Approximate number of temporal triples to generate.
+  size_t num_triples = 100000;
+  uint64_t seed = 1337;
+};
+
+/// Generates the dataset, interning all terms into `dict`.
+Dataset GenerateGovTrack(Dictionary* dict, const GovTrackOptions& options);
+
+}  // namespace rdftx::workload
+
+#endif  // RDFTX_WORKLOAD_GOVTRACK_GEN_H_

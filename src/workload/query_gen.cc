@@ -1,0 +1,190 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace rdftx::workload {
+namespace {
+
+/// Quotes a term for SPARQLt text when needed (generated names are
+/// identifier-safe, but be defensive).
+std::string Quote(const std::string& term) {
+  for (char c : term) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':' || c == '/' || c == '#' || c == '.' || c == '-')) {
+      return "\"" + term + "\"";
+    }
+  }
+  if (term.empty()) return "\"\"";
+  return term;
+}
+
+const TemporalTriple& Sample(const Dataset& d, Rng* rng) {
+  return d.triples[rng->Uniform(d.triples.size())];
+}
+
+/// A temporal FILTER sampled around a triple's validity, so the window
+/// is never vacuous.
+std::string TimeFilter(const TemporalTriple& tt, const Dataset& d,
+                       Rng* rng) {
+  Chronon probe = tt.iv.start +
+                  static_cast<Chronon>(rng->Uniform(
+                      std::max<uint64_t>(1, tt.iv.Length(d.horizon))));
+  switch (rng->Uniform(3)) {
+    case 0:  // year condition (Example 2 shape)
+      return "FILTER(YEAR(?t) = " + std::to_string(ChrononYear(probe)) +
+             ")";
+    case 1: {  // range condition
+      Chronon hi = probe + 30 + static_cast<Chronon>(rng->Uniform(300));
+      return "FILTER(?t >= " + FormatChronon(probe) + " && ?t <= " +
+             FormatChronon(std::min(hi, d.horizon)) + ")";
+    }
+    default:  // upper bound only
+      return "FILTER(?t <= " + FormatChronon(probe) + ")";
+  }
+}
+
+/// Subjects with at least `k` distinct predicates, for star joins.
+std::vector<std::vector<const TemporalTriple*>> SubjectsWithFanout(
+    const Dataset& d, size_t k) {
+  std::unordered_map<TermId, std::vector<const TemporalTriple*>> by_subject;
+  for (const TemporalTriple& tt : d.triples) {
+    by_subject[tt.triple.s].push_back(&tt);
+  }
+  std::vector<std::vector<const TemporalTriple*>> out;
+  for (auto& [s, list] : by_subject) {
+    std::set<TermId> preds;
+    for (const TemporalTriple* tt : list) preds.insert(tt->triple.p);
+    if (preds.size() >= k) out.push_back(std::move(list));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> MakeSelectionQueries(const Dataset& dataset,
+                                              const Dictionary& dict,
+                                              size_t n, Rng* rng) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const TemporalTriple& tt = Sample(dataset, rng);
+    const std::string s = Quote(dict.Decode(tt.triple.s));
+    const std::string p = Quote(dict.Decode(tt.triple.p));
+    const std::string o = Quote(dict.Decode(tt.triple.o));
+    std::string q;
+    switch (rng->Uniform(4)) {
+      case 0:  // "when" query (Example 1): SPO, variable t
+        q = "SELECT ?t { " + s + " " + p + " " + o + " ?t }";
+        break;
+      case 1:  // value in a period (Example 2): SP + filter
+        q = "SELECT ?o { " + s + " " + p + " ?o ?t . " +
+            TimeFilter(tt, dataset, rng) + " }";
+        break;
+      case 2:  // snapshot of a subject: S pattern at a time constant
+        q = "SELECT ?p ?o { " + s + " ?p ?o " +
+            FormatChronon(tt.iv.start) + " }";
+        break;
+      default:  // entities by property/value in a period: PO + filter
+        q = "SELECT ?s { ?s " + p + " " + o + " ?t . " +
+            TimeFilter(tt, dataset, rng) + " }";
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<std::string> MakeJoinQueries(const Dataset& dataset,
+                                         const Dictionary& dict, size_t n,
+                                         Rng* rng) {
+  auto fanout = SubjectsWithFanout(dataset, 2);
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n && !fanout.empty()) {
+    const auto& list = fanout[rng->Uniform(fanout.size())];
+    // Two facts of one subject with overlapping validity.
+    const TemporalTriple* a = list[rng->Uniform(list.size())];
+    const TemporalTriple* b = nullptr;
+    for (const TemporalTriple* cand : list) {
+      if (cand->triple.p != a->triple.p && cand->iv.Overlaps(a->iv)) {
+        b = cand;
+        break;
+      }
+    }
+    if (b == nullptr) continue;
+    const std::string p1 = Quote(dict.Decode(a->triple.p));
+    const std::string p2 = Quote(dict.Decode(b->triple.p));
+    std::string q;
+    if (rng->Bernoulli(0.5)) {
+      // Example 4 shape: anchor one pattern with a constant object.
+      q = "SELECT ?s ?o ?t { ?s " + p1 + " ?o ?t . ?s " + p2 + " " +
+          Quote(dict.Decode(b->triple.o)) + " ?t }";
+    } else {
+      q = "SELECT ?s ?o1 ?o2 ?t { ?s " + p1 + " ?o1 ?t . ?s " + p2 +
+          " ?o2 ?t . " + TimeFilter(*a, dataset, rng) + " }";
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::map<int, std::vector<std::string>> MakeComplexQueries(
+    const Dataset& dataset, const Dictionary& dict, int min_patterns,
+    int max_patterns, size_t per_size, Rng* rng) {
+  auto fanout =
+      SubjectsWithFanout(dataset, static_cast<size_t>(max_patterns));
+  std::map<int, std::vector<std::string>> out;
+  if (fanout.empty()) return out;
+
+  for (size_t qi = 0; qi < per_size; ++qi) {
+    const auto& list = fanout[rng->Uniform(fanout.size())];
+    // Distinct predicates of this subject, anchored to concrete facts.
+    std::vector<const TemporalTriple*> anchors;
+    std::set<TermId> seen;
+    for (const TemporalTriple* tt : list) {
+      if (seen.insert(tt->triple.p).second) anchors.push_back(tt);
+    }
+    // Fisher-Yates with the deterministic generator.
+    for (size_t i = anchors.size(); i > 1; --i) {
+      std::swap(anchors[i - 1], anchors[rng->Uniform(i)]);
+    }
+    if (anchors.size() < static_cast<size_t>(max_patterns)) continue;
+
+    // Build the query incrementally: the same prefix of patterns is the
+    // (k-1)-pattern query extended by one more (paper protocol).
+    for (int size = min_patterns; size <= max_patterns; ++size) {
+      std::string body;
+      for (int i = 0; i < size; ++i) {
+        const TemporalTriple* tt = anchors[static_cast<size_t>(i)];
+        body += "?s " + Quote(dict.Decode(tt->triple.p)) + " ?o" +
+                std::to_string(i) + " ?t . ";
+      }
+      // The first pattern is anchored by a constant object, and later
+      // patterns are anchored with some probability, keeping the query
+      // selective the way the paper's template-derived complex queries
+      // are. Anchoring decisions are fixed per query so the k-pattern
+      // query is a strict prefix-extension of the (k-1)-pattern one.
+      const TemporalTriple* anchor = anchors[0];
+      std::string q = "SELECT ?s ?t { ?s " +
+                      Quote(dict.Decode(anchor->triple.p)) + " " +
+                      Quote(dict.Decode(anchor->triple.o)) + " ?t . ";
+      Rng anchor_rng(qi * 977 + 13);
+      for (int i = 1; i < size; ++i) {
+        const TemporalTriple* tt = anchors[static_cast<size_t>(i)];
+        if (anchor_rng.Bernoulli(0.4)) {
+          q += "?s " + Quote(dict.Decode(tt->triple.p)) + " " +
+               Quote(dict.Decode(tt->triple.o)) + " ?t . ";
+        } else {
+          q += "?s " + Quote(dict.Decode(tt->triple.p)) + " ?o" +
+               std::to_string(i) + " ?t . ";
+        }
+      }
+      q += "}";
+      out[size].push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+}  // namespace rdftx::workload

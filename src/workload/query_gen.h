@@ -1,0 +1,44 @@
+// Benchmark query generators (paper §7.3): temporal selection queries
+// (Example 2 shape), temporal join queries (Example 4 shape), and
+// complex queries of 3-7 patterns built by incrementally extending a
+// base set — the paper's protocol: "a set of 5 queries is created
+// initially, and each query has 3 query patterns; then we incrementally
+// add query patterns until the size reaches 7".
+//
+// Queries are sampled from actual dataset triples, so results are
+// non-empty and selectivities are realistic.
+#ifndef RDFTX_WORKLOAD_QUERY_GEN_H_
+#define RDFTX_WORKLOAD_QUERY_GEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/dataset.h"
+
+namespace rdftx::workload {
+
+/// `n` temporal selection queries over the dataset: a single pattern
+/// with a constant subject or (subject, predicate) plus a temporal
+/// FILTER (point, year, or range).
+std::vector<std::string> MakeSelectionQueries(const Dataset& dataset,
+                                              const Dictionary& dict,
+                                              size_t n, Rng* rng);
+
+/// `n` temporal join queries: two patterns sharing the subject variable
+/// and the temporal variable (Example 4 shape).
+std::vector<std::string> MakeJoinQueries(const Dataset& dataset,
+                                         const Dictionary& dict, size_t n,
+                                         Rng* rng);
+
+/// Complex queries: `per_size` queries for every pattern count in
+/// [min_patterns, max_patterns], built by incremental extension. The
+/// returned map is keyed by pattern count.
+std::map<int, std::vector<std::string>> MakeComplexQueries(
+    const Dataset& dataset, const Dictionary& dict, int min_patterns,
+    int max_patterns, size_t per_size, Rng* rng);
+
+}  // namespace rdftx::workload
+
+#endif  // RDFTX_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,212 @@
+#include "workload/wikipedia_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace rdftx::workload {
+namespace {
+
+/// One infobox property template of a category.
+struct PropertyTemplate {
+  const char* name;
+  double avg_updates;     // Table 1 calibration
+  uint64_t value_pool;    // distinct object values to draw from
+  bool shared_values;     // values shared across subjects (joinable)
+};
+
+struct CategoryTemplate {
+  const char* name;
+  double weight;  // share of subjects
+  std::vector<PropertyTemplate> properties;
+};
+
+// Category schema calibrated to Table 1; the remaining properties are
+// plausible infobox companions with low churn.
+const std::vector<CategoryTemplate>& Categories() {
+  static const std::vector<CategoryTemplate> kCategories = {
+      {"Software",
+       0.15,
+       {{"release", 7.27, 4000, false},
+        {"developer", 1.5, 600, true},
+        {"license", 1.2, 40, true},
+        {"genre", 1.3, 60, true}}},
+      {"Player",
+       0.25,
+       {{"club", 5.85, 500, true},
+        {"position", 1.4, 15, true},
+        {"caps", 4.0, 200, false},
+        {"goals", 4.5, 300, false}}},
+      {"Country",
+       0.05,
+       {{"gdp_ppp", 11.78, 20000, false},
+        {"population", 6.0, 20000, false},
+        {"leader", 3.0, 800, true},
+        {"capital", 1.05, 300, true}}},
+      {"City",
+       0.25,
+       {{"population", 7.16, 20000, false},
+        {"mayor", 3.2, 2000, true},
+        {"area", 1.3, 5000, false},
+        {"country", 1.05, 200, true}}},
+      {"Person",
+       0.30,
+       {{"employer", 2.4, 1500, true},
+        {"residence", 2.0, 800, true},
+        {"spouse", 1.3, 4000, false},
+        {"website", 1.8, 4000, false}}},
+  };
+  return kCategories;
+}
+
+}  // namespace
+
+Dataset GenerateWikipedia(Dictionary* dict,
+                          const WikipediaOptions& options) {
+  Dataset out;
+  Rng rng(options.seed);
+  const Chronon history_start = ChrononFromYmd(2004, 1, 1);
+  const Chronon history_end = ChrononFromYmd(2016, 1, 1);
+  out.start = history_start;
+  out.horizon = history_end;
+
+  // Average versions per subject across the schema is ~14, so size the
+  // subject population to hit the target triple count.
+  double avg_per_subject = 0;
+  double total_weight = 0;
+  for (const auto& cat : Categories()) {
+    double per_cat = 0;
+    for (const auto& prop : cat.properties) per_cat += prop.avg_updates;
+    avg_per_subject += cat.weight * per_cat;
+    total_weight += cat.weight;
+  }
+  avg_per_subject /= total_weight;
+  const size_t num_subjects = std::max<size_t>(
+      10, static_cast<size_t>(
+              static_cast<double>(options.num_triples) / avg_per_subject));
+
+  // Long-tail predicates: the paper reports ~3500 frequent predicates
+  // for 1.8M subjects; scale the tail with the subject count.
+  const size_t tail_preds =
+      std::min<size_t>(3480, std::max<size_t>(4, num_subjects / 500));
+  std::vector<TermId> tail;
+  tail.reserve(tail_preds);
+  for (size_t i = 0; i < tail_preds; ++i) {
+    tail.push_back(dict->Intern("infobox_field_" + std::to_string(i)));
+  }
+
+  // Pre-intern category property predicates and object value pools.
+  struct PropRuntime {
+    TermId pred;
+    const PropertyTemplate* tpl;
+    uint64_t stats_index;
+  };
+  struct CatRuntime {
+    std::vector<PropRuntime> props;
+  };
+  std::vector<CatRuntime> cats;
+  for (const auto& cat : Categories()) {
+    CatRuntime rt;
+    for (const auto& prop : cat.properties) {
+      PropRuntime pr;
+      pr.pred = dict->Intern(prop.name);
+      pr.tpl = &prop;
+      pr.stats_index = out.stats.size();
+      out.stats.push_back(PropertyStats{cat.name, prop.name, 0, 0, 0});
+      rt.props.push_back(pr);
+    }
+    cats.push_back(std::move(rt));
+  }
+  std::vector<double> cat_cdf;
+  {
+    double acc = 0;
+    for (const auto& cat : Categories()) {
+      acc += cat.weight;
+      cat_cdf.push_back(acc / total_weight);
+    }
+  }
+
+  auto value_of = [&](const PropertyTemplate& tpl, Rng* r) {
+    uint64_t v = r->Uniform(tpl.value_pool);
+    if (tpl.shared_values) {
+      return dict->Intern(std::string(tpl.name) + "_value_" +
+                          std::to_string(v));
+    }
+    // Unshared literals: numeric-looking strings.
+    return dict->Intern(std::to_string(1000 + v * 7));
+  };
+
+  const uint64_t span = history_end - history_start;
+  for (size_t s = 0; s < num_subjects; ++s) {
+    // Category by weight.
+    double u = rng.NextDouble();
+    size_t ci = 0;
+    while (ci + 1 < cat_cdf.size() && u > cat_cdf[ci]) ++ci;
+    TermId subject = dict->Intern(std::string(Categories()[ci].name) +
+                                  "_entity_" + std::to_string(s));
+    out.subjects.push_back(subject);
+
+    // The page is created somewhere in the first two thirds of history.
+    const Chronon created =
+        history_start + static_cast<Chronon>(rng.Uniform(span * 2 / 3));
+
+    for (const PropRuntime& pr : cats[ci].props) {
+      const uint32_t versions = rng.GeometricMean(pr.tpl->avg_updates);
+      PropertyStats& stats = out.stats[pr.stats_index];
+      ++stats.subjects;
+      stats.triples += versions;
+      // Versions tile [created, ...) with random change points; the last
+      // version may be live.
+      Chronon t = created;
+      for (uint32_t v = 0; v < versions; ++v) {
+        const bool last = v + 1 == versions;
+        Chronon end;
+        if (last && rng.Bernoulli(options.live_fraction)) {
+          end = kChrononNow;
+        } else {
+          const uint64_t remaining = history_end > t ? history_end - t : 1;
+          const uint64_t avg_len =
+              std::max<uint64_t>(2, remaining / (versions - v + 1));
+          end = t + 1 + static_cast<Chronon>(rng.Uniform(2 * avg_len));
+          if (end > history_end) end = history_end;
+        }
+        out.triples.push_back(
+            TemporalTriple{{subject, pr.pred, value_of(*pr.tpl, &rng)},
+                           Interval(t, end)});
+        if (end == kChrononNow || end >= history_end) break;
+        t = end;
+      }
+    }
+
+    // Long-tail fields: 1-3 static facts per subject.
+    const uint32_t extra = 1 + static_cast<uint32_t>(rng.Uniform(3));
+    for (uint32_t i = 0; i < extra; ++i) {
+      TermId pred = tail[rng.Uniform(tail.size())];
+      TermId value = dict->Intern("tailvalue_" + std::to_string(
+                                      rng.Uniform(num_subjects)));
+      Chronon end = rng.Bernoulli(options.live_fraction)
+                        ? kChrononNow
+                        : created + 1 +
+                              static_cast<Chronon>(rng.Uniform(
+                                  std::max<uint64_t>(2, span / 3)));
+      out.triples.push_back(
+          TemporalTriple{{subject, pred, value}, Interval(created, end)});
+    }
+  }
+
+  for (const CatRuntime& rt : cats) {
+    for (const PropRuntime& pr : rt.props) out.predicates.push_back(pr.pred);
+  }
+  for (TermId p : tail) out.predicates.push_back(p);
+
+  for (PropertyStats& stats : out.stats) {
+    if (stats.subjects > 0) {
+      stats.avg_updates = static_cast<double>(stats.triples) /
+                          static_cast<double>(stats.subjects);
+    }
+  }
+  return out;
+}
+
+}  // namespace rdftx::workload

@@ -1,0 +1,29 @@
+// Synthetic Wikipedia infobox edit history (paper §7.1.1 substitution;
+// see DESIGN.md). Reproduces the published statistical shape: entity
+// categories with the per-property average update counts of Table 1
+// (Software/Release 7.27, Player/Club 5.85, Country/GDP 11.78,
+// City/Population 7.16), Zipf-skewed subject popularity, a long tail of
+// infobox predicates (~3500 at full 1.8M-subject scale), and mostly
+// unique day-granularity timestamps over a multi-year span.
+#ifndef RDFTX_WORKLOAD_WIKIPEDIA_GEN_H_
+#define RDFTX_WORKLOAD_WIKIPEDIA_GEN_H_
+
+#include "workload/dataset.h"
+
+namespace rdftx::workload {
+
+/// Generator knobs.
+struct WikipediaOptions {
+  /// Approximate number of temporal triples to generate.
+  size_t num_triples = 100000;
+  uint64_t seed = 42;
+  /// Fraction of facts still live at the end of history.
+  double live_fraction = 0.3;
+};
+
+/// Generates the dataset, interning all terms into `dict`.
+Dataset GenerateWikipedia(Dictionary* dict, const WikipediaOptions& options);
+
+}  // namespace rdftx::workload
+
+#endif  // RDFTX_WORKLOAD_WIKIPEDIA_GEN_H_

@@ -1,0 +1,154 @@
+#include "btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rdftx {
+namespace {
+
+TEST(BTreeTest, InsertAndFind) {
+  BTree<uint64_t, int> bt(8);
+  EXPECT_TRUE(bt.Insert(5, 50));
+  EXPECT_TRUE(bt.Insert(3, 30));
+  EXPECT_TRUE(bt.Insert(7, 70));
+  ASSERT_NE(bt.Find(5), nullptr);
+  EXPECT_EQ(*bt.Find(5), 50);
+  EXPECT_EQ(bt.Find(4), nullptr);
+  EXPECT_EQ(bt.size(), 3u);
+}
+
+TEST(BTreeTest, DuplicateInsertRejected) {
+  BTree<uint64_t, int> bt(8);
+  EXPECT_TRUE(bt.Insert(1, 10));
+  EXPECT_FALSE(bt.Insert(1, 99));
+  EXPECT_EQ(*bt.Find(1), 10);
+  EXPECT_EQ(bt.size(), 1u);
+}
+
+TEST(BTreeTest, Erase) {
+  BTree<uint64_t, int> bt(8);
+  for (uint64_t i = 0; i < 100; ++i) bt.Insert(i, static_cast<int>(i));
+  EXPECT_TRUE(bt.Erase(50));
+  EXPECT_FALSE(bt.Erase(50));
+  EXPECT_EQ(bt.Find(50), nullptr);
+  EXPECT_EQ(bt.size(), 99u);
+}
+
+TEST(BTreeTest, RangeScanOrdered) {
+  BTree<uint64_t, int> bt(8);
+  for (uint64_t i = 0; i < 1000; i += 2) bt.Insert(i, static_cast<int>(i));
+  std::vector<uint64_t> seen;
+  bt.Scan(100, 200, [&](uint64_t k, const int&) {
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 51u);
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 200u);
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  BTree<uint64_t, int> bt(8);
+  for (uint64_t i = 0; i < 100; ++i) bt.Insert(i, 0);
+  int count = 0;
+  bt.Scan(0, 99, [&](uint64_t, const int&) { return ++count < 10; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(BTreeTest, CompositeKeys) {
+  using K = std::tuple<uint64_t, uint64_t, uint64_t>;
+  BTree<K, int> bt(16);
+  bt.Insert({1, 2, 3}, 1);
+  bt.Insert({1, 2, 4}, 2);
+  bt.Insert({1, 3, 0}, 3);
+  bt.Insert({2, 0, 0}, 4);
+  std::vector<int> seen;
+  // Prefix scan for (1, 2, *).
+  bt.Scan(K{1, 2, 0}, K{1, 2, UINT64_MAX}, [&](const K&, const int& v) {
+    seen.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2}));
+}
+
+class BTreePropertyTest : public ::testing::TestWithParam<
+                              std::tuple<uint64_t /*seed*/, size_t /*fan*/>> {
+};
+
+TEST_P(BTreePropertyTest, MatchesStdMap) {
+  auto [seed, fanout] = GetParam();
+  Rng rng(seed);
+  BTree<uint64_t, uint64_t> bt(fanout);
+  std::map<uint64_t, uint64_t> model;
+  for (int op = 0; op < 4000; ++op) {
+    uint64_t k = rng.Uniform(500);
+    switch (rng.Uniform(3)) {
+      case 0: {
+        uint64_t v = rng.Next();
+        bool inserted = bt.Insert(k, v);
+        bool model_inserted = model.emplace(k, v).second;
+        EXPECT_EQ(inserted, model_inserted);
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(bt.Erase(k), model.erase(k) > 0);
+        break;
+      }
+      default: {
+        auto* found = bt.Find(k);
+        auto it = model.find(k);
+        if (it == model.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(bt.size(), model.size());
+  // Full scan equals model iteration.
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  bt.ScanAll([&](uint64_t k, const uint64_t& v) {
+    scanned.emplace_back(k, v);
+    return true;
+  });
+  std::vector<std::pair<uint64_t, uint64_t>> expect(model.begin(),
+                                                    model.end());
+  EXPECT_EQ(scanned, expect);
+  // Random range scans.
+  for (int i = 0; i < 20; ++i) {
+    uint64_t lo = rng.Uniform(500);
+    uint64_t hi = lo + rng.Uniform(100);
+    std::vector<uint64_t> got;
+    bt.Scan(lo, hi, [&](uint64_t k, const uint64_t&) {
+      got.push_back(k);
+      return true;
+    });
+    std::vector<uint64_t> want;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi; ++it) {
+      want.push_back(it->first);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFanouts, BTreePropertyTest,
+    ::testing::Combine(::testing::Values(11, 22, 33),
+                       ::testing::Values<size_t>(4, 8, 64)));
+
+TEST(BTreeTest, MemoryUsagePositive) {
+  BTree<uint64_t, uint64_t> bt(32);
+  for (uint64_t i = 0; i < 10000; ++i) bt.Insert(i, i);
+  EXPECT_GT(bt.MemoryUsage(), 10000u * 16u / 2);
+}
+
+}  // namespace
+}  // namespace rdftx

@@ -1,0 +1,160 @@
+#include "mvsbt/cmvsbt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rdftx::mvsbt {
+namespace {
+
+struct Pt {
+  uint64_t key;
+  Chronon t;
+};
+
+double BruteForce(const std::vector<Pt>& pts, uint64_t k, Chronon t) {
+  double n = 0;
+  for (const Pt& p : pts) {
+    if (p.key <= k && p.t <= t) ++n;
+  }
+  return n;
+}
+
+TEST(CmvsbtTest, EmptyTreeReturnsZero) {
+  Cmvsbt tree;
+  EXPECT_EQ(tree.Query(100, 100), 0.0);
+  EXPECT_EQ(tree.point_count(), 0u);
+}
+
+TEST(CmvsbtTest, SinglePointDominance) {
+  Cmvsbt tree(CmvsbtOptions{.cm = 1});
+  tree.Insert(30, 2);
+  // Paper Fig 5: query (10,1) -> 0, query (40,5) -> 1.
+  EXPECT_EQ(tree.Query(10, 1), 0.0);
+  EXPECT_EQ(tree.Query(40, 5), 1.0);
+}
+
+TEST(CmvsbtTest, TotalCountIsExactAtFullDomain) {
+  Rng rng(5);
+  Cmvsbt tree(CmvsbtOptions{.cm = 8});
+  Chronon t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<Chronon>(rng.Uniform(3));
+    tree.Insert(rng.Uniform(1000), t);
+  }
+  // The whole-domain dominance count is exact: shares are conserved
+  // through every split.
+  EXPECT_NEAR(tree.Query(UINT64_MAX, t), 5000.0, 1e-6);
+}
+
+TEST(CmvsbtTest, MonotoneInKeyAndTime) {
+  Rng rng(6);
+  Cmvsbt tree(CmvsbtOptions{.cm = 4});
+  Chronon t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += static_cast<Chronon>(rng.Uniform(2));
+    tree.Insert(rng.Uniform(100), t);
+  }
+  double prev = 0.0;
+  for (uint64_t k = 0; k < 100; k += 5) {
+    double q = tree.Query(k, t);
+    EXPECT_GE(q, prev - 1e-9);
+    prev = q;
+  }
+  prev = 0.0;
+  for (Chronon x = 0; x <= t; x += std::max<Chronon>(1, t / 20)) {
+    double q = tree.Query(50, x);
+    EXPECT_GE(q, prev - 1e-9);
+    prev = q;
+  }
+}
+
+class CmvsbtAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(CmvsbtAccuracyTest, BoundedRelativeError) {
+  auto [seed, cm] = GetParam();
+  Rng rng(seed);
+  Cmvsbt tree(CmvsbtOptions{.cm = cm});
+  std::vector<Pt> pts;
+  Chronon t = 0;
+  for (int i = 0; i < 8000; ++i) {
+    t += static_cast<Chronon>(rng.Uniform(3));
+    uint64_t key = rng.Uniform(500);
+    tree.Insert(key, t);
+    pts.push_back({key, t});
+  }
+  double total_rel_err = 0.0;
+  int measured = 0;
+  for (int q = 0; q < 200; ++q) {
+    uint64_t k = rng.Uniform(600);
+    Chronon qt = static_cast<Chronon>(rng.Uniform(t + 10));
+    double want = BruteForce(pts, k, qt);
+    double got = tree.Query(k, qt);
+    if (want >= 100) {  // relative error meaningful on large counts
+      total_rel_err += std::abs(got - want) / want;
+      ++measured;
+    } else {
+      EXPECT_LE(std::abs(got - want), 100.0 + 4.0 * cm);
+    }
+  }
+  ASSERT_GT(measured, 20);
+  // Average relative error stays modest (the histogram only steers the
+  // optimizer; the paper trades accuracy for size the same way).
+  EXPECT_LT(total_rel_err / measured, 0.20)
+      << "cm=" << cm << " avg rel err too large";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CmvsbtAccuracyTest,
+    ::testing::Combine(::testing::Values(11, 22, 33),
+                       ::testing::Values<uint32_t>(1, 4, 16, 64)));
+
+TEST(CmvsbtTest, SizeCapCompactsEntries) {
+  Rng rng(9);
+  Cmvsbt small(CmvsbtOptions{.cm = 1, .max_entries = 256});
+  Cmvsbt big(CmvsbtOptions{.cm = 1, .max_entries = 1u << 20});
+  Chronon t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 1;
+    uint64_t key = rng.Uniform(50);
+    small.Insert(key, t);
+    big.Insert(key, t);
+  }
+  EXPECT_LT(small.entry_count(), big.entry_count());
+  EXPECT_LE(small.MemoryUsage(), big.MemoryUsage());
+  // Capped tree still estimates the global count well.
+  EXPECT_NEAR(small.Query(UINT64_MAX, t), 20000.0, 20000.0 * 0.05);
+}
+
+TEST(CmvsbtTest, SameTimestampBurst) {
+  Cmvsbt tree(CmvsbtOptions{.cm = 4});
+  for (uint64_t k = 0; k < 100; ++k) tree.Insert(k, 10);
+  EXPECT_NEAR(tree.Query(UINT64_MAX, 10), 100.0, 10.0);
+  EXPECT_EQ(tree.Query(UINT64_MAX, 9), 0.0);
+  double half = tree.Query(49, 10);
+  EXPECT_NEAR(half, 50.0, 25.0);
+}
+
+TEST(CmvsbtTest, QueryExactDifferencing) {
+  // With the share-splitting approximation, exact-key counts are only
+  // approximate, but they must be nonnegative and sum to the total.
+  Cmvsbt tree(CmvsbtOptions{.cm = 1});
+  tree.Insert(5, 1);
+  tree.Insert(5, 2);
+  tree.Insert(7, 3);
+  double a = tree.QueryExact(5, 10);
+  double b = tree.QueryExact(7, 10);
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, 0.0);
+  EXPECT_NEAR(tree.Query(UINT64_MAX, 10), 3.0, 1e-9);
+  // The mass concentrates in the observed key region.
+  EXPECT_GT(tree.Query(7, 10), 2.0);
+  EXPECT_LT(tree.Query(2, 10), 1.5);
+}
+
+}  // namespace
+}  // namespace rdftx::mvsbt

@@ -1,0 +1,108 @@
+#include "util/date.h"
+
+#include <gtest/gtest.h>
+
+namespace rdftx {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(ChrononFromYmd(1800, 1, 1), 0u);
+}
+
+TEST(DateTest, RoundTripKnownDates) {
+  struct Case {
+    int y;
+    unsigned m, d;
+  } cases[] = {{1800, 1, 1},  {1899, 12, 31}, {1900, 3, 1},  {2000, 2, 29},
+               {2013, 9, 30}, {2015, 1, 30},  {2016, 3, 15}, {2026, 7, 7}};
+  for (const auto& c : cases) {
+    Chronon t = ChrononFromYmd(c.y, c.m, c.d);
+    CivilDate back = CivilFromChronon(t);
+    EXPECT_EQ(back.year, c.y);
+    EXPECT_EQ(back.month, c.m);
+    EXPECT_EQ(back.day, c.d);
+  }
+}
+
+TEST(DateTest, SequentialDaysAreSequentialChronons) {
+  Chronon t = ChrononFromYmd(1999, 12, 31);
+  EXPECT_EQ(ChrononFromYmd(2000, 1, 1), t + 1);
+  // Leap year boundary.
+  EXPECT_EQ(ChrononFromYmd(2000, 3, 1), ChrononFromYmd(2000, 2, 29) + 1);
+  // Non-leap century year 1900.
+  EXPECT_EQ(ChrononFromYmd(1900, 3, 1), ChrononFromYmd(1900, 2, 28) + 1);
+}
+
+TEST(DateTest, YearMonthDayAccessors) {
+  Chronon t = ChrononFromYmd(2013, 9, 30);
+  EXPECT_EQ(ChrononYear(t), 2013);
+  EXPECT_EQ(ChrononMonth(t), 9u);
+  EXPECT_EQ(ChrononDay(t), 30u);
+}
+
+TEST(DateTest, YearBounds) {
+  EXPECT_EQ(YearStart(2013), ChrononFromYmd(2013, 1, 1));
+  EXPECT_EQ(YearEnd(2013), ChrononFromYmd(2013, 12, 31));
+  EXPECT_EQ(YearEnd(2013) - YearStart(2013), 364u);
+  EXPECT_EQ(YearEnd(2016) - YearStart(2016), 365u);  // leap year
+}
+
+TEST(DateTest, ParseIsoFormat) {
+  auto r = ParseChronon("2013-09-30");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ChrononFromYmd(2013, 9, 30));
+}
+
+TEST(DateTest, ParsePaperFormat) {
+  // The paper writes 09/30/2013 (MM/DD/YYYY).
+  auto r = ParseChronon("09/30/2013");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ChrononFromYmd(2013, 9, 30));
+}
+
+TEST(DateTest, ParseNow) {
+  auto r = ParseChronon("now");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, kChrononNow);
+}
+
+TEST(DateTest, ParseErrors) {
+  EXPECT_FALSE(ParseChronon("yesterday").ok());
+  EXPECT_FALSE(ParseChronon("2013-13-01").ok());
+  EXPECT_FALSE(ParseChronon("13/45/2013").ok());
+  EXPECT_FALSE(ParseChronon("").ok());
+}
+
+TEST(DateTest, FormatRoundTrip) {
+  Chronon t = ChrononFromYmd(2014, 6, 30);
+  EXPECT_EQ(FormatChronon(t), "2014-06-30");
+  auto r = ParseChronon(FormatChronon(t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, t);
+  EXPECT_EQ(FormatChronon(kChrononNow), "now");
+}
+
+TEST(DateTest, PreEpochClampsToZero) {
+  EXPECT_EQ(ChrononFromYmd(1750, 6, 1), 0u);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rdftx

@@ -1,0 +1,77 @@
+#include "dict/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rdftx {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary dict;
+  TermId a = dict.Intern("University_of_California");
+  TermId b = dict.Intern("president");
+  TermId c = dict.Intern("Mark_Yudof");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(c, 3u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.Intern("budget");
+  TermId b = dict.Intern("budget");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, LookupDoesNotIntern) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Lookup("absent"), kInvalidTerm);
+  EXPECT_EQ(dict.size(), 0u);
+  dict.Intern("present");
+  EXPECT_NE(dict.Lookup("present"), kInvalidTerm);
+}
+
+TEST(DictionaryTest, DecodeRoundTrip) {
+  Dictionary dict;
+  std::vector<std::string> terms;
+  for (int i = 0; i < 5000; ++i) {
+    terms.push_back("http://example.org/entity/" + std::to_string(i));
+  }
+  std::vector<TermId> ids;
+  for (const auto& t : terms) ids.push_back(dict.Intern(t));
+  for (size_t i = 0; i < terms.size(); ++i) {
+    EXPECT_EQ(dict.Decode(ids[i]), terms[i]);
+    EXPECT_EQ(dict.Lookup(terms[i]), ids[i]);
+  }
+}
+
+TEST(DictionaryTest, SafeDecodeErrors) {
+  Dictionary dict;
+  dict.Intern("x");
+  EXPECT_TRUE(dict.SafeDecode(1).ok());
+  EXPECT_FALSE(dict.SafeDecode(0).ok());
+  EXPECT_FALSE(dict.SafeDecode(99).ok());
+}
+
+TEST(DictionaryTest, MemoryUsageGrows) {
+  Dictionary dict;
+  size_t before = dict.MemoryUsage();
+  for (int i = 0; i < 1000; ++i) {
+    dict.Intern("a_rather_long_uri_prefix/term_" + std::to_string(i));
+  }
+  EXPECT_GT(dict.MemoryUsage(), before);
+}
+
+TEST(DictionaryTest, EmptyStringIsValidTerm) {
+  Dictionary dict;
+  TermId id = dict.Intern("");
+  EXPECT_NE(id, kInvalidTerm);
+  EXPECT_EQ(dict.Decode(id), "");
+}
+
+}  // namespace
+}  // namespace rdftx

@@ -1,0 +1,132 @@
+// Token-level tests for the SPARQLt lexer: keyword/function/unit
+// disambiguation, date recognition, URI-ish identifiers, and operator
+// splitting.
+#include "sparqlt/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace rdftx::sparqlt {
+namespace {
+
+std::vector<TokenKind> KindsOf(const std::string& text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << text;
+  std::vector<TokenKind> kinds;
+  if (tokens.ok()) {
+    for (const Token& t : *tokens) kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+TEST(LexerTest, BasicQueryShape) {
+  auto kinds = KindsOf("SELECT ?t { s p o ?t }");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kSelect, TokenKind::kVariable,
+                       TokenKind::kLBrace, TokenKind::kIdent,
+                       TokenKind::kIdent, TokenKind::kIdent,
+                       TokenKind::kVariable, TokenKind::kRBrace,
+                       TokenKind::kEof}));
+}
+
+TEST(LexerTest, DayIsFunctionOnlyWhenCalled) {
+  // "DAY(" is the built-in; a bare "DAY" after a number is a unit.
+  auto kinds = KindsOf("FILTER(DAY(?t) = 3 && LENGTH(?t) > 10 DAY)");
+  int func_day = 0, unit_day = 0;
+  for (TokenKind k : kinds) {
+    if (k == TokenKind::kFuncDay) ++func_day;
+    if (k == TokenKind::kUnitDay) ++unit_day;
+  }
+  EXPECT_EQ(func_day, 1);
+  EXPECT_EQ(unit_day, 1);
+}
+
+TEST(LexerTest, YearMonthSameAmbiguity) {
+  auto kinds = KindsOf("YEAR(?t) = 2 YEARS && MONTH ( ?t ) < 3 MONTHS");
+  EXPECT_EQ(kinds[0], TokenKind::kFuncYear);
+  EXPECT_EQ(kinds[6], TokenKind::kUnitYear);
+  // Whitespace before '(' still makes it a call.
+  EXPECT_EQ(kinds[8], TokenKind::kFuncMonth);
+}
+
+TEST(LexerTest, DatesInBothFormats) {
+  auto tokens = Tokenize("2013-09-30 09/30/2013 now");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kDate);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDate);
+  EXPECT_EQ((*tokens)[0].date, (*tokens)[1].date);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDate);
+  EXPECT_EQ((*tokens)[2].date, kChrononNow);
+}
+
+TEST(LexerTest, NumbersVersusNumericLiterals) {
+  auto tokens = Tokenize("365 22.7 184562");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[0].number, 365);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);  // decimal literal
+  EXPECT_EQ((*tokens)[1].text, "22.7");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+}
+
+TEST(LexerTest, UriLikeIdentifiers) {
+  auto tokens = Tokenize("http://www.w3.org/elements/president dbo:city");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "http://www.w3.org/elements/president");
+  EXPECT_EQ((*tokens)[1].text, "dbo:city");
+}
+
+TEST(LexerTest, DotAfterIdentifierIsSeparator) {
+  auto tokens = Tokenize("Mark_Yudof . ?t .");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "Mark_Yudof");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDot);
+  // Even without whitespace, a trailing dot is not part of the name.
+  auto tight = Tokenize("Mark_Yudof. ?t");
+  ASSERT_TRUE(tight.ok());
+  EXPECT_EQ((*tight)[0].text, "Mark_Yudof");
+  EXPECT_EQ((*tight)[1].kind, TokenKind::kDot);
+}
+
+TEST(LexerTest, OperatorsSplitCorrectly) {
+  auto kinds = KindsOf("<= < >= > = == != ! && ||");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kLe, TokenKind::kLt, TokenKind::kGe,
+                       TokenKind::kGt, TokenKind::kEq, TokenKind::kEq,
+                       TokenKind::kNe, TokenKind::kBang, TokenKind::kAnd,
+                       TokenKind::kOr, TokenKind::kEof}));
+}
+
+TEST(LexerTest, EscapedQuotesInStrings) {
+  auto tokens = Tokenize(R"("he said \"now\"")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "he said \"now\"");
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = Tokenize("SELECT ?x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 7u);
+}
+
+TEST(LexerTest, UnionAndOptionalKeywords) {
+  auto kinds = KindsOf("OPTIONAL { } UNION optional union");
+  EXPECT_EQ(kinds[0], TokenKind::kOptional);
+  EXPECT_EQ(kinds[3], TokenKind::kUnion);
+  EXPECT_EQ(kinds[4], TokenKind::kOptional);  // case-insensitive
+  EXPECT_EQ(kinds[5], TokenKind::kUnion);
+}
+
+TEST(LexerTest, InvalidCharactersRejected) {
+  EXPECT_FALSE(Tokenize("SELECT ?x @ foo").ok());
+  EXPECT_FALSE(Tokenize("a & b").ok());
+  EXPECT_FALSE(Tokenize("a | b").ok());
+  EXPECT_FALSE(Tokenize("? x").ok());
+}
+
+}  // namespace
+}  // namespace rdftx::sparqlt

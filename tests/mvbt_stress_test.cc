@@ -1,0 +1,149 @@
+// Longer-horizon MVBT stress: interleaves bulk compression with live
+// updates, checks historic snapshots against the model at many points,
+// and validates structural invariants under sustained churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mvbt/mvbt.h"
+#include "temporal/temporal_set.h"
+#include "util/rng.h"
+
+namespace rdftx::mvbt {
+namespace {
+
+struct ClosedRecord {
+  Key3 key;
+  Interval iv;
+};
+
+class StressModel {
+ public:
+  bool Insert(const Key3& k, Chronon t) {
+    return live_.emplace(k, t).second;
+  }
+  bool Erase(const Key3& k, Chronon t) {
+    auto it = live_.find(k);
+    if (it == live_.end()) return false;
+    closed_.push_back({k, Interval(it->second, t)});
+    live_.erase(it);
+    return true;
+  }
+  std::set<Key3> Snapshot(Chronon t) const {
+    std::set<Key3> out;
+    for (const auto& r : closed_) {
+      if (r.iv.Contains(t)) out.insert(r.key);
+    }
+    for (const auto& [k, ts] : live_) {
+      if (t >= ts) out.insert(k);
+    }
+    return out;
+  }
+  size_t live_size() const { return live_.size(); }
+
+ private:
+  std::map<Key3, Chronon> live_;
+  std::vector<ClosedRecord> closed_;
+};
+
+class MvbtStressTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(MvbtStressTest, SnapshotsStayConsistentUnderChurn) {
+  auto [seed, capacity] = GetParam();
+  Rng rng(seed);
+  Mvbt tree(MvbtOptions{.block_capacity = capacity,
+                        .compress_leaves = true});
+  StressModel model;
+  Chronon t = 1;
+  std::vector<Chronon> checkpoints;
+
+  for (int phase = 0; phase < 6; ++phase) {
+    for (int op = 0; op < 2000; ++op) {
+      t += static_cast<Chronon>(rng.Uniform(3));
+      Key3 k{rng.Uniform(8), rng.Uniform(8), rng.Uniform(24)};
+      if (rng.Bernoulli(0.58)) {
+        if (model.Insert(k, t)) {
+          ASSERT_TRUE(tree.Insert(k, t).ok());
+        }
+      } else {
+        if (model.Erase(k, t)) {
+          ASSERT_TRUE(tree.Erase(k, t).ok());
+        }
+      }
+    }
+    checkpoints.push_back(t);
+    // Mid-stream compression sweep: later updates run on compressed
+    // leaves (the paper's maintenance scenario).
+    if (phase % 2 == 0) tree.CompressAllLeaves();
+    ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+    ASSERT_EQ(tree.live_size(), model.live_size());
+  }
+
+  // Historic snapshots at every checkpoint — including ones taken many
+  // structure changes ago — must match the model.
+  for (Chronon at : checkpoints) {
+    std::set<Key3> got;
+    tree.QuerySnapshot(KeyRange{}, at, [&](const Key3& k) { got.insert(k); });
+    ASSERT_EQ(got, model.Snapshot(at)) << "snapshot at " << at;
+  }
+  // Random historic snapshots.
+  for (int i = 0; i < 25; ++i) {
+    Chronon at = static_cast<Chronon>(rng.Uniform(t + 2));
+    std::set<Key3> got;
+    tree.QuerySnapshot(KeyRange{}, at, [&](const Key3& k) { got.insert(k); });
+    ASSERT_EQ(got, model.Snapshot(at)) << "snapshot at " << at;
+  }
+  // Structure-change counters show the machinery was exercised (larger
+  // blocks underflow rarely, so the merge expectation scales down).
+  EXPECT_GT(tree.stats().version_splits, 20u);
+  EXPECT_GT(tree.stats().key_splits, 5u);
+  EXPECT_GT(tree.stats().merges, capacity <= 16 ? 5u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MvbtStressTest,
+    ::testing::Combine(::testing::Values(1001, 2002),
+                       ::testing::Values<size_t>(8, 48)));
+
+TEST(MvbtStressTest, AdversarialSameKeyChurn) {
+  // One hot key toggled thousands of times: every fragment belongs to
+  // the same key, stressing underflow merges and the backlink chain.
+  Mvbt tree(MvbtOptions{.block_capacity = 8, .compress_leaves = true});
+  const Key3 hot{1, 1, 1};
+  Chronon t = 1;
+  std::vector<Interval> expected;
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(tree.Insert(hot, t).ok());
+    Chronon end = t + 2;
+    ASSERT_TRUE(tree.Erase(hot, end).ok());
+    expected.push_back(Interval(t, end));
+    t = end + 1;  // gap of one chronon between generations
+  }
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  std::vector<Interval> got;
+  tree.QueryRange(KeyRange{hot, hot}, Interval::All(),
+                  [&](const Key3&, const Interval& iv) {
+                    got.push_back(iv);
+                  });
+  EXPECT_EQ(TemporalSet::FromIntervals(got),
+            TemporalSet::FromIntervals(expected));
+}
+
+TEST(MvbtStressTest, MonotoneKeyInsertions) {
+  // Strictly increasing keys (a worst case for rightmost-leaf splits).
+  Mvbt tree(MvbtOptions{.block_capacity = 16, .compress_leaves = true});
+  Chronon t = 1;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(tree.Insert(Key3{i / 1000, (i / 10) % 100, i}, t).ok());
+    if (i % 3 == 0) ++t;
+  }
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  size_t count = 0;
+  tree.QuerySnapshot(KeyRange{}, t, [&](const Key3&) { ++count; });
+  EXPECT_EQ(count, 20000u);
+}
+
+}  // namespace
+}  // namespace rdftx::mvbt

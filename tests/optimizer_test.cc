@@ -1,0 +1,247 @@
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rdftx.h"
+#include "rdf/temporal_graph.h"
+#include "util/rng.h"
+
+namespace rdftx::optimizer {
+namespace {
+
+using engine::CompiledQuery;
+
+// A small university-like dataset: many subjects share characteristic
+// sets; predicate "rare" is highly selective, "common" is not.
+class OptimizerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    Chronon t0 = ChrononFromYmd(2010, 1, 1);
+    for (int s = 0; s < 200; ++s) {
+      std::string subject = "entity" + std::to_string(s);
+      // Every entity has ~6 "common" values over time.
+      Chronon t = t0;
+      for (int v = 0; v < 6; ++v) {
+        Chronon end = t + 100 + static_cast<Chronon>(rng.Uniform(200));
+        ASSERT_TRUE(db_.Add(subject, "common",
+                            "c" + std::to_string(rng.Uniform(50)),
+                            Interval(t, end))
+                        .ok());
+        t = end;
+      }
+      // Entities also carry a "name" fact (static).
+      ASSERT_TRUE(db_.Add(subject, "name", "n" + std::to_string(s),
+                          Interval(t0, kChrononNow))
+                      .ok());
+      // Only a few entities have the "rare" predicate.
+      if (s < 5) {
+        ASSERT_TRUE(db_.Add(subject, "rare", "r" + std::to_string(s),
+                            Interval(t0 + 50, t0 + 400))
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(db_.Finish().ok());
+  }
+
+  Result<CompiledQuery> CompileText(const std::string& text) {
+    auto q = sparqlt::Parse(text);
+    if (!q.ok()) return q.status();
+    query_ = std::move(q).value();
+    return engine::Compile(query_, *db_.dictionary());
+  }
+
+  RdfTx db_;
+  sparqlt::Query query_;
+};
+
+TEST_F(OptimizerFixture, SinglePatternCardinalities) {
+  const QueryOptimizer* opt = db_.query_optimizer();
+  auto card = [&](const std::string& text) {
+    auto cq = CompileText(text);
+    EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+    return opt->EstimatePattern(cq->patterns[0]);
+  };
+  double rare = card("SELECT ?s ?o ?t { ?s rare ?o ?t }");
+  double common = card("SELECT ?s ?o ?t { ?s common ?o ?t }");
+  double name = card("SELECT ?s ?o ?t { ?s name ?o ?t }");
+  // True counts: rare = 5, common = 1200, name = 200.
+  EXPECT_NEAR(rare, 5.0, 3.0);
+  EXPECT_NEAR(common, 1200.0, 250.0);
+  EXPECT_NEAR(name, 200.0, 60.0);
+  EXPECT_LT(rare, name);
+  EXPECT_LT(name, common);
+}
+
+TEST_F(OptimizerFixture, TemporalWindowReducesEstimate) {
+  const QueryOptimizer* opt = db_.query_optimizer();
+  auto cq_all = CompileText("SELECT ?s ?o ?t { ?s common ?o ?t }");
+  auto cq_win = CompileText(
+      "SELECT ?s ?o ?t { ?s common ?o ?t . FILTER(?t <= 2010-03-01) }");
+  ASSERT_TRUE(cq_all.ok());
+  ASSERT_TRUE(cq_win.ok());
+  double all = opt->EstimatePattern(cq_all->patterns[0]);
+  double win = opt->EstimatePattern(cq_win->patterns[0]);
+  // Only the first value per entity is alive by 2010-03-01 (~200 of
+  // 1200 triples).
+  EXPECT_LT(win, all * 0.5);
+  EXPECT_GT(win, 50.0);
+}
+
+TEST_F(OptimizerFixture, BoundSubjectEstimatesPerSubject) {
+  const QueryOptimizer* opt = db_.query_optimizer();
+  auto cq = CompileText("SELECT ?o ?t { entity3 common ?o ?t }");
+  ASSERT_TRUE(cq.ok());
+  double est = opt->EstimatePattern(cq->patterns[0]);
+  EXPECT_NEAR(est, 6.0, 4.0);  // ~6 values per subject
+}
+
+TEST_F(OptimizerFixture, StarJoinUsesCharacteristicSets) {
+  const QueryOptimizer* opt = db_.query_optimizer();
+  auto cq = CompileText(
+      "SELECT ?s ?o1 ?o2 ?t { ?s rare ?o1 ?t . ?s common ?o2 ?t }");
+  ASSERT_TRUE(cq.ok());
+  double est = opt->EstimateSubsetCard(*cq, 0b11);
+  // Only the 5 rare entities contribute; each pairs its 1 rare fact
+  // with ~6 common facts -> tens of pairs, nowhere near 1200 * 5.
+  EXPECT_LT(est, 300.0);
+  EXPECT_GT(est, 1.0);
+}
+
+TEST_F(OptimizerFixture, ChoosesSelectivePatternFirst) {
+  const QueryOptimizer* opt = db_.query_optimizer();
+  auto cq = CompileText(
+      "SELECT ?s ?o1 ?o2 ?t { ?s common ?o1 ?t . ?s rare ?o2 ?t }");
+  ASSERT_TRUE(cq.ok());
+  std::vector<int> order = opt->ChooseOrder(*cq);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1) << "rare pattern must lead";
+}
+
+TEST_F(OptimizerFixture, DpOrderIsCostMinimalAmongPermutations) {
+  const QueryOptimizer* opt = db_.query_optimizer();
+  auto cq = CompileText(R"(
+    SELECT ?s ?o1 ?o2 ?o3 ?t
+    { ?s common ?o1 ?t . ?s name ?o2 ?t . ?s rare ?o3 ?t }
+  )");
+  ASSERT_TRUE(cq.ok());
+  std::vector<int> chosen = opt->ChooseOrder(*cq);
+  double chosen_cost = opt->EstimateOrderCost(*cq, chosen);
+  std::vector<int> perm{0, 1, 2};
+  do {
+    double cost = opt->EstimateOrderCost(*cq, perm);
+    EXPECT_LE(chosen_cost, cost * 1.0001)
+        << "order " << perm[0] << perm[1] << perm[2];
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST_F(OptimizerFixture, OptimizedQueryReturnsSameResults) {
+  // With and without the optimizer the engine must produce identical
+  // result sets.
+  const std::string text = R"(
+    SELECT ?s ?o1 ?o2 ?t
+    { ?s common ?o1 ?t . ?s rare ?o2 ?t . FILTER(YEAR(?t) = 2010) }
+  )";
+  auto with_opt = db_.Query(text);
+  ASSERT_TRUE(with_opt.ok()) << with_opt.status().ToString();
+  engine::QueryEngine plain(&db_.graph(), db_.dictionary());
+  auto without = plain.Execute(text);
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  auto canon = [](const engine::ResultSet& rs) {
+    std::multiset<std::string> rows;
+    for (const auto& row : rs.rows) {
+      std::string s;
+      for (const auto& c : row) s += c.ToString() + "|";
+      rows.insert(s);
+    }
+    return rows;
+  };
+  EXPECT_EQ(canon(*with_opt), canon(*without));
+  EXPECT_FALSE(with_opt->rows.empty());
+}
+
+TEST(HistogramTest, SizeCapIsEnforced) {
+  // §6.2 / §7.4: the histogram size is capped at a fraction of raw data
+  // by growing cm and merging entries.
+  Rng rng(3);
+  std::vector<TemporalTriple> triples;
+  Chronon t = 0;
+  for (int i = 0; i < 30000; ++i) {
+    t += static_cast<Chronon>(rng.Uniform(2));
+    triples.push_back({{1 + rng.Uniform(500), 1 + rng.Uniform(10),
+                        1 + rng.Uniform(300)},
+                       Interval(t, t + 1 + rng.Uniform(100))});
+  }
+  CharSetCatalog catalog;
+  catalog.Build(triples);
+  const size_t raw = triples.size() * sizeof(TemporalTriple);
+  TemporalHistogram capped(&catalog, triples, raw,
+                           HistogramOptions{.cm = 1,
+                                            .max_fraction_of_raw = 0.10});
+  EXPECT_LT(capped.MemoryUsage(), raw / 2)
+      << "histogram must stay well below raw size";
+  // And it still estimates: full-window predicate count close to truth.
+  double est = 0;
+  for (TermId p = 1; p <= 10; ++p) {
+    est += capped.EstimatePredicateTriples(p, Interval::All());
+  }
+  EXPECT_NEAR(est, 30000.0, 3000.0);
+}
+
+TEST(CharSetCatalogTest, GroupsSubjectsByPredicateSet) {
+  std::vector<TemporalTriple> triples = {
+      {{1, 10, 100}, {0, 10}},  // s1: {10, 11}
+      {{1, 11, 101}, {0, 10}},
+      {{2, 10, 102}, {0, 10}},  // s2: {10, 11}
+      {{2, 11, 103}, {0, 10}},
+      {{2, 11, 104}, {10, 20}},
+      {{3, 12, 105}, {0, 10}},  // s3: {12}
+  };
+  CharSetCatalog catalog;
+  catalog.Build(triples);
+  EXPECT_EQ(catalog.set_count(), 2u);
+  EXPECT_EQ(catalog.SetOf(1), catalog.SetOf(2));
+  EXPECT_NE(catalog.SetOf(1), catalog.SetOf(3));
+  EXPECT_EQ(catalog.SetOf(99), kNoCharSet);
+  const auto& stats = catalog.stats(catalog.SetOf(1));
+  EXPECT_EQ(stats.distinct_subjects, 2u);
+  EXPECT_EQ(stats.occurrences.at(11), 3u);
+  EXPECT_EQ(catalog.SetsWithPredicate(10).size(), 1u);
+  EXPECT_EQ(catalog.total_triples(), 6u);
+  EXPECT_EQ(catalog.total_subjects(), 3u);
+  const auto* ps = catalog.pred_stats(11);
+  ASSERT_NE(ps, nullptr);
+  EXPECT_EQ(ps->occurrences, 3u);
+  EXPECT_EQ(ps->distinct_subjects, 2u);
+  EXPECT_EQ(ps->distinct_objects, 3u);
+}
+
+TEST(HistogramTest, TimeVaryingSubjectAndOccurrenceCounts) {
+  std::vector<TemporalTriple> triples;
+  // 50 subjects alive in [0, 100), 50 alive in [200, 300); one
+  // predicate each.
+  for (TermId s = 1; s <= 100; ++s) {
+    Chronon start = s <= 50 ? 0 : 200;
+    triples.push_back({{s, 7, 500 + s}, {start, start + 100}});
+  }
+  CharSetCatalog catalog;
+  catalog.Build(triples);
+  TemporalHistogram hist(&catalog, triples, 1 << 20,
+                         HistogramOptions{.cm = 4});
+  CharSetId cs = catalog.SetOf(1);
+  double early = hist.EstimateSubjects(cs, Interval(0, 100));
+  double late = hist.EstimateSubjects(cs, Interval(200, 300));
+  double gap = hist.EstimateSubjects(cs, Interval(120, 180));
+  double all = hist.EstimateSubjects(cs, Interval::All());
+  EXPECT_NEAR(early, 50.0, 15.0);
+  EXPECT_NEAR(late, 50.0, 15.0);
+  EXPECT_LT(gap, 15.0);
+  EXPECT_NEAR(all, 100.0, 10.0);
+  double occ_early = hist.EstimatePredicateTriples(7, Interval(0, 100));
+  EXPECT_NEAR(occ_early, 50.0, 15.0);
+}
+
+}  // namespace
+}  // namespace rdftx::optimizer

@@ -1,0 +1,228 @@
+#include "sparqlt/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace rdftx::sparqlt {
+namespace {
+
+// --- The five examples from paper §3.2 parse to the expected shapes ---
+
+TEST(ParserTest, PaperExample1WhenQuery) {
+  auto q = Parse(R"(
+    SELECT ?t
+    { University_of_California president Janet_Napolitano ?t }
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select, std::vector<std::string>{"t"});
+  ASSERT_EQ(q->patterns.size(), 1u);
+  const GraphPattern& p = q->patterns[0];
+  EXPECT_EQ(p.s.text, "University_of_California");
+  EXPECT_TRUE(p.s.is_constant());
+  EXPECT_EQ(p.p.text, "president");
+  EXPECT_EQ(p.o.text, "Janet_Napolitano");
+  EXPECT_TRUE(p.t.is_variable());
+  EXPECT_EQ(p.t.text, "t");
+  EXPECT_TRUE(q->filters.empty());
+}
+
+TEST(ParserTest, PaperExample2YearFilter) {
+  auto q = Parse(R"(
+    SELECT ?budget
+    { University_of_California budget ?budget ?t .
+      FILTER(YEAR(?t) = 2013) }
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 1u);
+  const Expr& f = *q->filters[0];
+  ASSERT_EQ(f.kind, Expr::Kind::kCompare);
+  EXPECT_EQ(f.op, CompareOp::kEq);
+  EXPECT_EQ(f.children[0]->kind, Expr::Kind::kYear);
+  EXPECT_EQ(f.children[0]->children[0]->text, "t");
+  EXPECT_EQ(f.children[1]->kind, Expr::Kind::kIntLit);
+  EXPECT_EQ(f.children[1]->int_value, 2013);
+}
+
+TEST(ParserTest, PaperExample3LengthWithUnit) {
+  auto q = Parse(R"(
+    SELECT ?person ?t
+    { University_of_California president ?person ?t .
+      FILTER(YEAR(?t) <= 2010 && LENGTH(?t) > 365 DAY) }
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const Expr& f = *q->filters[0];
+  ASSERT_EQ(f.kind, Expr::Kind::kAnd);
+  EXPECT_EQ(f.children[0]->op, CompareOp::kLe);
+  const Expr& len = *f.children[1];
+  EXPECT_EQ(len.op, CompareOp::kGt);
+  EXPECT_EQ(len.children[0]->kind, Expr::Kind::kLength);
+  EXPECT_EQ(len.children[1]->int_value, 365);
+}
+
+TEST(ParserTest, PaperExample4TemporalJoin) {
+  auto q = Parse(R"(
+    SELECT ?university ?number ?t
+    { ?university undergraduate ?number ?t .
+      ?university president Mark_Yudof ?t . }
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->patterns.size(), 2u);
+  EXPECT_TRUE(q->patterns[0].s.is_variable());
+  EXPECT_EQ(q->patterns[0].s.text, "university");
+  EXPECT_EQ(q->patterns[1].s.text, "university");
+  // Shared temporal variable expresses the temporal join.
+  EXPECT_EQ(q->patterns[0].t.text, "t");
+  EXPECT_EQ(q->patterns[1].t.text, "t");
+}
+
+TEST(ParserTest, PaperExample5Succession) {
+  auto q = Parse(R"(
+    SELECT ?successor
+    { University_of_California president Mark_Yudof ?t1 .
+      University_of_California president ?successor ?t2 .
+      FILTER(TEND(?t1) = TSTART(?t2)) . }
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->patterns.size(), 2u);
+  const Expr& f = *q->filters[0];
+  EXPECT_EQ(f.children[0]->kind, Expr::Kind::kTEnd);
+  EXPECT_EQ(f.children[1]->kind, Expr::Kind::kTStart);
+}
+
+// --- Syntax coverage beyond the paper examples ---
+
+TEST(ParserTest, SelectStar) {
+  auto q = Parse("SELECT * { ?s ?p ?o ?t }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select.empty());
+}
+
+TEST(ParserTest, OptionalWhereKeyword) {
+  auto q = Parse("SELECT ?s WHERE { ?s knows Alice ?t }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(ParserTest, OmittedTemporalTerm) {
+  auto q = Parse("SELECT ?o { Berlin population ?o }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns[0].t.kind, Term::Kind::kWildcard);
+}
+
+TEST(ParserTest, DateConstantInTemporalPosition) {
+  auto q = Parse("SELECT ?o { Berlin mayor ?o 2014-06-30 }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns[0].t.kind, Term::Kind::kDate);
+  EXPECT_EQ(q->patterns[0].t.date, ChrononFromYmd(2014, 6, 30));
+}
+
+TEST(ParserTest, PaperDateFormat) {
+  auto q = Parse(
+      "SELECT ?o { UC president ?o ?t . FILTER(?t >= 09/30/2013) }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->filters[0]->children[1]->date_value,
+            ChrononFromYmd(2013, 9, 30));
+}
+
+TEST(ParserTest, QuotedLiteralWithSpaces) {
+  auto q = Parse(R"(SELECT ?t { "New York City" population "8,336,817" ?t })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns[0].s.text, "New York City");
+}
+
+TEST(ParserTest, NumericObjectLiteral) {
+  auto q = Parse("SELECT ?t { UC endowment 22.7 ?t }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns[0].o.text, "22.7");
+}
+
+TEST(ParserTest, YearAndMonthUnits) {
+  auto q = Parse(
+      "SELECT ?p { UC president ?p ?t . FILTER(LENGTH(?t) >= 2 YEARS) }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->filters[0]->children[1]->int_value, 730);
+}
+
+TEST(ParserTest, OrAndNot) {
+  auto q = Parse(
+      "SELECT ?p { UC president ?p ?t . "
+      "FILTER(YEAR(?t) = 2010 || !(MONTH(?t) >= 6) && DAY(?t) < 15) }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->filters[0]->kind, Expr::Kind::kOr);
+}
+
+TEST(ParserTest, NowKeyword) {
+  auto q = Parse("SELECT ?p { UC president ?p ?t . FILTER(TEND(?t) = now) }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->filters[0]->children[1]->date_value, kChrononNow);
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  auto q = Parse(
+      "# find presidents\nSELECT ?p { UC president ?p ?t } # done\n");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(ParserTest, MultiplePatternsAndFilters) {
+  auto q = Parse(R"(
+    SELECT ?s ?o1 ?o2 ?t
+    { ?s president ?o1 ?t .
+      ?s undergraduate ?o2 ?t .
+      FILTER(?t <= 2013-01-01) .
+      FILTER(LENGTH(?t) > 10 DAY) }
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns.size(), 2u);
+  EXPECT_EQ(q->filters.size(), 2u);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto q = Parse(
+      "SELECT ?p { UC president ?p ?t . FILTER(YEAR(?t) = 2013) }");
+  ASSERT_TRUE(q.ok());
+  // ToString output reparses to the same shape.
+  auto q2 = Parse(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString() << " -> " << q2.status().ToString();
+  EXPECT_EQ(q2->patterns.size(), q->patterns.size());
+  EXPECT_EQ(q2->filters.size(), q->filters.size());
+}
+
+// --- Error cases ---
+
+TEST(ParserTest, ErrorMissingSelect) {
+  EXPECT_FALSE(Parse("{ ?s ?p ?o ?t }").ok());
+}
+
+TEST(ParserTest, ErrorEmptyBlock) {
+  EXPECT_FALSE(Parse("SELECT ?s { }").ok());
+}
+
+TEST(ParserTest, ErrorUnterminatedBlock) {
+  EXPECT_FALSE(Parse("SELECT ?s { ?s ?p ?o ?t").ok());
+}
+
+TEST(ParserTest, ErrorConstantInTemporalPosition) {
+  EXPECT_FALSE(Parse("SELECT ?s { ?s ?p ?o Bob ?x }").ok());
+}
+
+TEST(ParserTest, ErrorBadDate) {
+  EXPECT_FALSE(Parse("SELECT ?s { ?s ?p ?o 2013-45-99 }").ok());
+}
+
+TEST(ParserTest, ErrorUnterminatedString) {
+  EXPECT_FALSE(Parse("SELECT ?s { \"unclosed ?p ?o ?t }").ok());
+}
+
+TEST(ParserTest, ErrorStrayAmpersand) {
+  EXPECT_FALSE(
+      Parse("SELECT ?s { ?s ?p ?o ?t . FILTER(?t = now & 1) }").ok());
+}
+
+TEST(ParserTest, ErrorTrailingTokens) {
+  EXPECT_FALSE(Parse("SELECT ?s { ?s ?p ?o ?t } garbage").ok());
+}
+
+TEST(ParserTest, ErrorFilterWithoutParens) {
+  EXPECT_FALSE(Parse("SELECT ?s { ?s ?p ?o ?t . FILTER ?t = now }").ok());
+}
+
+}  // namespace
+}  // namespace rdftx::sparqlt

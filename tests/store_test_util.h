@@ -1,0 +1,102 @@
+// Shared helpers for store-conformance tests: random temporal-triple
+// workloads and canonicalized pattern-scan comparison against NaiveStore.
+#ifndef RDFTX_TESTS_STORE_TEST_UTIL_H_
+#define RDFTX_TESTS_STORE_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "baselines/naive_store.h"
+#include "rdf/store_interface.h"
+#include "temporal/temporal_set.h"
+#include "util/rng.h"
+
+namespace rdftx::testutil {
+
+/// Random interval triples over a small id universe (dense collisions
+/// stress coalescing and index structure changes).
+inline std::vector<TemporalTriple> RandomTriples(Rng* rng, size_t n,
+                                                 uint64_t subjects = 12,
+                                                 uint64_t predicates = 6,
+                                                 uint64_t objects = 20,
+                                                 Chronon horizon = 2000) {
+  std::vector<TemporalTriple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Triple t{1 + rng->Uniform(subjects), 1 + rng->Uniform(predicates),
+             1 + rng->Uniform(objects)};
+    Chronon s = static_cast<Chronon>(rng->Uniform(horizon));
+    Chronon e = rng->Bernoulli(0.15)
+                    ? kChrononNow
+                    : static_cast<Chronon>(
+                          std::min<uint64_t>(s + 1 + rng->Uniform(300),
+                                             horizon + 100));
+    out.push_back(TemporalTriple{t, Interval(s, e)});
+  }
+  return out;
+}
+
+/// Canonical result of a pattern scan: per-triple coalesced validity,
+/// clipped to the scan window.
+inline std::map<Triple, TemporalSet> CanonicalScan(const TemporalStore& store,
+                                                   const PatternSpec& spec) {
+  std::map<Triple, std::vector<Interval>> raw;
+  store.ScanPattern(spec, [&](const Triple& t, const Interval& iv) {
+    Interval clipped = iv.Intersect(spec.time);
+    if (!clipped.empty()) raw[t].push_back(clipped);
+  });
+  std::map<Triple, TemporalSet> out;
+  for (auto& [t, ivs] : raw) out[t] = TemporalSet::FromIntervals(ivs);
+  return out;
+}
+
+/// Random pattern over the same universe, covering all 16 pattern types.
+inline PatternSpec RandomPattern(Rng* rng, uint64_t subjects = 12,
+                                 uint64_t predicates = 6,
+                                 uint64_t objects = 20,
+                                 Chronon horizon = 2000) {
+  PatternSpec spec;
+  uint64_t mask = rng->Uniform(8);
+  if (mask & 1) spec.s = 1 + rng->Uniform(subjects);
+  if (mask & 2) spec.p = 1 + rng->Uniform(predicates);
+  if (mask & 4) spec.o = 1 + rng->Uniform(objects);
+  switch (rng->Uniform(3)) {
+    case 0:
+      spec.time = Interval::All();
+      break;
+    case 1: {  // point-in-time (t constant)
+      Chronon t = static_cast<Chronon>(rng->Uniform(horizon));
+      spec.time = Interval(t, t + 1);
+      break;
+    }
+    default: {  // period constraint
+      Chronon t1 = static_cast<Chronon>(rng->Uniform(horizon));
+      spec.time = Interval(t1, t1 + 1 + rng->Uniform(horizon / 2));
+    }
+  }
+  return spec;
+}
+
+/// Loads both stores with the same data and checks scan conformance on
+/// `queries` random patterns.
+inline void ExpectStoreMatchesNaive(TemporalStore* store, Rng* rng,
+                                    size_t triples, int queries) {
+  auto data = RandomTriples(rng, triples);
+  NaiveStore naive;
+  ASSERT_TRUE(naive.Load(data).ok());
+  ASSERT_TRUE(store->Load(data).ok());
+  for (int q = 0; q < queries; ++q) {
+    PatternSpec spec = RandomPattern(rng);
+    auto got = CanonicalScan(*store, spec);
+    auto want = CanonicalScan(naive, spec);
+    ASSERT_EQ(got, want) << store->name() << " query " << q << " pattern s="
+                         << spec.s << " p=" << spec.p << " o=" << spec.o
+                         << " time=" << spec.time.ToString();
+  }
+}
+
+}  // namespace rdftx::testutil
+
+#endif  // RDFTX_TESTS_STORE_TEST_UTIL_H_

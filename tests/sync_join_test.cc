@@ -1,0 +1,165 @@
+#include "mvbt/sync_join.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "temporal/temporal_set.h"
+#include "util/rng.h"
+
+namespace rdftx::mvbt {
+namespace {
+
+// The engine's canonical use: join two scans on the first key component
+// (e.g. the shared subject), with overlapping validity.
+uint64_t FirstComponent(const Entry& e) { return e.key.a; }
+
+struct Record {
+  Key3 key;
+  Interval iv;
+};
+
+// Brute-force reference join over raw record lists.
+using JoinedPoints = std::map<std::tuple<Key3, Key3>, TemporalSet>;
+
+JoinedPoints ReferenceJoin(const std::vector<Record>& ra_records,
+                           const KeyRange& ra, const Interval& ta,
+                           const std::vector<Record>& rb_records,
+                           const KeyRange& rb, const Interval& tb) {
+  JoinedPoints out;
+  for (const Record& x : ra_records) {
+    if (!ra.Contains(x.key) || !x.iv.Overlaps(ta)) continue;
+    for (const Record& y : rb_records) {
+      if (!rb.Contains(y.key) || !y.iv.Overlaps(tb)) continue;
+      if (x.key.a != y.key.a) continue;
+      Interval iv =
+          x.iv.Intersect(y.iv).Intersect(ta.Intersect(tb));
+      if (iv.empty()) continue;
+      out[{x.key, y.key}].Add(iv);
+    }
+  }
+  return out;
+}
+
+class SyncJoinPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(SyncJoinPropertyTest, MatchesBruteForce) {
+  auto [seed, compress] = GetParam();
+  Rng rng(seed);
+  MvbtOptions opts{.block_capacity = 8, .compress_leaves = compress};
+  Mvbt tree_a(opts), tree_b(opts);
+  std::vector<Record> recs_a, recs_b;
+  std::map<Key3, Chronon> live_a, live_b;
+
+  Chronon t = 1;
+  for (int op = 0; op < 1500; ++op) {
+    t += static_cast<Chronon>(rng.Uniform(3));
+    bool use_a = rng.Bernoulli(0.5);
+    Mvbt& tree = use_a ? tree_a : tree_b;
+    auto& live = use_a ? live_a : live_b;
+    auto& recs = use_a ? recs_a : recs_b;
+    Key3 k{rng.Uniform(5), rng.Uniform(3), rng.Uniform(10)};
+    if (rng.Bernoulli(0.6)) {
+      if (!live.contains(k)) {
+        ASSERT_TRUE(tree.Insert(k, t).ok());
+        live[k] = t;
+      }
+    } else if (!live.empty()) {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      ASSERT_TRUE(tree.Erase(it->first, t).ok());
+      recs.push_back({it->first, Interval(it->second, t)});
+      live.erase(it);
+    }
+  }
+  for (const auto& [k, ts] : live_a) {
+    recs_a.push_back({k, Interval(ts, kChrononNow)});
+  }
+  for (const auto& [k, ts] : live_b) {
+    recs_b.push_back({k, Interval(ts, kChrononNow)});
+  }
+
+  SyncJoinSpec spec{FirstComponent, FirstComponent};
+  for (int q = 0; q < 30; ++q) {
+    KeyRange ra{}, rb{};
+    if (rng.Bernoulli(0.5)) {
+      ra.lo = Key3{rng.Uniform(5), 0, 0};
+      ra.hi = Key3{ra.lo.a, UINT64_MAX, UINT64_MAX};
+    }
+    if (rng.Bernoulli(0.5)) {
+      rb.lo = Key3{rng.Uniform(5), 0, 0};
+      rb.hi = Key3{rb.lo.a, UINT64_MAX, UINT64_MAX};
+    }
+    Chronon t1 = static_cast<Chronon>(rng.Uniform(t));
+    Interval ta = rng.Bernoulli(0.4)
+                      ? Interval::All()
+                      : Interval(t1, t1 + 1 + rng.Uniform(t));
+    Chronon t2 = static_cast<Chronon>(rng.Uniform(t));
+    Interval tb = rng.Bernoulli(0.4)
+                      ? Interval::All()
+                      : Interval(t2, t2 + 1 + rng.Uniform(t));
+
+    JoinedPoints got;
+    SyncJoinStats stats;
+    SynchronizedJoin(tree_a, ra, ta, tree_b, rb, tb, spec,
+                     [&](const Entry& x, const Entry& y, const Interval& iv) {
+                       EXPECT_EQ(x.key.a, y.key.a);
+                       got[{x.key, y.key}].Add(iv);
+                     },
+                     &stats);
+    JoinedPoints want =
+        ReferenceJoin(recs_a, ra, ta, recs_b, rb, tb);
+    ASSERT_EQ(got, want) << "q=" << q;
+    if (!want.empty()) {
+      EXPECT_GT(stats.node_pairs, 0u);
+      EXPECT_GT(stats.output_rows, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SyncJoinPropertyTest,
+    ::testing::Combine(::testing::Values(21, 42, 63, 84),
+                       ::testing::Bool()));
+
+TEST(SyncJoinTest, EmptyRegions) {
+  Mvbt a, b;
+  ASSERT_TRUE(a.Insert({1, 1, 1}, 10).ok());
+  ASSERT_TRUE(b.Insert({1, 2, 2}, 50).ok());
+  ASSERT_TRUE(a.Erase({1, 1, 1}, 20).ok());
+  int count = 0;
+  SyncJoinSpec spec{FirstComponent, FirstComponent};
+  // Disjoint time ranges: a's record ends before b's starts.
+  SynchronizedJoin(a, KeyRange{}, Interval(0, 20), b, KeyRange{},
+                   Interval(50, kChrononNow), spec,
+                   [&](const Entry&, const Entry&, const Interval&) {
+                     ++count;
+                   });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(SyncJoinTest, CacheReusesDecodedNodes) {
+  MvbtOptions opts{.block_capacity = 8, .compress_leaves = true};
+  Mvbt a(opts), b(opts);
+  Chronon t = 1;
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(a.Insert({i % 7, 0, i}, t).ok());
+    ASSERT_TRUE(b.Insert({i % 7, 1, i}, t).ok());
+    t += 1;
+  }
+  SyncJoinStats stats;
+  SyncJoinSpec spec{FirstComponent, FirstComponent};
+  SynchronizedJoin(a, KeyRange{}, Interval::All(), b, KeyRange{},
+                   Interval::All(), spec,
+                   [](const Entry&, const Entry&, const Interval&) {}, &stats);
+  EXPECT_GT(stats.node_pairs, stats.cache_misses)
+      << "nodes in many pairs should hit the cache";
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace rdftx::mvbt

@@ -1,0 +1,159 @@
+#include "temporal/temporal_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rdftx {
+namespace {
+
+TEST(IntervalTest, Basics) {
+  Interval iv(10, 20);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.Length(), 10u);
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(19));
+  EXPECT_FALSE(iv.Contains(20));
+  EXPECT_TRUE(Interval().empty());
+  EXPECT_TRUE(Interval(5, 5).empty());
+}
+
+TEST(IntervalTest, OverlapAndMeet) {
+  Interval a(0, 10), b(10, 20), c(5, 15);
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_TRUE(a.Meets(b));
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_TRUE(b.Overlaps(c));
+  EXPECT_EQ(a.Intersect(c), Interval(5, 10));
+  EXPECT_TRUE(a.Intersect(b).empty());
+}
+
+TEST(IntervalTest, LiveIntervalLength) {
+  Interval live(100, kChrononNow);
+  EXPECT_EQ(live.Length(150), 50u);
+}
+
+TEST(IntervalTest, DisplayFormatInclusive) {
+  // [2013-07-01, 2014-07-01) displays as the paper's inclusive
+  // [2013-07-01 ... 2014-06-30].
+  Interval iv(ChrononFromYmd(2013, 7, 1), ChrononFromYmd(2014, 7, 1));
+  EXPECT_EQ(iv.ToString(), "[2013-07-01 ... 2014-06-30]");
+  Interval live(ChrononFromYmd(2013, 9, 30), kChrononNow);
+  EXPECT_EQ(live.ToString(), "[2013-09-30 ... now]");
+}
+
+TEST(TemporalSetTest, CoalescesAdjacentRuns) {
+  // Point-based semantics: [1,5) and [5,9) are one run of points.
+  auto ts = TemporalSet::FromIntervals({{1, 5}, {5, 9}});
+  ASSERT_EQ(ts.runs().size(), 1u);
+  EXPECT_EQ(ts.runs()[0], Interval(1, 9));
+}
+
+TEST(TemporalSetTest, CoalescesOverlap) {
+  auto ts = TemporalSet::FromIntervals({{1, 6}, {4, 9}, {20, 30}});
+  ASSERT_EQ(ts.runs().size(), 2u);
+  EXPECT_EQ(ts.runs()[0], Interval(1, 9));
+  EXPECT_EQ(ts.runs()[1], Interval(20, 30));
+}
+
+TEST(TemporalSetTest, KeepsGaps) {
+  auto ts = TemporalSet::FromIntervals({{1, 5}, {6, 9}});
+  EXPECT_EQ(ts.runs().size(), 2u);
+}
+
+TEST(TemporalSetTest, AddMaintainsNormalization) {
+  TemporalSet ts;
+  ts.Add({10, 20});
+  ts.Add({30, 40});
+  ts.Add({20, 30});  // bridges the gap
+  ASSERT_EQ(ts.runs().size(), 1u);
+  EXPECT_EQ(ts.runs()[0], Interval(10, 40));
+  ts.Add({0, 5});  // general-path insert before front
+  ASSERT_EQ(ts.runs().size(), 2u);
+  EXPECT_EQ(ts.runs()[0], Interval(0, 5));
+}
+
+TEST(TemporalSetTest, Intersect) {
+  auto a = TemporalSet::FromIntervals({{0, 10}, {20, 30}});
+  auto b = TemporalSet::FromIntervals({{5, 25}});
+  auto x = a.Intersect(b);
+  ASSERT_EQ(x.runs().size(), 2u);
+  EXPECT_EQ(x.runs()[0], Interval(5, 10));
+  EXPECT_EQ(x.runs()[1], Interval(20, 25));
+}
+
+TEST(TemporalSetTest, IntersectEmpty) {
+  auto a = TemporalSet::FromIntervals({{0, 10}});
+  auto b = TemporalSet::FromIntervals({{10, 20}});
+  EXPECT_TRUE(a.Intersect(b).empty());
+}
+
+TEST(TemporalSetTest, Contains) {
+  auto ts = TemporalSet::FromIntervals({{5, 10}, {20, 25}});
+  EXPECT_TRUE(ts.Contains(5));
+  EXPECT_TRUE(ts.Contains(9));
+  EXPECT_FALSE(ts.Contains(10));
+  EXPECT_FALSE(ts.Contains(15));
+  EXPECT_TRUE(ts.Contains(20));
+  EXPECT_FALSE(ts.Contains(4));
+}
+
+TEST(TemporalSetTest, LengthFunctions) {
+  // LENGTH = longest coalesced run; TOTAL_LENGTH = sum of runs (paper §3.1).
+  auto ts = TemporalSet::FromIntervals({{0, 100}, {200, 250}});
+  EXPECT_EQ(ts.MaxRunLength(), 100u);
+  EXPECT_EQ(ts.TotalLength(), 150u);
+}
+
+TEST(TemporalSetTest, StartEnd) {
+  auto ts = TemporalSet::FromIntervals({{5, 10}, {20, 25}});
+  EXPECT_EQ(ts.Start(), 5u);
+  EXPECT_EQ(ts.End(), 25u);
+}
+
+// Property: set operations agree with a brute-force bitset model.
+class TemporalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TemporalSetPropertyTest, MatchesBitsetModel) {
+  Rng rng(GetParam());
+  constexpr Chronon kDomain = 200;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Interval> ivs_a, ivs_b;
+    std::vector<bool> bits_a(kDomain, false), bits_b(kDomain, false);
+    auto gen = [&](std::vector<Interval>* ivs, std::vector<bool>* bits) {
+      int n = static_cast<int>(rng.Uniform(6));
+      for (int i = 0; i < n; ++i) {
+        Chronon s = static_cast<Chronon>(rng.Uniform(kDomain));
+        Chronon e = static_cast<Chronon>(
+            std::min<uint64_t>(s + 1 + rng.Uniform(40), kDomain));
+        ivs->push_back({s, e});
+        for (Chronon t = s; t < e; ++t) (*bits)[t] = true;
+      }
+    };
+    gen(&ivs_a, &bits_a);
+    gen(&ivs_b, &bits_b);
+    auto a = TemporalSet::FromIntervals(ivs_a);
+    auto b = TemporalSet::FromIntervals(ivs_b);
+    auto x = a.Intersect(b);
+    uint64_t total = 0;
+    for (Chronon t = 0; t < kDomain; ++t) {
+      EXPECT_EQ(a.Contains(t), bits_a[t]) << "t=" << t;
+      bool both = bits_a[t] && bits_b[t];
+      EXPECT_EQ(x.Contains(t), both) << "t=" << t;
+      if (bits_a[t]) ++total;
+    }
+    EXPECT_EQ(a.TotalLength(), total);
+    // Runs are normalized: sorted, disjoint, non-adjacent.
+    for (size_t i = 1; i < a.runs().size(); ++i) {
+      EXPECT_GT(a.runs()[i].start, a.runs()[i - 1].end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace rdftx

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rdftx.h"
+#include "workload/govtrack_gen.h"
+#include "workload/query_gen.h"
+#include "workload/wikipedia_gen.h"
+
+namespace rdftx::workload {
+namespace {
+
+TEST(WikipediaGenTest, HitsTargetSizeAndShape) {
+  Dictionary dict;
+  Dataset d = GenerateWikipedia(&dict, WikipediaOptions{.num_triples = 20000,
+                                                        .seed = 1});
+  EXPECT_GT(d.triples.size(), 15000u);
+  EXPECT_LT(d.triples.size(), 30000u);
+  EXPECT_GT(d.subjects.size(), 500u);
+  EXPECT_GT(d.predicates.size(), 20u);
+  // Intervals are well-formed and inside the history span.
+  for (const TemporalTriple& tt : d.triples) {
+    ASSERT_FALSE(tt.iv.empty());
+    ASSERT_GE(tt.iv.start, d.start);
+    if (tt.iv.end != kChrononNow) {
+      ASSERT_LE(tt.iv.end, d.horizon);
+    }
+  }
+}
+
+TEST(WikipediaGenTest, Table1UpdateRatesMatchPaper) {
+  Dictionary dict;
+  Dataset d = GenerateWikipedia(&dict, WikipediaOptions{.num_triples = 60000,
+                                                        .seed = 2});
+  auto avg = [&](const std::string& cat, const std::string& prop) {
+    for (const PropertyStats& s : d.stats) {
+      if (s.category == cat && s.property == prop) return s.avg_updates;
+    }
+    return -1.0;
+  };
+  // Table 1: Release 7.27, Club 5.85, GDP(PPP) 11.78, Population 7.16.
+  EXPECT_NEAR(avg("Software", "release"), 7.27, 2.0);
+  EXPECT_NEAR(avg("Player", "club"), 5.85, 1.6);
+  EXPECT_NEAR(avg("Country", "gdp_ppp"), 11.78, 3.5);
+  EXPECT_NEAR(avg("City", "population"), 7.16, 2.0);
+  // And the ordering matches: GDP churns most, club least of these.
+  EXPECT_GT(avg("Country", "gdp_ppp"), avg("Software", "release"));
+  EXPECT_GT(avg("City", "population"), avg("Player", "club"));
+}
+
+TEST(WikipediaGenTest, Deterministic) {
+  Dictionary d1, d2;
+  Dataset a = GenerateWikipedia(&d1, WikipediaOptions{.num_triples = 5000,
+                                                      .seed = 7});
+  Dataset b = GenerateWikipedia(&d2, WikipediaOptions{.num_triples = 5000,
+                                                      .seed = 7});
+  ASSERT_EQ(a.triples.size(), b.triples.size());
+  EXPECT_EQ(a.triples, b.triples);
+}
+
+TEST(WikipediaGenTest, VersionsOfOnePropertyDoNotOverlap) {
+  Dictionary dict;
+  Dataset d = GenerateWikipedia(&dict, WikipediaOptions{.num_triples = 10000,
+                                                        .seed = 3});
+  // Functional infobox properties (the category schema) have
+  // non-overlapping version histories; long-tail fields may be
+  // multivalued, so exclude them.
+  std::map<std::pair<TermId, TermId>, std::vector<Interval>> by_sp;
+  for (const TemporalTriple& tt : d.triples) {
+    const std::string& pred = dict.Decode(tt.triple.p);
+    if (pred.starts_with("infobox_field_")) continue;
+    by_sp[{tt.triple.s, tt.triple.p}].push_back(tt.iv);
+  }
+  for (auto& [sp, ivs] : by_sp) {
+    std::sort(ivs.begin(), ivs.end(),
+              [](const Interval& x, const Interval& y) {
+                return x.start < y.start;
+              });
+    for (size_t i = 1; i < ivs.size(); ++i) {
+      ASSERT_GE(ivs[i].start, ivs[i - 1].end)
+          << "versions of one property must not overlap";
+    }
+  }
+}
+
+TEST(GovTrackGenTest, ShapeMatchesPaperDescription) {
+  Dictionary dict;
+  Dataset d = GenerateGovTrack(&dict, GovTrackOptions{.num_triples = 20000,
+                                                      .seed = 1});
+  EXPECT_GT(d.triples.size(), 12000u);
+  // Exactly 60 predicates.
+  EXPECT_EQ(d.predicates.size(), 60u);
+  // Few distinct time points (week-snapped).
+  std::set<Chronon> distinct_times;
+  for (const TemporalTriple& tt : d.triples) {
+    distinct_times.insert(tt.iv.start);
+    if (tt.iv.end != kChrononNow) distinct_times.insert(tt.iv.end);
+  }
+  EXPECT_LT(distinct_times.size(), 1300u)
+      << "timestamps must snap to legislative weeks";
+  // High per-predicate cardinality vs Wikipedia.
+  EXPECT_GT(d.triples.size() / d.predicates.size(), 200u);
+}
+
+TEST(QueryGenTest, SelectionQueriesParseAndReturnResults) {
+  Dictionary dict;
+  RdfTx db;
+  Dataset d = GenerateWikipedia(db.dictionary(),
+                                WikipediaOptions{.num_triples = 8000,
+                                                 .seed = 11});
+  for (const TemporalTriple& tt : d.triples) {
+    ASSERT_TRUE(db.Add(db.dictionary()->Decode(tt.triple.s),
+                       db.dictionary()->Decode(tt.triple.p),
+                       db.dictionary()->Decode(tt.triple.o), tt.iv)
+                    .ok());
+  }
+  ASSERT_TRUE(db.Finish().ok());
+  Rng rng(5);
+  auto queries = MakeSelectionQueries(d, *db.dictionary(), 20, &rng);
+  ASSERT_EQ(queries.size(), 20u);
+  int nonempty = 0;
+  for (const std::string& q : queries) {
+    auto r = db.Query(q);
+    ASSERT_TRUE(r.ok()) << q << "\n" << r.status().ToString();
+    if (!r->rows.empty()) ++nonempty;
+  }
+  // Sampled from real facts: the vast majority must return rows.
+  EXPECT_GE(nonempty, 17);
+}
+
+TEST(QueryGenTest, JoinQueriesParseAndReturnResults) {
+  Dictionary unused;
+  RdfTx db;
+  Dataset d = GenerateWikipedia(db.dictionary(),
+                                WikipediaOptions{.num_triples = 8000,
+                                                 .seed = 12});
+  for (const TemporalTriple& tt : d.triples) {
+    ASSERT_TRUE(db.Add(db.dictionary()->Decode(tt.triple.s),
+                       db.dictionary()->Decode(tt.triple.p),
+                       db.dictionary()->Decode(tt.triple.o), tt.iv)
+                    .ok());
+  }
+  ASSERT_TRUE(db.Finish().ok());
+  Rng rng(6);
+  auto queries = MakeJoinQueries(d, *db.dictionary(), 10, &rng);
+  ASSERT_EQ(queries.size(), 10u);
+  int nonempty = 0;
+  for (const std::string& q : queries) {
+    auto r = db.Query(q);
+    ASSERT_TRUE(r.ok()) << q << "\n" << r.status().ToString();
+    if (!r->rows.empty()) ++nonempty;
+  }
+  EXPECT_GE(nonempty, 8);
+}
+
+TEST(QueryGenTest, ComplexQueriesGrowIncrementally) {
+  Dictionary dict;
+  Dataset d = GenerateWikipedia(&dict, WikipediaOptions{.num_triples = 20000,
+                                                        .seed = 13});
+  Rng rng(7);
+  auto by_size = MakeComplexQueries(d, dict, 3, 7, 5, &rng);
+  ASSERT_EQ(by_size.size(), 5u);
+  for (int size = 3; size <= 7; ++size) {
+    ASSERT_FALSE(by_size[size].empty()) << size;
+    for (const std::string& q : by_size[size]) {
+      auto parsed = sparqlt::Parse(q);
+      ASSERT_TRUE(parsed.ok()) << q;
+      EXPECT_EQ(parsed->patterns.size(), static_cast<size_t>(size));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdftx::workload
