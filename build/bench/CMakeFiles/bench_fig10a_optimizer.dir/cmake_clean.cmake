@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_optimizer.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig10a_optimizer.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig10a_optimizer.dir/bench_fig10a_optimizer.cc.o"
+  "CMakeFiles/bench_fig10a_optimizer.dir/bench_fig10a_optimizer.cc.o.d"
+  "bench_fig10a_optimizer"
+  "bench_fig10a_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

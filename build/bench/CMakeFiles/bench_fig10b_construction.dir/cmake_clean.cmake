@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_construction.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig10b_construction.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig10b_construction.dir/bench_fig10b_construction.cc.o"
+  "CMakeFiles/bench_fig10b_construction.dir/bench_fig10b_construction.cc.o.d"
+  "bench_fig10b_construction"
+  "bench_fig10b_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

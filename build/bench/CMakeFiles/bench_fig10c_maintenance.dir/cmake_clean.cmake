@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_maintenance.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig10c_maintenance.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig10c_maintenance.dir/bench_fig10c_maintenance.cc.o"
+  "CMakeFiles/bench_fig10c_maintenance.dir/bench_fig10c_maintenance.cc.o.d"
+  "bench_fig10c_maintenance"
+  "bench_fig10c_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

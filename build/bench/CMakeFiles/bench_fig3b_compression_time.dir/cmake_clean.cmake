@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_compression_time.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig3b_compression_time.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig3b_compression_time.dir/bench_fig3b_compression_time.cc.o"
+  "CMakeFiles/bench_fig3b_compression_time.dir/bench_fig3b_compression_time.cc.o.d"
+  "bench_fig3b_compression_time"
+  "bench_fig3b_compression_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_compression_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

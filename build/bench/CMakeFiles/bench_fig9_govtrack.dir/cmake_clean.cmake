@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_govtrack.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig9_govtrack.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig9_govtrack.dir/bench_fig9_govtrack.cc.o"
+  "CMakeFiles/bench_fig9_govtrack.dir/bench_fig9_govtrack.cc.o.d"
+  "bench_fig9_govtrack"
+  "bench_fig9_govtrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_govtrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

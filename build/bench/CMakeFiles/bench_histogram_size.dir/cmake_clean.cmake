@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_histogram_size.dir/bench_common.cc.o"
+  "CMakeFiles/bench_histogram_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_histogram_size.dir/bench_histogram_size.cc.o"
+  "CMakeFiles/bench_histogram_size.dir/bench_histogram_size.cc.o.d"
+  "bench_histogram_size"
+  "bench_histogram_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_histogram_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_govtrack_sessions.dir/govtrack_sessions.cpp.o"
+  "CMakeFiles/example_govtrack_sessions.dir/govtrack_sessions.cpp.o.d"
+  "example_govtrack_sessions"
+  "example_govtrack_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_govtrack_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

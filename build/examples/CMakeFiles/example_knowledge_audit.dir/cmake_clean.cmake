@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_knowledge_audit.dir/knowledge_audit.cpp.o"
+  "CMakeFiles/example_knowledge_audit.dir/knowledge_audit.cpp.o.d"
+  "example_knowledge_audit"
+  "example_knowledge_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_knowledge_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

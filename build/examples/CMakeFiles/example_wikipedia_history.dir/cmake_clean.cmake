@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wikipedia_history.dir/wikipedia_history.cpp.o"
+  "CMakeFiles/example_wikipedia_history.dir/wikipedia_history.cpp.o.d"
+  "example_wikipedia_history"
+  "example_wikipedia_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wikipedia_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

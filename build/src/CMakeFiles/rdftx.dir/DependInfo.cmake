@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/naive_store.cc" "src/CMakeFiles/rdftx.dir/baselines/naive_store.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/baselines/naive_store.cc.o.d"
+  "/root/repo/src/baselines/namedgraph_store.cc" "src/CMakeFiles/rdftx.dir/baselines/namedgraph_store.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/baselines/namedgraph_store.cc.o.d"
+  "/root/repo/src/baselines/rdbms_store.cc" "src/CMakeFiles/rdftx.dir/baselines/rdbms_store.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/baselines/rdbms_store.cc.o.d"
+  "/root/repo/src/baselines/reification_store.cc" "src/CMakeFiles/rdftx.dir/baselines/reification_store.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/baselines/reification_store.cc.o.d"
+  "/root/repo/src/core/rdftx.cc" "src/CMakeFiles/rdftx.dir/core/rdftx.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/core/rdftx.cc.o.d"
+  "/root/repo/src/dict/dictionary.cc" "src/CMakeFiles/rdftx.dir/dict/dictionary.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/dict/dictionary.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/rdftx.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/CMakeFiles/rdftx.dir/engine/operators.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/engine/operators.cc.o.d"
+  "/root/repo/src/engine/translate.cc" "src/CMakeFiles/rdftx.dir/engine/translate.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/engine/translate.cc.o.d"
+  "/root/repo/src/mvbt/key.cc" "src/CMakeFiles/rdftx.dir/mvbt/key.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/mvbt/key.cc.o.d"
+  "/root/repo/src/mvbt/leaf_block.cc" "src/CMakeFiles/rdftx.dir/mvbt/leaf_block.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/mvbt/leaf_block.cc.o.d"
+  "/root/repo/src/mvbt/mvbt.cc" "src/CMakeFiles/rdftx.dir/mvbt/mvbt.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/mvbt/mvbt.cc.o.d"
+  "/root/repo/src/mvbt/sync_join.cc" "src/CMakeFiles/rdftx.dir/mvbt/sync_join.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/mvbt/sync_join.cc.o.d"
+  "/root/repo/src/mvsbt/cmvsbt.cc" "src/CMakeFiles/rdftx.dir/mvsbt/cmvsbt.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/mvsbt/cmvsbt.cc.o.d"
+  "/root/repo/src/optimizer/char_set.cc" "src/CMakeFiles/rdftx.dir/optimizer/char_set.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/optimizer/char_set.cc.o.d"
+  "/root/repo/src/optimizer/histogram.cc" "src/CMakeFiles/rdftx.dir/optimizer/histogram.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/optimizer/histogram.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/rdftx.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/rdf/temporal_graph.cc" "src/CMakeFiles/rdftx.dir/rdf/temporal_graph.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/rdf/temporal_graph.cc.o.d"
+  "/root/repo/src/sparqlt/ast.cc" "src/CMakeFiles/rdftx.dir/sparqlt/ast.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/sparqlt/ast.cc.o.d"
+  "/root/repo/src/sparqlt/lexer.cc" "src/CMakeFiles/rdftx.dir/sparqlt/lexer.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/sparqlt/lexer.cc.o.d"
+  "/root/repo/src/sparqlt/parser.cc" "src/CMakeFiles/rdftx.dir/sparqlt/parser.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/sparqlt/parser.cc.o.d"
+  "/root/repo/src/temporal/interval.cc" "src/CMakeFiles/rdftx.dir/temporal/interval.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/temporal/interval.cc.o.d"
+  "/root/repo/src/temporal/temporal_set.cc" "src/CMakeFiles/rdftx.dir/temporal/temporal_set.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/temporal/temporal_set.cc.o.d"
+  "/root/repo/src/util/date.cc" "src/CMakeFiles/rdftx.dir/util/date.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/util/date.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/rdftx.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/rdftx.dir/util/status.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/util/status.cc.o.d"
+  "/root/repo/src/util/varint.cc" "src/CMakeFiles/rdftx.dir/util/varint.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/util/varint.cc.o.d"
+  "/root/repo/src/workload/govtrack_gen.cc" "src/CMakeFiles/rdftx.dir/workload/govtrack_gen.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/workload/govtrack_gen.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/rdftx.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/wikipedia_gen.cc" "src/CMakeFiles/rdftx.dir/workload/wikipedia_gen.cc.o" "gcc" "src/CMakeFiles/rdftx.dir/workload/wikipedia_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

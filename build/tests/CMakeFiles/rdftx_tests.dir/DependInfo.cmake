@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/rdftx_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/rdftx_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/cmvsbt_test.cc" "tests/CMakeFiles/rdftx_tests.dir/cmvsbt_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/cmvsbt_test.cc.o.d"
+  "/root/repo/tests/date_test.cc" "tests/CMakeFiles/rdftx_tests.dir/date_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/date_test.cc.o.d"
+  "/root/repo/tests/dictionary_test.cc" "tests/CMakeFiles/rdftx_tests.dir/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/dictionary_test.cc.o.d"
+  "/root/repo/tests/engine_edge_test.cc" "tests/CMakeFiles/rdftx_tests.dir/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/engine_edge_test.cc.o.d"
+  "/root/repo/tests/engine_sync_join_test.cc" "tests/CMakeFiles/rdftx_tests.dir/engine_sync_join_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/engine_sync_join_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/rdftx_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/leaf_block_test.cc" "tests/CMakeFiles/rdftx_tests.dir/leaf_block_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/leaf_block_test.cc.o.d"
+  "/root/repo/tests/lexer_test.cc" "tests/CMakeFiles/rdftx_tests.dir/lexer_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/lexer_test.cc.o.d"
+  "/root/repo/tests/mvbt_stress_test.cc" "tests/CMakeFiles/rdftx_tests.dir/mvbt_stress_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/mvbt_stress_test.cc.o.d"
+  "/root/repo/tests/mvbt_test.cc" "tests/CMakeFiles/rdftx_tests.dir/mvbt_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/mvbt_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/rdftx_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/rdftx_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/rdftx_facade_test.cc" "tests/CMakeFiles/rdftx_tests.dir/rdftx_facade_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/rdftx_facade_test.cc.o.d"
+  "/root/repo/tests/sync_join_test.cc" "tests/CMakeFiles/rdftx_tests.dir/sync_join_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/sync_join_test.cc.o.d"
+  "/root/repo/tests/temporal_graph_test.cc" "tests/CMakeFiles/rdftx_tests.dir/temporal_graph_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/temporal_graph_test.cc.o.d"
+  "/root/repo/tests/temporal_set_test.cc" "tests/CMakeFiles/rdftx_tests.dir/temporal_set_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/temporal_set_test.cc.o.d"
+  "/root/repo/tests/union_optional_test.cc" "tests/CMakeFiles/rdftx_tests.dir/union_optional_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/union_optional_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/rdftx_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/rdftx_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdftx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
