@@ -1,0 +1,99 @@
+// Concurrent query serving: throughput of ONE shared QueryEngine under
+// 1/2/4/8 client threads (the tentpole scenario of the thread-safety
+// PR), plus single-client latency with engine-internal parallelism
+// (EngineOptions::num_threads). On a multicore host the 4-client row
+// should reach >= 2x the 1-client queries/sec; on a single hardware
+// thread the series degenerates to ~1x but still exercises the
+// concurrent paths.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/query_gen.h"
+
+namespace {
+
+using namespace rdftx;
+using namespace rdftx::bench;
+
+// Total executions per throughput measurement, split across clients.
+constexpr int kQueriesPerRun = 240;
+
+double QueriesPerSecond(const engine::QueryEngine& engine,
+                        const std::vector<std::string>& queries,
+                        int clients) {
+  // Warm-up pass (index caches, dictionary) on one thread.
+  for (const auto& q : queries) {
+    auto r = engine.Execute(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const int per_client = kQueriesPerRun / clients;
+  std::atomic<int> errors{0};
+  double secs = TimeSeconds([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < per_client; ++i) {
+          const auto& q = queries[(c + i) % queries.size()];
+          if (!engine.Execute(q).ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "%d queries failed\n", errors.load());
+    std::exit(1);
+  }
+  return static_cast<double>(per_client * clients) / secs;
+}
+
+}  // namespace
+
+int main() {
+  Fixture f = MakeWikipedia(Scaled(60000));
+  Rng rng(21);
+  auto queries = workload::MakeSelectionQueries(f.data, *f.dict, 6, &rng);
+  auto joins = workload::MakeJoinQueries(f.data, *f.dict, 4, &rng);
+  queries.insert(queries.end(), joins.begin(), joins.end());
+  auto bundle = BuildOptimizer(f);
+  auto store = BuildStore(System::kRdfTx, f);
+
+  std::printf("# hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // (a) Serving throughput: external client threads sharing one engine.
+  engine::QueryEngine shared(store.get(), f.dict.get());
+  shared.set_join_order_provider(bundle->optimizer->AsProvider());
+  PrintSeriesHeader("Concurrent serving (one shared engine)",
+                    {"client_threads", "queries_per_sec", "speedup"});
+  double base_qps = 0.0;
+  for (int clients : {1, 2, 4, 8}) {
+    double qps = QueriesPerSecond(shared, queries, clients);
+    if (clients == 1) base_qps = qps;
+    PrintSeriesRow({std::to_string(clients), Fmt(qps),
+                    Fmt(qps / base_qps)});
+  }
+  std::printf("\n");
+
+  // (b) Intra-query parallelism: one client, engine-internal pool.
+  PrintSeriesHeader("Intra-query parallelism (single client)",
+                    {"num_threads", "avg_ms_per_query"});
+  for (int workers : {1, 2, 4}) {
+    engine::EngineOptions options;
+    options.num_threads = workers;
+    engine::QueryEngine eng(store.get(), f.dict.get(), options);
+    eng.set_join_order_provider(bundle->optimizer->AsProvider());
+    PrintSeriesRow({std::to_string(workers),
+                    Fmt(AvgQueryMillis(eng, queries))});
+  }
+  return 0;
+}

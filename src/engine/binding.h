@@ -43,12 +43,30 @@ struct Cell {
 
   bool operator==(const Cell&) const = default;
   std::string ToString() const { return is_time ? time.ToString() : term; }
+
+  /// Appends a canonical type-tagged fingerprint (raw term text / raw
+  /// run endpoints, never the display rendering) plus a separator to
+  /// `out`. All duplicate elimination uses this one encoding, so a term
+  /// string that happens to render like a time cell cannot collide with
+  /// one.
+  void AppendFingerprint(std::string* out) const;
 };
 
-/// Query result: named columns over rows of cells.
+/// Per-query execution counters, owned by the query that produced them
+/// (the engine itself holds no cross-query mutable state).
+struct ExecStats {
+  uint64_t patterns_scanned = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t join_output_rows = 0;
+  uint64_t result_rows = 0;
+};
+
+/// Query result: named columns over rows of cells, plus the execution
+/// counters of the query that produced it.
 struct ResultSet {
   std::vector<std::string> columns;
   std::vector<std::vector<Cell>> rows;
+  ExecStats stats;
 
   std::string ToString() const;
 };

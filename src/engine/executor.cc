@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "mvbt/sync_join.h"
@@ -42,11 +43,48 @@ int ConstantCount(const CompiledPattern& cp) {
   return n;
 }
 
+/// Accumulates one query part's counters into the query total.
+void MergeStats(const ExecStats& in, ExecStats* out) {
+  out->patterns_scanned += in.patterns_scanned;
+  out->rows_scanned += in.rows_scanned;
+  out->join_output_rows += in.join_output_rows;
+  out->result_rows += in.result_rows;
+}
+
+std::string RowFingerprint(const std::vector<Cell>& cells) {
+  std::string fp;
+  for (const Cell& cell : cells) cell.AppendFingerprint(&fp);
+  return fp;
+}
+
 }  // namespace
+
+void Cell::AppendFingerprint(std::string* out) const {
+  if (is_time) {
+    out->push_back('T');
+    for (const Interval& run : time.runs()) {
+      out->append(std::to_string(run.start));
+      out->push_back(',');
+      out->append(std::to_string(run.end));
+      out->push_back(';');
+    }
+  } else {
+    out->push_back('S');
+    out->append(term);
+  }
+  out->push_back('\x1F');
+}
 
 QueryEngine::QueryEngine(const TemporalStore* store, const Dictionary* dict,
                          EngineOptions options)
-    : store_(store), dict_(dict), options_(options) {}
+    : store_(store), dict_(dict), options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<size_t>(options_.num_threads));
+  }
+}
+
+QueryEngine::~QueryEngine() = default;
 
 std::vector<int> QueryEngine::GreedyOrder(const CompiledQuery& cq) {
   const size_t n = cq.patterns.size();
@@ -103,15 +141,22 @@ Result<ResultSet> QueryEngine::Execute(std::string_view text) const {
 
 Result<ResultSet> QueryEngine::Execute(const sparqlt::Query& query) const {
   if (!query.union_branches.empty()) {
-    // UNION: run each branch with the outer projection, concatenate,
-    // and eliminate duplicates across branches (set semantics).
+    // UNION: run each branch with the outer projection, concatenate in
+    // branch order, and eliminate duplicates across branches (set
+    // semantics). Branches are independent, so they run in parallel;
+    // the merge below walks them in declaration order, keeping the
+    // output deterministic.
     if (query.select.empty()) {
       return Status::InvalidArgument(
           "UNION queries need an explicit SELECT list");
     }
-    ResultSet merged;
-    merged.columns = query.select;
-    std::set<std::string> seen;
+    const size_t nb = query.union_branches.size();
+    // Compile (and pick join orders) serially: compilation is cheap and
+    // any error surfaces deterministically.
+    std::vector<CompiledQuery> compiled;
+    std::vector<std::vector<int>> orders;
+    compiled.reserve(nb);
+    orders.reserve(nb);
     for (const sparqlt::Query& branch : query.union_branches) {
       auto cq = Compile(branch, *dict_);
       if (!cq.ok()) return cq.status();
@@ -127,19 +172,32 @@ Result<ResultSet> QueryEngine::Execute(const sparqlt::Query& query) const {
         }
         cq->projection.push_back(slot);
       }
-      std::vector<int> order = join_order_provider_
-                                   ? join_order_provider_(*cq)
-                                   : GreedyOrder(*cq);
-      auto rs = Run(branch, *cq, order);
+      orders.push_back(join_order_provider_ ? join_order_provider_(*cq)
+                                            : GreedyOrder(*cq));
+      compiled.push_back(std::move(*cq));
+    }
+    std::vector<std::optional<Result<ResultSet>>> branch_results(nb);
+    util::ParallelFor(pool_.get(), nb, [&](size_t i) {
+      branch_results[i].emplace(
+          Run(query.union_branches[i], compiled[i], orders[i]));
+    });
+    ResultSet merged;
+    merged.columns = query.select;
+    std::set<std::string> seen;
+    for (size_t i = 0; i < nb; ++i) {
+      Result<ResultSet>& rs = *branch_results[i];
       if (!rs.ok()) return rs.status();
+      MergeStats(rs->stats, &merged.stats);
       for (auto& row : rs->rows) {
-        std::string fp;
-        for (const Cell& cell : row) {
-          fp += cell.ToString();
-          fp.push_back('\x1F');
+        if (seen.insert(RowFingerprint(row)).second) {
+          merged.rows.push_back(std::move(row));
         }
-        if (seen.insert(fp).second) merged.rows.push_back(std::move(row));
       }
+    }
+    merged.stats.result_rows = merged.rows.size();
+    {
+      std::lock_guard<std::mutex> lock(last_stats_mutex_);
+      last_stats_ = merged.stats;
     }
     return merged;
   }
@@ -162,7 +220,7 @@ Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
                                    const CompiledQuery& cq,
                                    const std::vector<int>& order) const {
   (void)query;
-  stats_ = ExecStats{};
+  ExecStats stats;
   if (order.size() != cq.patterns.size()) {
     return Status::InvalidArgument("join order size mismatch");
   }
@@ -181,73 +239,77 @@ Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
   std::vector<Row> rows;
   const bool sync_joined =
       options_.join_algorithm == JoinAlgorithm::kSynchronized &&
-      TrySynchronizedJoin(cq, &rows);
+      TrySynchronizedJoin(cq, &rows, &stats);
   if (!sync_joined) {
+    const size_t n = order.size();
+    // With a pool, all pattern scans are independent of the join chain
+    // and run up front in parallel; the joins below then consume the
+    // prefetched row sets in plan order, so the output (and the stats
+    // merge order) is identical to the serial pipeline. Serially,
+    // scanning stays lazy so an empty intermediate result still skips
+    // the remaining scans.
+    std::vector<std::vector<Row>> scanned(n);
+    std::vector<ExecStats> scan_stats(n);
+    const bool prescanned = pool_ != nullptr && n > 1;
+    if (prescanned) {
+      util::ParallelFor(pool_.get(), n, [&](size_t step) {
+        ScanToRows(*store_,
+                   cq.patterns[static_cast<size_t>(order[step])], num_vars,
+                   cq.vars, &scanned[step], &scan_stats[step]);
+      });
+      for (const ExecStats& s : scan_stats) MergeStats(s, &stats);
+    }
     std::set<int> bound_keys;
-    for (size_t step = 0; step < order.size(); ++step) {
+    for (size_t step = 0; step < n; ++step) {
       const CompiledPattern& cp =
           cq.patterns[static_cast<size_t>(order[step])];
-      std::vector<Row> scanned;
-      ScanToRows(*store_, cp, num_vars, cq.vars, &scanned);
-      ++stats_.patterns_scanned;
-      stats_.rows_scanned += scanned.size();
+      if (!prescanned) {
+        ScanToRows(*store_, cp, num_vars, cq.vars, &scanned[step], &stats);
+      }
       if (step == 0) {
-        rows = std::move(scanned);
+        rows = std::move(scanned[step]);
       } else {
         std::vector<int> shared;
         for (int slot : KeySlots(cp)) {
           if (bound_keys.contains(slot)) shared.push_back(slot);
         }
-        rows = HashJoinRows(rows, scanned, shared);
-        stats_.join_output_rows += rows.size();
+        rows = HashJoinRows(rows, scanned[step], shared);
+        stats.join_output_rows += rows.size();
       }
       for (int slot : KeySlots(cp)) bound_keys.insert(slot);
-      if (rows.empty()) break;
+      if (rows.empty() && !prescanned) break;
     }
   }
 
   // OPTIONAL groups: evaluate each group, then left-join it onto the
   // running solutions (unmatched rows keep the group's variables
-  // unbound).
+  // unbound). Groups are independent of each other and of the main
+  // block, so they evaluate in parallel; the left joins apply in
+  // declaration order.
   if (!cq.optionals.empty() && !rows.empty()) {
     std::set<int> main_bound;
     for (const CompiledPattern& cp : cq.patterns) {
       for (int slot : KeySlots(cp)) main_bound.insert(slot);
     }
-    for (const CompiledOptional& opt : cq.optionals) {
-      std::vector<Row> group;
+    const size_t ng = cq.optionals.size();
+    std::vector<std::vector<Row>> groups(ng);
+    std::vector<ExecStats> group_stats(ng);
+    util::ParallelFor(pool_.get(), ng, [&](size_t i) {
+      groups[i] =
+          EvalOptionalGroup(cq.optionals[i], cq, ctx, &group_stats[i]);
+    });
+    for (size_t i = 0; i < ng; ++i) {
+      MergeStats(group_stats[i], &stats);
       std::set<int> block_bound;
-      for (size_t i = 0; i < opt.patterns.size(); ++i) {
-        const CompiledPattern& cp = opt.patterns[i];
-        std::vector<Row> scanned;
-        ScanToRows(*store_, cp, num_vars, cq.vars, &scanned);
-        ++stats_.patterns_scanned;
-        stats_.rows_scanned += scanned.size();
-        if (i == 0) {
-          group = std::move(scanned);
-        } else {
-          std::vector<int> shared;
-          for (int slot : KeySlots(cp)) {
-            if (block_bound.contains(slot)) shared.push_back(slot);
-          }
-          group = HashJoinRows(group, scanned, shared);
-        }
+      for (const CompiledPattern& cp : cq.optionals[i].patterns) {
         for (int slot : KeySlots(cp)) block_bound.insert(slot);
-        if (group.empty()) break;
       }
-      // Group-local filters run on the group's own matches.
-      std::erase_if(group, [&](const Row& row) {
-        for (const sparqlt::Expr* f : opt.filters) {
-          if (!EvalPredicate(*f, row, ctx)) return true;
-        }
-        return false;
-      });
       std::vector<int> shared;
       for (int slot : block_bound) {
         if (main_bound.contains(slot)) shared.push_back(slot);
       }
-      rows = LeftHashJoinRows(rows, group, shared);
-      stats_.join_output_rows += rows.size();
+      rows = LeftHashJoinRows(rows, groups[i], shared);
+      stats.join_output_rows += rows.size();
       for (int slot : block_bound) main_bound.insert(slot);
     }
   }
@@ -279,7 +341,6 @@ Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
   const bool allow_unbound = !cq.optionals.empty();
   for (const Row& row : kept) {
     std::vector<Cell> cells;
-    std::string fingerprint;
     bool complete = true;
     for (int slot : cq.projection) {
       const VarInfo& info = cq.vars[static_cast<size_t>(slot)];
@@ -288,7 +349,6 @@ Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
         cell.is_time = true;
         cell.time = row.times[static_cast<size_t>(slot)];
         if (cell.time.empty()) complete = false;
-        fingerprint += cell.time.ToString();
       } else {
         TermId id = row.terms[static_cast<size_t>(slot)];
         if (id == kInvalidTerm) {
@@ -296,22 +356,59 @@ Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
         } else {
           cell.term = dict_->Decode(id);
         }
-        fingerprint += cell.term;
       }
-      fingerprint.push_back('\x1F');
       cells.push_back(std::move(cell));
     }
     if (!complete && !allow_unbound) continue;
-    if (seen.insert(fingerprint).second) {
+    if (seen.insert(RowFingerprint(cells)).second) {
       result.rows.push_back(std::move(cells));
     }
   }
-  stats_.result_rows = result.rows.size();
+  stats.result_rows = result.rows.size();
+  result.stats = stats;
+  {
+    std::lock_guard<std::mutex> lock(last_stats_mutex_);
+    last_stats_ = stats;
+  }
   return result;
 }
 
+std::vector<Row> QueryEngine::EvalOptionalGroup(const CompiledOptional& opt,
+                                                const CompiledQuery& cq,
+                                                const EvalContext& ctx,
+                                                ExecStats* stats) const {
+  const size_t num_vars = cq.vars.size();
+  std::vector<Row> group;
+  std::set<int> block_bound;
+  for (size_t i = 0; i < opt.patterns.size(); ++i) {
+    const CompiledPattern& cp = opt.patterns[i];
+    std::vector<Row> scanned;
+    ScanToRows(*store_, cp, num_vars, cq.vars, &scanned, stats);
+    if (i == 0) {
+      group = std::move(scanned);
+    } else {
+      std::vector<int> shared;
+      for (int slot : KeySlots(cp)) {
+        if (block_bound.contains(slot)) shared.push_back(slot);
+      }
+      group = HashJoinRows(group, scanned, shared);
+    }
+    for (int slot : KeySlots(cp)) block_bound.insert(slot);
+    if (group.empty()) break;
+  }
+  // Group-local filters run on the group's own matches.
+  std::erase_if(group, [&](const Row& row) {
+    for (const sparqlt::Expr* f : opt.filters) {
+      if (!EvalPredicate(*f, row, ctx)) return true;
+    }
+    return false;
+  });
+  return group;
+}
+
 bool QueryEngine::TrySynchronizedJoin(const CompiledQuery& cq,
-                                      std::vector<Row>* rows) const {
+                                      std::vector<Row>* rows,
+                                      ExecStats* stats) const {
   // Shape check: exactly two patterns, no OPTIONAL groups, a shared
   // temporal variable (the temporal join), a shared subject variable,
   // and an MVBT store.
@@ -355,7 +452,9 @@ bool QueryEngine::TrySynchronizedJoin(const CompiledQuery& cq,
   const IndexOrder order_b = TemporalGraph::ChooseIndex(b.spec);
 
   // Join fragments, then group per logical record pair and coalesce the
-  // emitted intersections into the binding's temporal element.
+  // emitted intersections into the binding's temporal element. The join
+  // partitions its node-pair work across the pool; emission happens on
+  // this thread in deterministic pair order either way.
   struct PairKey {
     Triple ta, tb;
     auto operator<=>(const PairKey&) const = default;
@@ -372,8 +471,9 @@ bool QueryEngine::TrySynchronizedJoin(const CompiledQuery& cq,
         groups[{TemporalGraph::DecodeKey(order_a, ea.key),
                 TemporalGraph::DecodeKey(order_b, eb.key)}]
             .push_back(iv);
-      });
-  stats_.patterns_scanned += 2;
+      },
+      /*stats=*/nullptr, pool_.get());
+  stats->patterns_scanned += 2;
 
   const size_t num_vars = cq.vars.size();
   for (auto& [pair, ivs] : groups) {
@@ -389,7 +489,7 @@ bool QueryEngine::TrySynchronizedJoin(const CompiledQuery& cq,
         TemporalSet::FromIntervals(ivs);
     rows->push_back(std::move(row));
   }
-  stats_.join_output_rows += rows->size();
+  stats->join_output_rows += rows->size();
   return true;
 }
 

@@ -5,6 +5,8 @@
 #define RDFTX_ENGINE_EXECUTOR_H_
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "engine/translate.h"
 #include "rdf/store_interface.h"
 #include "sparqlt/parser.h"
+#include "util/thread_pool.h"
 
 namespace rdftx::engine {
 
@@ -32,14 +35,12 @@ struct EngineOptions {
   /// "now" for measuring live runs; 0 means "use store->last_time()".
   Chronon now = 0;
   JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
-};
-
-/// Per-query execution counters.
-struct ExecStats {
-  uint64_t patterns_scanned = 0;
-  uint64_t rows_scanned = 0;
-  uint64_t join_output_rows = 0;
-  uint64_t result_rows = 0;
+  /// Worker threads for intra-query parallelism: independent pattern
+  /// scans, UNION branches, OPTIONAL groups, and synchronized-join
+  /// partitions. <= 1 keeps the serial pipeline (no pool is created).
+  /// The pool is shared by all queries running on this engine, so the
+  /// engine stays safe to call from many threads either way.
+  int num_threads = 1;
 };
 
 /// Chooses a join order (a permutation of pattern indices) for a
@@ -47,10 +48,18 @@ struct ExecStats {
 using JoinOrderProvider =
     std::function<std::vector<int>(const CompiledQuery&)>;
 
+/// A query engine over an immutable-after-load store. Execute() is safe
+/// to call concurrently from any number of threads: every query carries
+/// its own ExecStats (returned in ResultSet::stats) and the engine
+/// mutates no shared state on the read path.
 class QueryEngine {
  public:
   QueryEngine(const TemporalStore* store, const Dictionary* dict,
               EngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Parses and runs a SPARQLt query.
   Result<ResultSet> Execute(std::string_view text) const;
@@ -63,12 +72,20 @@ class QueryEngine {
   Result<ResultSet> ExecutePlan(const sparqlt::Query& query,
                                 const std::vector<int>& order) const;
 
-  /// Installs the optimizer's join-order callback.
+  /// Installs the optimizer's join-order callback. Not thread-safe;
+  /// call during setup, before the engine serves queries.
   void set_join_order_provider(JoinOrderProvider provider) {
     join_order_provider_ = std::move(provider);
   }
 
-  const ExecStats& last_stats() const { return stats_; }
+  /// Deprecated shim: a mutex-guarded snapshot of the counters of the
+  /// most recently *finished* Execute. Only meaningful when the engine
+  /// serves one query at a time — under concurrency the snapshot is
+  /// whichever query completed last. Prefer ResultSet::stats.
+  ExecStats last_stats() const {
+    std::lock_guard<std::mutex> lock(last_stats_mutex_);
+    return last_stats_;
+  }
 
   /// Fallback order: starts from the most selective-looking pattern
   /// (most constants) and greedily appends connected patterns.
@@ -80,15 +97,26 @@ class QueryEngine {
                         const std::vector<int>& order) const;
 
   /// Synchronized-join fast path; returns true and fills `rows` when
-  /// the query shape and store support it.
-  bool TrySynchronizedJoin(const CompiledQuery& cq,
-                           std::vector<Row>* rows) const;
+  /// the query shape and store support it. Counters accumulate into
+  /// `stats`.
+  bool TrySynchronizedJoin(const CompiledQuery& cq, std::vector<Row>* rows,
+                           ExecStats* stats) const;
+
+  /// Evaluates one OPTIONAL group (scans + inner joins + group-local
+  /// filters) independently of the main solutions.
+  std::vector<Row> EvalOptionalGroup(const CompiledOptional& opt,
+                                     const CompiledQuery& cq,
+                                     const EvalContext& ctx,
+                                     ExecStats* stats) const;
 
   const TemporalStore* store_;
   const Dictionary* dict_;
   EngineOptions options_;
   JoinOrderProvider join_order_provider_;
-  mutable ExecStats stats_;
+  /// Intra-query worker pool; null when options_.num_threads <= 1.
+  std::unique_ptr<util::ThreadPool> pool_;
+  mutable std::mutex last_stats_mutex_;
+  mutable ExecStats last_stats_;
 };
 
 }  // namespace rdftx::engine

@@ -65,12 +65,39 @@ struct Value {
   const TemporalSet* time = nullptr;
 };
 
-// ∃ point x in `set` with point-classifier `fn`(x) `op` c. Runs of a
-// year or longer contain every month and day-of-month value, so only
-// short runs need a point scan.
+// True iff some value v in [lo, hi] satisfies v `op` c. Decides whether
+// a comparison against a point classifier bounded to that value range
+// is satisfiable at all.
+bool RangeSatisfiable(int64_t lo, int64_t hi, CompareOp op, int64_t c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lo <= c && c <= hi;
+    case CompareOp::kNe:
+      return lo < hi || lo != c;
+    case CompareOp::kLt:
+      return lo < c;
+    case CompareOp::kLe:
+      return lo <= c;
+    case CompareOp::kGt:
+      return hi > c;
+    case CompareOp::kGe:
+      return hi >= c;
+  }
+  return false;
+}
+
+// ∃ point x in `set` with point-classifier `fn`(x) `op` c, where fn
+// only produces values in [lo, hi] (MONTH: 1..12, DAY: 1..31). When no
+// value in that range can satisfy the comparison (MONTH(?t) = 13,
+// DAY(?t) < 1, ...), no point anywhere can, so the answer is false
+// regardless of run length. Otherwise runs of a year or longer contain
+// every classifier value — any 366-day span covers a whole January,
+// hence all days 1..31 and all months 1..12 — so only short runs need
+// a point scan.
 template <typename Fn>
 bool ExistsPoint(const TemporalSet& set, Fn fn, CompareOp op, int64_t c,
-                 Chronon now) {
+                 Chronon now, int64_t lo, int64_t hi) {
+  if (!RangeSatisfiable(lo, hi, op, c)) return false;
   for (const Interval& run : set.runs()) {
     Chronon end = std::min(run.end, now);
     if (end <= run.start) continue;
@@ -373,11 +400,11 @@ class Evaluator {
       return ExistsPoint(
           set,
           [](Chronon x) { return static_cast<int64_t>(ChrononMonth(x)); },
-          op, scalar.num, ctx_.now);
+          op, scalar.num, ctx_.now, /*lo=*/1, /*hi=*/12);
     }
     return ExistsPoint(
         set, [](Chronon x) { return static_cast<int64_t>(ChrononDay(x)); },
-        op, scalar.num, ctx_.now);
+        op, scalar.num, ctx_.now, /*lo=*/1, /*hi=*/31);
   }
 
   static CompareOp Flip(CompareOp op) {
@@ -416,7 +443,9 @@ bool EvalPredicate(const Expr& expr, const Row& row,
 
 void ScanToRows(const TemporalStore& store, const CompiledPattern& cp,
                 size_t num_vars, const std::vector<VarInfo>& vars,
-                std::vector<Row>* out) {
+                std::vector<Row>* out, ExecStats* stats) {
+  if (stats != nullptr) ++stats->patterns_scanned;
+  const size_t before = out->size();
   if (cp.never_matches || cp.spec.time.empty()) return;
   std::unordered_map<Triple, std::vector<Interval>, TripleHash> groups;
   store.ScanPattern(cp.spec, [&](const Triple& t, const Interval& iv) {
@@ -465,6 +494,7 @@ void ScanToRows(const TemporalStore& store, const CompiledPattern& cp,
     }
     out->push_back(std::move(row));
   }
+  if (stats != nullptr) stats->rows_scanned += out->size() - before;
 }
 
 namespace {

@@ -31,10 +31,13 @@ bool EvalPredicate(const sparqlt::Expr& expr, const Row& row,
 /// Scans one compiled pattern into binding rows. Fragments are grouped
 /// per matching triple; the temporal variable (if any) binds to the
 /// coalesced validity clipped to the scan window, or to the full
-/// temporal element when the variable needs it.
+/// temporal element when the variable needs it. When `stats` is given,
+/// the scan accounts itself there (one patterns_scanned, rows_scanned
+/// += rows produced); stats objects are per-query values, never engine
+/// state, so concurrent scans with distinct stats never race.
 void ScanToRows(const TemporalStore& store, const CompiledPattern& cp,
                 size_t num_vars, const std::vector<VarInfo>& vars,
-                std::vector<Row>* out);
+                std::vector<Row>* out, ExecStats* stats = nullptr);
 
 /// Hash join of two row sets on `shared_key_slots` (term equality).
 /// Temporal slots bound on both sides intersect (the temporal join);

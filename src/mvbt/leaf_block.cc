@@ -331,6 +331,14 @@ void LeafBlock::Visit(const std::function<bool(const Entry&)>& fn) const {
   // compressed leaves and a per-visit allocation would dominate. The
   // buffer is checked out of a pool stack so a callback that triggers
   // another Visit (e.g. a validity expansion probe) gets its own.
+  //
+  // The pool is bounded: each thread retains at most kMaxPooledBuffers
+  // buffers of at most kMaxPooledCapacity entries. Long-lived worker
+  // threads would otherwise keep their high-water mark alive for the
+  // whole process lifetime (see the lifetime note on Visit() in
+  // leaf_block.h).
+  constexpr size_t kMaxPooledBuffers = 4;
+  constexpr size_t kMaxPooledCapacity = 4096;
   thread_local std::vector<std::vector<Entry>> pool;
   std::vector<Entry> entries;
   if (!pool.empty()) {
@@ -341,7 +349,11 @@ void LeafBlock::Visit(const std::function<bool(const Entry&)>& fn) const {
   for (const Entry& e : entries) {
     if (!fn(e)) break;
   }
-  pool.push_back(std::move(entries));
+  if (pool.size() < kMaxPooledBuffers &&
+      entries.capacity() <= kMaxPooledCapacity) {
+    entries.clear();
+    pool.push_back(std::move(entries));
+  }
 }
 
 std::vector<Entry> LeafBlock::Decode() const {

@@ -73,6 +73,13 @@ class LeafBlock {
   bool FindLive(const Key3& key, Entry* out) const;
 
   /// Visits every entry in append order; return false to stop.
+  ///
+  /// Lifetime note: compressed visits decode through a small
+  /// thread_local scratch-buffer pool that lives until the calling
+  /// thread exits. The pool is bounded (a few buffers, each capped in
+  /// capacity), so long-lived worker threads hold only a small constant
+  /// amount of scratch, not their historical high-water mark. Safe to
+  /// call concurrently from many threads on an immutable block.
   void Visit(const std::function<bool(const Entry&)>& fn) const;
 
   /// Copies all entries out in append order.

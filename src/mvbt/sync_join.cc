@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace rdftx::mvbt {
@@ -10,7 +11,9 @@ namespace {
 using Node = Mvbt::Node;
 
 // Decoded-record cache: one decode per node regardless of how many node
-// pairs it participates in.
+// pairs it participates in. Under a pool each worker owns its own cache
+// (a node spanning two partitions is decoded once per partition — the
+// price of lock-free caching).
 class RecordCache {
  public:
   explicit RecordCache(SyncJoinStats* stats) : stats_(stats) {}
@@ -37,6 +40,26 @@ struct SweepEvent {
   const Node* node;
 };
 
+/// One overlapping leaf pair (na from tree a, nb from tree b).
+struct NodePair {
+  const Node* na;
+  const Node* nb;
+};
+
+/// A buffered output row of one worker's partition.
+struct Emission {
+  Entry ea;
+  Entry eb;
+  Interval iv;
+};
+
+void MergeSyncStats(const SyncJoinStats& in, SyncJoinStats* out) {
+  out->node_pairs += in.node_pairs;
+  out->cache_hits += in.cache_hits;
+  out->cache_misses += in.cache_misses;
+  out->output_rows += in.output_rows;
+}
+
 }  // namespace
 
 void SynchronizedJoin(
@@ -44,7 +67,7 @@ void SynchronizedJoin(
     const KeyRange& rb, const Interval& tb, const SyncJoinSpec& spec,
     const std::function<void(const Entry&, const Entry&, const Interval&)>&
         emit,
-    SyncJoinStats* stats) {
+    SyncJoinStats* stats, util::ThreadPool* pool) {
   const Interval shared = ta.Intersect(tb);
   if (shared.empty()) return;
 
@@ -76,13 +99,40 @@ void SynchronizedJoin(
               return x.is_start < y.is_start;
             });
 
-  RecordCache cache(stats);
-  std::vector<const Node*> active_a, active_b;
+  std::vector<NodePair> pairs;
+  {
+    std::vector<const Node*> active_a, active_b;
+    for (const SweepEvent& ev : events) {
+      std::vector<const Node*>& mine = ev.from_a ? active_a : active_b;
+      if (!ev.is_start) {
+        mine.erase(std::find(mine.begin(), mine.end(), ev.node));
+        continue;
+      }
+      const std::vector<const Node*>& others =
+          ev.from_a ? active_b : active_a;
+      for (const Node* other : others) {
+        if (ev.from_a) {
+          pairs.push_back({ev.node, other});
+        } else {
+          pairs.push_back({other, ev.node});
+        }
+      }
+      mine.push_back(ev.node);
+    }
+  }
+  if (pairs.empty()) return;
 
-  auto join_pair = [&](const Node* na, const Node* nb) {
-    if (stats != nullptr) ++stats->node_pairs;
-    const std::vector<Entry>& ea = cache.Get(na);
-    const std::vector<Entry>& eb = cache.Get(nb);
+  // Step (ii): join the record fragments of each pair. `sink` receives
+  // the outputs of one pair; in the serial path it is the caller's emit,
+  // under a pool it is the worker's buffer (flushed below in pair
+  // order, so emission order matches the serial join exactly).
+  auto join_pair = [&](const NodePair& pair, RecordCache* cache,
+                       SyncJoinStats* pair_stats,
+                       const std::function<void(const Entry&, const Entry&,
+                                                const Interval&)>& sink) {
+    if (pair_stats != nullptr) ++pair_stats->node_pairs;
+    const std::vector<Entry>& ea = cache->Get(pair.na);
+    const std::vector<Entry>& eb = cache->Get(pair.nb);
     // Per-pair hash join on the join keys (build on the smaller side).
     const bool build_a = ea.size() <= eb.size();
     const std::vector<Entry>& build = build_a ? ea : eb;
@@ -115,31 +165,49 @@ void SynchronizedJoin(
         Interval iv = e.interval().Intersect(other.interval());
         iv = iv.Intersect(shared);
         if (iv.empty()) continue;
-        if (stats != nullptr) ++stats->output_rows;
+        if (pair_stats != nullptr) ++pair_stats->output_rows;
         if (build_a) {
-          emit(other, e, iv);
+          sink(other, e, iv);
         } else {
-          emit(e, other, iv);
+          sink(e, other, iv);
         }
       }
     }
   };
 
-  for (const SweepEvent& ev : events) {
-    std::vector<const Node*>& mine = ev.from_a ? active_a : active_b;
-    if (!ev.is_start) {
-      mine.erase(std::find(mine.begin(), mine.end(), ev.node));
-      continue;
+  const size_t workers = pool == nullptr ? 0 : pool->num_threads();
+  if (workers == 0 || pairs.size() <= 1) {
+    RecordCache cache(stats);
+    for (const NodePair& pair : pairs) {
+      join_pair(pair, &cache, stats, emit);
     }
-    const std::vector<const Node*>& others = ev.from_a ? active_b : active_a;
-    for (const Node* other : others) {
-      if (ev.from_a) {
-        join_pair(ev.node, other);
-      } else {
-        join_pair(other, ev.node);
-      }
+    return;
+  }
+
+  // Step (iii), parallel: contiguous partitions of the pair list, one
+  // per ParallelFor chunk; workers buffer their outputs and this thread
+  // flushes the buffers in partition order afterwards.
+  const size_t partitions = std::min(workers + 1, pairs.size());
+  const size_t per = pairs.size() / partitions;
+  const size_t extra = pairs.size() % partitions;
+  std::vector<std::vector<Emission>> buffers(partitions);
+  std::vector<SyncJoinStats> partition_stats(partitions);
+  util::ParallelFor(pool, partitions, [&](size_t p) {
+    const size_t begin = p * per + std::min(p, extra);
+    const size_t end = begin + per + (p < extra ? 1 : 0);
+    RecordCache cache(&partition_stats[p]);
+    std::vector<Emission>& buffer = buffers[p];
+    auto sink = [&buffer](const Entry& x, const Entry& y,
+                          const Interval& iv) {
+      buffer.push_back({x, y, iv});
+    };
+    for (size_t i = begin; i < end; ++i) {
+      join_pair(pairs[i], &cache, &partition_stats[p], sink);
     }
-    mine.push_back(ev.node);
+  });
+  for (size_t p = 0; p < partitions; ++p) {
+    if (stats != nullptr) MergeSyncStats(partition_stats[p], stats);
+    for (const Emission& e : buffers[p]) emit(e.ea, e.eb, e.iv);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <functional>
 
 #include "mvbt/mvbt.h"
+#include "util/thread_pool.h"
 
 namespace rdftx::mvbt {
 
@@ -42,12 +43,18 @@ struct SyncJoinStats {
 /// Runs the synchronized join between region (ra, ta) of tree `a` and
 /// region (rb, tb) of tree `b`. `emit` receives the two fragments and
 /// the intersection of their intervals with both time ranges.
+///
+/// With a `pool`, the node-pair work is partitioned across the workers,
+/// each with its own RecordCache and output buffer; `emit` still runs
+/// only on the calling thread, in the same deterministic pair order as
+/// the serial join, so callers need no locking. The key extractors in
+/// `spec` are invoked concurrently and must be stateless.
 void SynchronizedJoin(
     const Mvbt& a, const KeyRange& ra, const Interval& ta, const Mvbt& b,
     const KeyRange& rb, const Interval& tb, const SyncJoinSpec& spec,
     const std::function<void(const Entry&, const Entry&, const Interval&)>&
         emit,
-    SyncJoinStats* stats = nullptr);
+    SyncJoinStats* stats = nullptr, util::ThreadPool* pool = nullptr);
 
 }  // namespace rdftx::mvbt
 

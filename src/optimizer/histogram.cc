@@ -107,8 +107,11 @@ double TemporalHistogram::RangeCount(const mvsbt::Cmvsbt& starts,
   ck = ck * 0x9E3779B97F4A7C15ull + key;
   ck = ck * 0x9E3779B97F4A7C15ull + window.start;
   ck = ck * 0x9E3779B97F4A7C15ull + window.end;
-  auto it = cache_.find(ck);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(ck);
+    if (it != cache_.end()) return it->second;
+  }
 
   const Chronon border =
       window.end == kChrononNow ? kChrononMax : window.end - 1;
@@ -117,7 +120,10 @@ double TemporalHistogram::RangeCount(const mvsbt::Cmvsbt& starts,
   double started = starts.QueryExact(key, border);
   double ended = window.start == 0 ? 0.0 : ends.QueryExact(key, window.start);
   double result = std::max(0.0, started - ended);
-  cache_.emplace(ck, result);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.emplace(ck, result);
+  }
   return result;
 }
 
@@ -147,7 +153,10 @@ double TemporalHistogram::EstimatePredicateTriples(
   return total;
 }
 
-void TemporalHistogram::ClearCache() const { cache_.clear(); }
+void TemporalHistogram::ClearCache() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
 
 size_t TemporalHistogram::MemoryUsage() const {
   return subj_starts_.MemoryUsage() + subj_ends_.MemoryUsage() +

@@ -7,6 +7,7 @@
 #ifndef RDFTX_OPTIMIZER_HISTOGRAM_H_
 #define RDFTX_OPTIMIZER_HISTOGRAM_H_
 
+#include <mutex>
 #include <unordered_map>
 
 #include "mvsbt/cmvsbt.h"
@@ -71,6 +72,10 @@ class TemporalHistogram {
   Chronon horizon_ = 0;  // substitute for `now` on live records
   std::unordered_map<uint64_t, uint64_t> dense_occ_keys_;
 
+  /// Per-optimization statistics cache (§6.3). Mutex-guarded so
+  /// concurrent queries can optimize against one shared histogram; the
+  /// CMVSBTs themselves are immutable after construction.
+  mutable std::mutex cache_mutex_;
   mutable std::unordered_map<uint64_t, double> cache_;
 };
 

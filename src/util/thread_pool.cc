@@ -1,0 +1,90 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rdftx::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = pool == nullptr ? 0 : pool->num_threads();
+  if (workers == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Caller takes one chunk too, so small n never leaves it idle.
+  const size_t chunks = std::min(workers + 1, n);
+  const size_t per = n / chunks;
+  const size_t extra = n % chunks;  // first `extra` chunks get one more
+  auto chunk_bounds = [per, extra](size_t c) {
+    const size_t begin = c * per + std::min(c, extra);
+    return std::pair<size_t, size_t>{begin,
+                                     begin + per + (c < extra ? 1 : 0)};
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
+    futures.push_back(pool->Submit([c, &chunk_bounds, &fn] {
+      auto [begin, end] = chunk_bounds(c);
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  auto [begin, end] = chunk_bounds(0);
+  for (size_t i = begin; i < end; ++i) fn(i);
+  // Help drain the queue while waiting: an empty queue means every
+  // still-pending chunk is actively running on some other thread, so a
+  // plain wait cannot deadlock even when this thread is itself a pool
+  // worker inside a nested ParallelFor.
+  for (std::future<void>& f : futures) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool->RunOneTask()) f.wait();
+    }
+  }
+}
+
+}  // namespace rdftx::util

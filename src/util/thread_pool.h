@@ -1,0 +1,86 @@
+// A small fixed-size worker pool for intra-query parallelism (pattern
+// scans, UNION branches, synchronized-join partitions). No work
+// stealing: a single locked FIFO feeds N workers, which is plenty for
+// the coarse-grained tasks the engine submits. Submit() is thread-safe,
+// so one pool can be shared by many concurrent queries.
+#ifndef RDFTX_UTIL_THREAD_POOL_H_
+#define RDFTX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rdftx::util {
+
+/// Fixed-N thread pool. Constructing with num_threads <= 1 creates no
+/// workers and Submit() runs tasks inline on the caller, so a pool
+/// pointer can be threaded through code paths unconditionally.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Graceful shutdown: queued tasks finish before the workers exit.
+  ~ThreadPool();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Pops and runs one queued task on the calling thread; false when
+  /// the queue is empty. Lets a thread that is waiting for its own
+  /// futures make progress instead of blocking, which keeps nested
+  /// fork/join (a pool worker calling ParallelFor) deadlock-free.
+  bool RunOneTask();
+
+  /// Schedules `fn` and returns a future for its result. Runs inline
+  /// when the pool has no workers (or is shutting down).
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    bool inline_run = workers_.empty();
+    if (!inline_run) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        inline_run = true;
+      } else {
+        queue_.emplace_back([task] { (*task)(); });
+      }
+    }
+    if (inline_run) {
+      (*task)();
+    } else {
+      cv_.notify_one();
+    }
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n). With a usable pool the range is cut
+/// into contiguous chunks, the caller executes the first chunk and the
+/// workers the rest; the call returns when every index has run. Without
+/// a pool (nullptr or no workers) it is a plain serial loop. `fn` must
+/// be safe to invoke concurrently for distinct indices.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace rdftx::util
+
+#endif  // RDFTX_UTIL_THREAD_POOL_H_

@@ -75,6 +75,82 @@ TEST(TemporalSetTest, AddMaintainsNormalization) {
   EXPECT_EQ(ts.runs()[0], Interval(0, 5));
 }
 
+TEST(TemporalSetTest, AddMergesAdjacentHalfOpenRunAtBack) {
+  // [10,20) + [20,30): adjacent half-open runs are one run of points.
+  // Exercises the back-merge path (start == back.end, not > back.end).
+  TemporalSet ts;
+  ts.Add({10, 20});
+  ts.Add({20, 30});
+  ASSERT_EQ(ts.runs().size(), 1u);
+  EXPECT_EQ(ts.runs()[0], Interval(10, 30));
+}
+
+TEST(TemporalSetTest, AddBackMergeSwallowsSuffixOfRuns) {
+  // A run overlapping the last several runs collapses them all.
+  TemporalSet ts;
+  ts.Add({0, 5});
+  ts.Add({10, 15});
+  ts.Add({20, 25});
+  ts.Add({30, 35});
+  ts.Add({12, 40});  // swallows {10,15},{20,25},{30,35}
+  ASSERT_EQ(ts.runs().size(), 2u);
+  EXPECT_EQ(ts.runs()[0], Interval(0, 5));
+  EXPECT_EQ(ts.runs()[1], Interval(10, 40));
+}
+
+TEST(TemporalSetTest, AddMidSetInsertTakesRebuildPath) {
+  // An interval strictly inside the span that doesn't reach the back
+  // run's end falls through to the rebuild path and must stay sorted,
+  // disjoint, and coalesced.
+  TemporalSet ts;
+  ts.Add({0, 5});
+  ts.Add({20, 25});
+  ts.Add({40, 45});
+  ts.Add({8, 12});  // between runs, no merge
+  ASSERT_EQ(ts.runs().size(), 4u);
+  EXPECT_EQ(ts.runs()[1], Interval(8, 12));
+  ts.Add({11, 21});  // bridges {8,12} and {20,25} mid-set
+  ASSERT_EQ(ts.runs().size(), 3u);
+  EXPECT_EQ(ts.runs()[0], Interval(0, 5));
+  EXPECT_EQ(ts.runs()[1], Interval(8, 25));
+  EXPECT_EQ(ts.runs()[2], Interval(40, 45));
+}
+
+TEST(TemporalSetTest, AddAdjacentMidSetCoalesces) {
+  // Half-open adjacency in the middle of the set (rebuild path).
+  TemporalSet ts;
+  ts.Add({0, 5});
+  ts.Add({10, 15});
+  ts.Add({30, 35});
+  ts.Add({5, 10});  // meets both neighbours exactly
+  ASSERT_EQ(ts.runs().size(), 2u);
+  EXPECT_EQ(ts.runs()[0], Interval(0, 15));
+  EXPECT_EQ(ts.runs()[1], Interval(30, 35));
+}
+
+TEST(TemporalSetTest, AddContainedIntervalIsNoOp) {
+  TemporalSet ts;
+  ts.Add({0, 10});
+  ts.Add({20, 30});
+  ts.Add({3, 7});  // already covered, rebuild path
+  ASSERT_EQ(ts.runs().size(), 2u);
+  EXPECT_EQ(ts.runs()[0], Interval(0, 10));
+  EXPECT_EQ(ts.runs()[1], Interval(20, 30));
+  ts.Add({25, 30});  // suffix of back run, back-merge path
+  ASSERT_EQ(ts.runs().size(), 2u);
+  EXPECT_EQ(ts.runs()[1], Interval(20, 30));
+}
+
+TEST(TemporalSetTest, AddEmptyIntervalIgnored) {
+  TemporalSet ts;
+  ts.Add({5, 5});
+  EXPECT_TRUE(ts.empty());
+  ts.Add({10, 20});
+  ts.Add({15, 15});
+  ASSERT_EQ(ts.runs().size(), 1u);
+  EXPECT_EQ(ts.runs()[0], Interval(10, 20));
+}
+
 TEST(TemporalSetTest, Intersect) {
   auto a = TemporalSet::FromIntervals({{0, 10}, {20, 30}});
   auto b = TemporalSet::FromIntervals({{5, 25}});
