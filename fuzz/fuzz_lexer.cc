@@ -1,0 +1,31 @@
+// Lexer fuzzer: Tokenize must never crash or trip UB on arbitrary
+// bytes, and on success must produce a well-formed token stream.
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "sparqlt/lexer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto tokens = rdftx::sparqlt::Tokenize(input);
+  if (!tokens.ok()) {
+    // Errors must be structured ParseErrors, never other categories.
+    RDFTX_FUZZ_CHECK(
+        tokens.status().code() == rdftx::StatusCode::kParseError,
+        "lexer error has code %d", static_cast<int>(tokens.status().code()));
+    return 0;
+  }
+  RDFTX_FUZZ_CHECK(!tokens->empty(), "ok lex with no tokens");
+  RDFTX_FUZZ_CHECK(tokens->back().kind == rdftx::sparqlt::TokenKind::kEof,
+                   "token stream does not end with EOF");
+  size_t prev_offset = 0;
+  for (const rdftx::sparqlt::Token& t : *tokens) {
+    RDFTX_FUZZ_CHECK(t.offset <= size, "token offset %zu beyond input %zu",
+                     t.offset, size);
+    RDFTX_FUZZ_CHECK(t.offset >= prev_offset,
+                     "token offsets not nondecreasing");
+    prev_offset = t.offset;
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Parser fuzzer: Parse must never crash, overflow the stack, or trip
+// UB on arbitrary bytes; failures must surface as structured
+// ParseErrors, and accepted queries must be structurally well-formed.
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "sparqlt/ast.h"
+#include "sparqlt/parser.h"
+
+namespace {
+
+// Accepted queries round-trip through ToString() without crashing and
+// satisfy the Query shape contract: either pattern-form (>= 1 pattern)
+// or union-form (>= 2 branches, each itself well-formed).
+void CheckQueryShape(const rdftx::sparqlt::Query& q) {
+  if (!q.union_branches.empty()) {
+    RDFTX_FUZZ_CHECK(q.union_branches.size() >= 2,
+                     "UNION query with %zu branch", q.union_branches.size());
+    for (const rdftx::sparqlt::Query& b : q.union_branches) CheckQueryShape(b);
+    return;
+  }
+  RDFTX_FUZZ_CHECK(!q.patterns.empty() || !q.optionals.empty(),
+                   "accepted query has no patterns");
+  for (const auto& f : q.filters) {
+    RDFTX_FUZZ_CHECK(f != nullptr, "null filter expression");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto query = rdftx::sparqlt::Parse(input);
+  if (!query.ok()) {
+    RDFTX_FUZZ_CHECK(
+        query.status().code() == rdftx::StatusCode::kParseError,
+        "parser error has code %d", static_cast<int>(query.status().code()));
+    RDFTX_FUZZ_CHECK(!query.status().message().empty(),
+                     "parse error without a message");
+    return 0;
+  }
+  CheckQueryShape(*query);
+  // Pretty-printing an accepted query must not crash (the printer is a
+  // debug aid, so the output is not required to re-parse — literals are
+  // printed unquoted).
+  const std::string printed = query->ToString();
+  RDFTX_FUZZ_CHECK(!printed.empty(), "accepted query prints empty");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the fuzz harnesses: a bounded byte reader that
+// turns the fuzzer's input into integers/choices, and an abort-on-error
+// check macro (a fuzzer "finding" is a crash, so failed expectations
+// abort with a message instead of returning).
+#ifndef RDFTX_FUZZ_FUZZ_UTIL_H_
+#define RDFTX_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rdftx::fuzz {
+
+/// Consumes the fuzzer input front to back; returns zeros once drained,
+/// so harness behavior is a pure function of the input bytes.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  uint8_t U8() { return empty() ? 0 : data_[pos_++]; }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | U8();
+    return v;
+  }
+
+  bool Bool() { return (U8() & 1) != 0; }
+
+  /// Uniform-ish pick in [0, n); n must be > 0.
+  uint64_t Pick(uint64_t n) { return U64() % n; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+#define RDFTX_FUZZ_CHECK(cond, ...)                              \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      std::fprintf(stderr, "FUZZ CHECK FAILED: %s\n  ", #cond);  \
+      std::fprintf(stderr, __VA_ARGS__);                         \
+      std::fprintf(stderr, "\n");                                \
+      std::abort();                                              \
+    }                                                            \
+  } while (0)
+
+}  // namespace rdftx::fuzz
+
+#endif  // RDFTX_FUZZ_FUZZ_UTIL_H_

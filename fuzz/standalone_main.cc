@@ -1,0 +1,138 @@
+// Standalone driver for the fuzz targets, used when the toolchain has
+// no libFuzzer (-fsanitize=fuzzer). Mimics the libFuzzer CLI closely
+// enough that CI and local commands are identical across toolchains:
+//
+//   fuzz_parser corpus_dir ...          replay every file, then mutate
+//   fuzz_parser -max_total_time=60 dir  time-boxed random + mutation run
+//   fuzz_parser file                    replay one input
+//
+// Unknown '-' options are ignored (libFuzzer parity). This is a smoke
+// driver, not a coverage-guided fuzzer: it replays the corpus, then
+// spends the time budget on random bytes and corpus mutations under
+// whatever sanitizers the build enabled.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+bool ReadFile(const std::filesystem::path& path, Input* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  out->assign(std::istreambuf_iterator<char>(f),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+void RunOne(const Input& input) {
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+Input Mutate(const Input& seed, std::mt19937_64& rng) {
+  Input out = seed;
+  const int kind = static_cast<int>(rng() % 4);
+  if (out.empty() || kind == 0) {
+    // Append random bytes.
+    const size_t n = 1 + rng() % 16;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<uint8_t>(rng()));
+    }
+    return out;
+  }
+  switch (kind) {
+    case 1:  // flip bytes
+      for (size_t i = 0, n = 1 + rng() % 8; i < n; ++i) {
+        out[rng() % out.size()] = static_cast<uint8_t>(rng());
+      }
+      break;
+    case 2:  // truncate
+      out.resize(rng() % out.size());
+      break;
+    default:  // duplicate a slice
+      {
+        const size_t at = rng() % out.size();
+        const size_t len = 1 + rng() % (out.size() - at);
+        out.insert(out.end(), out.begin() + static_cast<ptrdiff_t>(at),
+                   out.begin() + static_cast<ptrdiff_t>(at + len));
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Input> corpus;
+  long max_total_time = 0;
+  size_t replayed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::strtol(arg.c_str() + 16, nullptr, 10);
+      continue;
+    }
+    if (arg == "--smoke" && i + 1 < argc) {
+      max_total_time = std::strtol(argv[++i], nullptr, 10);
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag parity
+
+    std::filesystem::path path(arg);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path, ec)) {
+        Input input;
+        if (entry.is_regular_file() && ReadFile(entry.path(), &input)) {
+          RunOne(input);
+          corpus.push_back(std::move(input));
+          ++replayed;
+        }
+      }
+    } else {
+      Input input;
+      if (!ReadFile(path, &input)) {
+        std::fprintf(stderr, "cannot read %s\n", arg.c_str());
+        return 2;
+      }
+      RunOne(input);
+      corpus.push_back(std::move(input));
+      ++replayed;
+    }
+  }
+  std::fprintf(stderr, "standalone: replayed %zu corpus inputs\n", replayed);
+
+  if (max_total_time > 0) {
+    std::mt19937_64 rng(0x5eed);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(max_total_time);
+    uint64_t execs = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      Input input;
+      if (!corpus.empty() && rng() % 4 != 0) {
+        input = Mutate(corpus[rng() % corpus.size()], rng);
+      } else {
+        input.resize(rng() % 512);
+        for (uint8_t& b : input) b = static_cast<uint8_t>(rng());
+      }
+      RunOne(input);
+      ++execs;
+    }
+    std::fprintf(stderr, "standalone: %llu random/mutated executions\n",
+                 static_cast<unsigned long long>(execs));
+  }
+  return 0;
+}

@@ -37,6 +37,8 @@ Mvbt::Mvbt(const MvbtOptions& options) : options_(options) {
   strong_max_ = std::max(weak_min_ * 2 + 2, b * 4 / 5);
   Node* root = NewNode(/*is_leaf=*/true, /*created=*/0,
                        KeyRange{kKeyMin, kKeyMax});
+  root->root_at_creation = true;
+  root->strong_exempt = true;
   roots_.push_back(RootEntry{0, kChrononNow, root});
   live_root_ = root;
   stats_.roots = 1;
@@ -167,8 +169,13 @@ void Mvbt::RestructureLeaf(Node* leaf, Chronon t, bool try_merge) {
 
   KeyRange range = leaf->range;
   Node* sib = nullptr;
+  bool strong_exempt = false;
   if (try_merge || keys.size() < weak_min_ * 2) {
     sib = FindLiveSibling(leaf);
+    // The strong version condition's lower bound is unenforceable when
+    // there is no live sibling to merge with, or when the merge partner
+    // is itself below the weak minimum (analysis/invariants.cc).
+    strong_exempt = sib == nullptr || sib->live_count < weak_min_;
     if (sib != nullptr) {
       ++stats_.merges;
       sib->block.CapLiveEntries(t, &keys);
@@ -201,6 +208,8 @@ void Mvbt::RestructureLeaf(Node* leaf, Chronon t, bool try_merge) {
     new_nodes = {n};
   }
   for (Node* n : new_nodes) {
+    n->created_live = n->live_count;
+    n->strong_exempt = strong_exempt;
     AttachBacklinks(n, leaf);
     if (sib != nullptr) AttachBacklinks(n, sib);
   }
@@ -230,8 +239,10 @@ void Mvbt::RestructureInner(Node* inner, Chronon t, bool try_merge) {
 
   KeyRange range = inner->range;
   Node* sib = nullptr;
+  bool strong_exempt = false;
   if (try_merge || live.size() < weak_min_ * 2) {
     sib = FindLiveSibling(inner);
+    strong_exempt = sib == nullptr || sib->live_count < weak_min_;
     if (sib != nullptr) {
       ++stats_.merges;
       extract(sib);
@@ -265,6 +276,10 @@ void Mvbt::RestructureInner(Node* inner, Chronon t, bool try_merge) {
     }
     new_nodes = {n};
   }
+  for (Node* n : new_nodes) {
+    n->created_live = n->live_count;
+    n->strong_exempt = strong_exempt;
+  }
 
   if (inner->parent == nullptr) {
     InstallNewRoot(new_nodes, t);
@@ -276,7 +291,13 @@ void Mvbt::RestructureInner(Node* inner, Chronon t, bool try_merge) {
 void Mvbt::InPlaceSplitLeaf(Node* leaf, Chronon t) {
   leaf->block.PurgeEmptyEntries();
   leaf->live_count = leaf->block.count();
-  if (leaf->block.count() <= options_.block_capacity) return;
+  if (leaf->block.count() <= options_.block_capacity) {
+    // Same-version reorganization, not a paper restructure: record the
+    // new composition but exempt it from the strong condition bounds.
+    leaf->created_live = leaf->live_count;
+    leaf->strong_exempt = true;
+    return;
+  }
 
   ++stats_.inplace_splits;
   ++stats_.key_splits;
@@ -302,6 +323,10 @@ void Mvbt::InPlaceSplitLeaf(Node* leaf, Chronon t) {
   leaf->block = std::move(left);
   leaf->live_count = leaf->block.count();
   sib->live_count = sib->block.count();
+  leaf->created_live = leaf->live_count;
+  sib->created_live = sib->live_count;
+  leaf->strong_exempt = false;
+  sib->strong_exempt = false;
 
   if (leaf->parent == nullptr) {
     // A root split at creation version: hoist a fresh inner root above
@@ -310,6 +335,8 @@ void Mvbt::InPlaceSplitLeaf(Node* leaf, Chronon t) {
     root->entries.push_back(IndexEntry{leaf->range.lo, t, kChrononNow, leaf});
     root->entries.push_back(IndexEntry{sib->range.lo, t, kChrononNow, sib});
     root->live_count = 2;
+    root->created_live = 2;
+    root->strong_exempt = true;
     leaf->parent = root;
     sib->parent = root;
     InstallNewRoot({root}, t);
@@ -326,7 +353,11 @@ void Mvbt::InPlaceSplitInner(Node* inner, Chronon t) {
   std::erase_if(inner->entries,
                 [](const IndexEntry& e) { return e.start == e.end; });
   inner->live_count = inner->entries.size();
-  if (inner->entries.size() <= options_.block_capacity) return;
+  if (inner->entries.size() <= options_.block_capacity) {
+    inner->created_live = inner->live_count;
+    inner->strong_exempt = true;
+    return;
+  }
 
   ++stats_.inplace_splits;
   ++stats_.key_splits;
@@ -350,6 +381,10 @@ void Mvbt::InPlaceSplitInner(Node* inner, Chronon t) {
   inner->entries = std::move(left);
   inner->live_count = inner->entries.size();
   sib->live_count = sib->entries.size();
+  inner->created_live = inner->live_count;
+  sib->created_live = sib->live_count;
+  inner->strong_exempt = false;
+  sib->strong_exempt = false;
 
   if (inner->parent == nullptr) {
     Node* root = NewNode(false, t, KeyRange{kKeyMin, kKeyMax});
@@ -357,6 +392,8 @@ void Mvbt::InPlaceSplitInner(Node* inner, Chronon t) {
         IndexEntry{inner->range.lo, t, kChrononNow, inner});
     root->entries.push_back(IndexEntry{sib->range.lo, t, kChrononNow, sib});
     root->live_count = 2;
+    root->created_live = 2;
+    root->strong_exempt = true;
     inner->parent = root;
     sib->parent = root;
     InstallNewRoot({root}, t);
@@ -431,7 +468,10 @@ void Mvbt::InstallNewRoot(const std::vector<Node*>& new_nodes, Chronon t) {
       ++new_root->live_count;
       n->parent = new_root;
     }
+    new_root->created_live = new_root->live_count;
+    new_root->strong_exempt = true;
   }
+  new_root->root_at_creation = true;
   new_root->parent = nullptr;
   if (roots_.back().start == t) {
     roots_.back().node = new_root;
@@ -551,6 +591,19 @@ size_t Mvbt::CompressAllLeaves(CompressionStats* stats) {
     }
   }
   return compressed;
+}
+
+void Mvbt::ForEachNode(const std::function<void(const Node&)>& fn) const {
+  for (const Node& n : arena_) fn(n);
+}
+
+void Mvbt::ForEachNodeMutable(const std::function<void(Node&)>& fn) {
+  for (Node& n : arena_) fn(n);
+}
+
+void Mvbt::ForEachRoot(
+    const std::function<void(Chronon, Chronon, const Node*)>& fn) const {
+  for (const RootEntry& r : roots_) fn(r.start, r.end, r.node);
 }
 
 Status Mvbt::ValidateNode(const Node* node, const KeyRange& range) const {

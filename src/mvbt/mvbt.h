@@ -140,6 +140,16 @@ class Mvbt {
     // Inner state.
     std::vector<IndexEntry> entries;
 
+    // Analysis instrumentation (analysis/invariants.cc): the live entry
+    // count at the end of the structure change that produced (or last
+    // same-version-reorganized) this node, whether it was installed as a
+    // root, and whether the strong version condition was unenforceable
+    // (no live sibling to merge with, or the merge partner was itself
+    // below the weak minimum).
+    size_t created_live = 0;
+    bool root_at_creation = false;
+    bool strong_exempt = false;
+
     bool alive() const { return dead == kChrononNow; }
     Interval lifespan() const { return Interval(created, dead); }
   };
@@ -154,6 +164,26 @@ class Mvbt {
   /// backward-link walk (steps (i)+(ii) of §5.2.1).
   void CollectRegionLeaves(const KeyRange& range, const Interval& time,
                            std::vector<const Node*>* out) const;
+
+  // --- introspection for analysis::ValidateMvbt and white-box tests ---
+
+  /// Visits every node ever created (dead and alive), in creation order.
+  void ForEachNode(const std::function<void(const Node&)>& fn) const;
+
+  /// Mutable variant, for corruption-injection tests only.
+  void ForEachNodeMutable(const std::function<void(Node&)>& fn);
+
+  /// Visits the root directory in temporal order: (start, end, node).
+  void ForEachRoot(
+      const std::function<void(Chronon, Chronon, const Node*)>& fn) const;
+
+  /// The weak version condition's minimum live entries (the paper's d).
+  size_t weak_min() const { return weak_min_; }
+
+  /// Post-restructure maximum live entries (strong version condition).
+  size_t strong_max() const { return strong_max_; }
+
+  const Node* live_root() const { return live_root_; }
 
  private:
   struct RootEntry {

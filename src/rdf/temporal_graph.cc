@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <unordered_map>
 
+#ifdef RDFTX_CHECK_INVARIANTS
+#include "analysis/invariants.h"
+#endif
+
 namespace rdftx {
 namespace {
 
@@ -134,6 +138,11 @@ Status TemporalGraph::Load(const std::vector<TemporalTriple>& triples) {
                              : Retract(ev.triple, ev.time);
     RDFTX_RETURN_IF_ERROR(st);
   }
+#ifdef RDFTX_CHECK_INVARIANTS
+  // Invariant-checked builds verify the whole forest after each batch of
+  // nondecreasing-time updates (see DESIGN.md "Invariant catalog").
+  RDFTX_RETURN_IF_ERROR(analysis::ValidateTemporalGraph(*this));
+#endif
   return Status::OK();
 }
 
@@ -165,7 +174,6 @@ void TemporalGraph::ScanPattern(const PatternSpec& spec,
 
 TemporalSet TemporalGraph::Validity(const Triple& t) const {
   const Key3 k = EncodeKey(IndexOrder::kSpo, t);
-  TemporalSet out;
   std::vector<Interval> runs;
   index(IndexOrder::kSpo)
       .QueryRange(KeyRange{k, k}, Interval::All(),

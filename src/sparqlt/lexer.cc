@@ -193,8 +193,19 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       } else if (text.find('.') == std::string::npos &&
                  text.find('/') == std::string::npos &&
                  text.find('-') == std::string::npos) {
-        out.push_back(
-            {TokenKind::kNumber, text, std::stoll(text), 0, start});
+        // Accumulate by hand: std::stoll throws std::out_of_range on
+        // oversized digit runs, which would escape as a crash instead
+        // of a ParseError.
+        int64_t value = 0;
+        for (char d : text) {
+          if (value > (INT64_MAX - (d - '0')) / 10) {
+            return Status::ParseError("number '" + text +
+                                      "' too large at offset " +
+                                      std::to_string(start));
+          }
+          value = value * 10 + (d - '0');
+        }
+        out.push_back({TokenKind::kNumber, text, value, 0, start});
       } else {
         // e.g. "22.7": a literal, not a number we do arithmetic on.
         out.push_back({TokenKind::kIdent, std::move(text), 0, 0, start});

@@ -103,7 +103,14 @@ class Parser {
     size_t i = pos_ + ahead;
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
   }
-  const Token& Advance() { return tokens_[pos_++]; }
+  // Clamps at the trailing EOF token: advancing "past the end" keeps
+  // returning EOF instead of indexing out of bounds, so a parser bug on
+  // truncated input degrades to a ParseError rather than UB.
+  const Token& Advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
 
   Status Error(const std::string& msg) const {
     return Status::ParseError(msg + " (at offset " +
@@ -160,6 +167,13 @@ class Parser {
     return p;
   }
 
+  // Expression recursion is bounded so pathological inputs like ten
+  // thousand '(' or '!' return a ParseError instead of overflowing the
+  // stack. The depth counter is bumped at the two self-recursive sites
+  // (ParseUnary for '!', ParseOperand for '('); 256 is far beyond any
+  // legitimate FILTER.
+  static constexpr int kMaxExprDepth = 256;
+
   Result<ExprPtr> ParseExpr() { return ParseOr(); }
 
   Result<ExprPtr> ParseOr() {
@@ -190,8 +204,11 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (Peek().kind == TokenKind::kBang) {
+      if (depth_ >= kMaxExprDepth) return Error("expression nesting too deep");
+      ++depth_;
       Advance();
       auto inner = ParseUnary();
+      --depth_;
       if (!inner.ok()) return inner.status();
       return MakeUnary(Expr::Kind::kNot, std::move(inner).value());
     }
@@ -263,8 +280,13 @@ class Parser {
       case TokenKind::kIdent:
         return MakeString(Advance().text);
       case TokenKind::kLParen: {
+        if (depth_ >= kMaxExprDepth) {
+          return Error("expression nesting too deep");
+        }
+        ++depth_;
         Advance();
         auto inner = ParseExpr();
+        --depth_;
         if (!inner.ok()) return inner.status();
         RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
         return inner;
@@ -314,6 +336,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  // current expression nesting (see kMaxExprDepth)
 };
 
 }  // namespace

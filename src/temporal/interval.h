@@ -34,8 +34,13 @@ struct Interval {
 
   bool Contains(Chronon t) const { return t >= start && t < end; }
 
+  /// True iff the two intervals share at least one chronon. Empty
+  /// intervals (including inverted ones) overlap nothing; without the
+  /// emptiness guards the textbook formula reports e.g. [5,5) as
+  /// overlapping [0,now), which let zero-length storage fragments leak
+  /// into range-query results.
   bool Overlaps(const Interval& o) const {
-    return start < o.end && o.start < end;
+    return start < o.end && o.start < end && start < end && o.start < o.end;
   }
 
   /// Allen MEETS: this interval ends exactly where `o` starts.

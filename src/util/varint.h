@@ -46,11 +46,13 @@ inline void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
   out->push_back(static_cast<uint8_t>(v));
 }
 
-/// Varint decode; advances *pos.
+/// Varint decode; advances *pos. A malformed run of continuation bytes
+/// (more than 10, i.e. beyond a 64-bit value) stops decoding instead of
+/// shifting past 63 bits, which would be undefined behavior.
 inline uint64_t GetVarint(const uint8_t* data, size_t* pos) {
   uint64_t v = 0;
   unsigned shift = 0;
-  while (true) {
+  while (shift < 64) {
     uint8_t b = data[*pos];
     ++*pos;
     v |= static_cast<uint64_t>(b & 0x7F) << shift;

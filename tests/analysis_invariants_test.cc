@@ -1,0 +1,197 @@
+// Tests for the deep invariant verifier itself: a healthy tree passes,
+// and seeded corruptions of each guarded property are detected. The
+// verifier is the foundation the stress tests and fuzz harnesses stand
+// on, so "does it actually catch breakage" needs direct coverage.
+#include "analysis/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mvbt/mvbt.h"
+#include "temporal/temporal_set.h"
+#include "util/rng.h"
+
+namespace rdftx::analysis {
+namespace {
+
+using mvbt::Key3;
+using mvbt::Mvbt;
+using mvbt::MvbtOptions;
+
+// Grows a tree with enough churn to produce a multi-level forest with
+// dead nodes, backlinks, and compressed leaves.
+void Churn(Mvbt* tree, uint64_t seed, int ops = 4000) {
+  Rng rng(seed);
+  std::vector<Key3> live;
+  Chronon t = 1;
+  for (int i = 0; i < ops; ++i) {
+    t += static_cast<Chronon>(rng.Uniform(2));
+    Key3 k{rng.Uniform(6), rng.Uniform(6), rng.Uniform(20)};
+    if (rng.Bernoulli(0.6)) {
+      if (tree->Insert(k, t).ok()) live.push_back(k);
+    } else if (!live.empty()) {
+      size_t at = rng.Uniform(live.size());
+      if (tree->Erase(live[at], t).ok()) {
+        live[at] = live.back();
+        live.pop_back();
+      }
+    }
+  }
+  tree->CompressAllLeaves();
+}
+
+TEST(InvariantsTest, HealthyTreePasses) {
+  Mvbt tree(MvbtOptions{.block_capacity = 8, .compress_leaves = true});
+  Churn(&tree, 42);
+  Status st = ValidateMvbt(tree);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(InvariantsTest, EmptyTreePasses) {
+  Mvbt tree(MvbtOptions{.block_capacity = 8});
+  Status st = ValidateMvbt(tree);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(InvariantsTest, DetectsBrokenBacklink) {
+  Mvbt tree(MvbtOptions{.block_capacity = 8});
+  Churn(&tree, 7);
+  // Sever the whole backward-link graph. A single severed leaf is not
+  // necessarily detectable (its predecessors may be reachable through a
+  // sibling's chain after a merge), but with every link gone each dead
+  // leaf with a nonempty lifespan is provably unreachable from the live
+  // border.
+  bool severed = false;
+  bool have_dead_leaf = false;
+  tree.ForEachNodeMutable([&](Mvbt::Node& n) {
+    if (!n.is_leaf) return;
+    if (!n.backlinks.empty()) {
+      n.backlinks.clear();
+      severed = true;
+    }
+    if (!n.alive() && n.created < n.dead) have_dead_leaf = true;
+  });
+  ASSERT_TRUE(severed) << "churn produced no backlinks to sever";
+  ASSERT_TRUE(have_dead_leaf) << "churn produced no dead leaves";
+  Status st = ValidateMvbt(tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("unreachable"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(InvariantsTest, DetectsWeakVersionConditionViolation) {
+  Mvbt tree(MvbtOptions{.block_capacity = 8});
+  Churn(&tree, 11);
+  // Close all live entries of one well-populated live non-root leaf
+  // behind the tree's back and fix up the consistency counters, leaving
+  // exactly the weak-condition violation.
+  size_t drained = 0;
+  tree.ForEachNodeMutable([&](Mvbt::Node& n) {
+    if (drained == 0 && n.is_leaf && n.alive() && &n != tree.live_root() &&
+        n.live_count >= tree.weak_min()) {
+      std::vector<Key3> extracted;
+      n.block.CapLiveEntries(kChrononMax, &extracted);
+      drained = extracted.size();
+      n.live_count = 0;
+    }
+  });
+  ASSERT_GT(drained, 0u) << "no live non-root leaf to drain";
+  Status st = ValidateMvbt(tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(InvariantsTest, DetectsLiveCountMismatch) {
+  Mvbt tree(MvbtOptions{.block_capacity = 8});
+  Churn(&tree, 13);
+  bool bumped = false;
+  tree.ForEachNodeMutable([&](Mvbt::Node& n) {
+    if (!bumped && n.is_leaf && n.alive() && n.live_count > 0) {
+      ++n.live_count;
+      bumped = true;
+    }
+  });
+  ASSERT_TRUE(bumped);
+  Status st = ValidateMvbt(tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("live_count"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(InvariantsTest, DetectsStrongVersionConditionViolation) {
+  Mvbt tree(MvbtOptions{.block_capacity = 8});
+  Churn(&tree, 17);
+  // Forge the instrumentation on a restructure output: claim it was
+  // created overfull. The verifier must flag the strong condition.
+  bool forged = false;
+  tree.ForEachNodeMutable([&](Mvbt::Node& n) {
+    if (!forged && !n.root_at_creation && !n.strong_exempt) {
+      n.created_live = tree.strong_max() + 1;
+      forged = true;
+    }
+  });
+  ASSERT_TRUE(forged) << "churn produced no strong-condition-bound node";
+  Status st = ValidateMvbt(tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("strong version condition"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(InvariantsTest, DetectsRouterIntervalCorruption) {
+  Mvbt tree(MvbtOptions{.block_capacity = 8});
+  Churn(&tree, 23);
+  // Shift a closed router entry's end so it matches neither the child's
+  // death nor the parent's.
+  bool shifted = false;
+  tree.ForEachNodeMutable([&](Mvbt::Node& n) {
+    if (shifted || n.is_leaf) return;
+    for (auto& e : n.entries) {
+      if (!e.live() && e.end > e.start + 1) {
+        e.end = e.start + 1;
+        if (e.end != e.child->dead && e.end != n.dead) {
+          shifted = true;
+          return;
+        }
+        // Rare collision: restore and keep looking.
+        e.end = e.child->dead;
+      }
+    }
+  });
+  if (!shifted) GTEST_SKIP() << "no closed router entry to corrupt";
+  Status st = ValidateMvbt(tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(InvariantsTest, ValidateCoalescedRunsCatalog) {
+  // Well-formed.
+  EXPECT_TRUE(ValidateCoalescedRuns({}).ok());
+  EXPECT_TRUE(ValidateCoalescedRuns({{0, 5}}).ok());
+  EXPECT_TRUE(ValidateCoalescedRuns({{0, 5}, {6, 9}, {12, kChrononNow}}).ok());
+  // Empty run.
+  EXPECT_FALSE(ValidateCoalescedRuns({{3, 3}}).ok());
+  // Inverted run.
+  EXPECT_FALSE(ValidateCoalescedRuns({{5, 2}}).ok());
+  // Overlap.
+  EXPECT_FALSE(ValidateCoalescedRuns({{0, 5}, {4, 9}}).ok());
+  // Unsorted.
+  EXPECT_FALSE(ValidateCoalescedRuns({{6, 9}, {0, 5}}).ok());
+  // Adjacent runs must have been coalesced ([0,5) + [5,9) = [0,9)).
+  EXPECT_FALSE(ValidateCoalescedRuns({{0, 5}, {5, 9}}).ok());
+}
+
+TEST(InvariantsTest, ValidateTemporalSetAcceptsNormalForm) {
+  TemporalSet set = TemporalSet::FromIntervals(
+      {{0, 5}, {5, 9}, {20, 30}, {25, 40}});  // coalesces to [0,9) [20,40)
+  Status st = ValidateTemporalSet(set);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(set.runs().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rdftx::analysis

@@ -1,0 +1,66 @@
+// Interval semantics, including the empty-interval Overlaps regression
+// the invariant tooling flushed out of the storage layer.
+#include "temporal/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mvbt/mvbt.h"
+
+namespace rdftx {
+namespace {
+
+TEST(IntervalTest, OverlapsBasics) {
+  EXPECT_TRUE(Interval(0, 10).Overlaps(Interval(5, 15)));
+  EXPECT_TRUE(Interval(5, 15).Overlaps(Interval(0, 10)));
+  EXPECT_TRUE(Interval(0, 10).Overlaps(Interval(3, 4)));
+  EXPECT_FALSE(Interval(0, 10).Overlaps(Interval(10, 20)));  // MEETS
+  EXPECT_FALSE(Interval(10, 20).Overlaps(Interval(0, 10)));
+  EXPECT_TRUE(Interval(0, kChrononNow).Overlaps(Interval(7, 8)));
+}
+
+TEST(IntervalTest, EmptyIntervalsOverlapNothing) {
+  // Regression: the textbook formula start < o.end && o.start < end
+  // reports the empty [5,5) as overlapping [0,now). That let zero-length
+  // storage fragments (insert+erase at the same chronon, or
+  // restructure-capped same-version entries) leak into range-query
+  // results (found by the deep invariant verifier).
+  EXPECT_FALSE(Interval(5, 5).Overlaps(Interval(0, kChrononNow)));
+  EXPECT_FALSE(Interval(0, kChrononNow).Overlaps(Interval(5, 5)));
+  EXPECT_FALSE(Interval(5, 5).Overlaps(Interval(5, 5)));
+  EXPECT_FALSE(Interval(0, 0).Overlaps(Interval(0, 1)));
+  // Inverted (invalid) intervals are treated as empty too.
+  EXPECT_FALSE(Interval(9, 3).Overlaps(Interval(0, kChrononNow)));
+  EXPECT_FALSE(Interval(0, kChrononNow).Overlaps(Interval(9, 3)));
+}
+
+TEST(IntervalTest, ZeroLengthGenerationsEmitNoFragments) {
+  // Storage-level regression for the same bug: a key inserted and erased
+  // at the same chronon has empty validity and must not appear in
+  // full-history range scans.
+  mvbt::Mvbt tree(mvbt::MvbtOptions{.block_capacity = 8});
+  const mvbt::Key3 k{1, 2, 3};
+  ASSERT_TRUE(tree.Insert(k, 5).ok());
+  ASSERT_TRUE(tree.Erase(k, 5).ok());  // zero-length generation
+  ASSERT_TRUE(tree.Insert(k, 7).ok());
+  ASSERT_TRUE(tree.Erase(k, 9).ok());
+
+  std::vector<Interval> got;
+  tree.QueryRange(mvbt::KeyRange{}, Interval::All(),
+                  [&](const mvbt::Key3& key, const Interval& iv) {
+                    EXPECT_EQ(key, k);
+                    got.push_back(iv);
+                  });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Interval(7, 9));
+
+  // And the zero-length generation is invisible to snapshots at its own
+  // chronon.
+  size_t count = 0;
+  tree.QuerySnapshot(mvbt::KeyRange{}, 5, [&](const mvbt::Key3&) { ++count; });
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace rdftx

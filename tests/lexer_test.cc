@@ -128,5 +128,29 @@ TEST(LexerTest, InvalidCharactersRejected) {
   EXPECT_FALSE(Tokenize("? x").ok());
 }
 
+TEST(LexerTest, OversizedNumberIsParseErrorNotCrash) {
+  // Regression: the lexer used std::stoll, which throws out_of_range on
+  // digit runs beyond INT64_MAX — an uncaught exception, i.e. a crash
+  // on attacker-controlled input (found by fuzz_lexer).
+  auto tokens = Tokenize("FILTER(?x = 99999999999999999999999999)");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+  // The largest representable value still lexes.
+  auto ok = Tokenize("9223372036854775807");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)[0].number, INT64_MAX);
+  // One past it does not.
+  EXPECT_FALSE(Tokenize("9223372036854775808").ok());
+}
+
+TEST(LexerTest, UnterminatedStringIsParseError) {
+  auto tokens = Tokenize("SELECT ?x { a b \"unclosed }");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+  // Trailing backslash inside an unterminated string must not read past
+  // the end of the input.
+  EXPECT_FALSE(Tokenize("\"abc\\").ok());
+}
+
 }  // namespace
 }  // namespace rdftx::sparqlt

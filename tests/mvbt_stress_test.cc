@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/invariants.h"
 #include "mvbt/mvbt.h"
 #include "temporal/temporal_set.h"
 #include "util/rng.h"
@@ -78,7 +79,20 @@ TEST_P(MvbtStressTest, SnapshotsStayConsistentUnderChurn) {
     // leaves (the paper's maintenance scenario).
     if (phase % 2 == 0) tree.CompressAllLeaves();
     ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+#ifdef RDFTX_CHECK_INVARIANTS
+    // Invariant-checked builds run the deep verifier after every batch.
+    {
+      Status deep = analysis::ValidateMvbt(tree);
+      ASSERT_TRUE(deep.ok()) << deep.ToString();
+    }
+#endif
     ASSERT_EQ(tree.live_size(), model.live_size());
+  }
+  {
+    // The deep verifier runs at least once per configuration even in
+    // ordinary builds.
+    Status deep = analysis::ValidateMvbt(tree);
+    ASSERT_TRUE(deep.ok()) << deep.ToString();
   }
 
   // Historic snapshots at every checkpoint — including ones taken many
@@ -122,6 +136,10 @@ TEST(MvbtStressTest, AdversarialSameKeyChurn) {
     t = end + 1;  // gap of one chronon between generations
   }
   ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  {
+    Status deep = analysis::ValidateMvbt(tree);
+    ASSERT_TRUE(deep.ok()) << deep.ToString();
+  }
   std::vector<Interval> got;
   tree.QueryRange(KeyRange{hot, hot}, Interval::All(),
                   [&](const Key3&, const Interval& iv) {
@@ -140,6 +158,10 @@ TEST(MvbtStressTest, MonotoneKeyInsertions) {
     if (i % 3 == 0) ++t;
   }
   ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  {
+    Status deep = analysis::ValidateMvbt(tree);
+    ASSERT_TRUE(deep.ok()) << deep.ToString();
+  }
   size_t count = 0;
   tree.QuerySnapshot(KeyRange{}, t, [&](const Key3&) { ++count; });
   EXPECT_EQ(count, 20000u);

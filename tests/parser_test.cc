@@ -224,5 +224,53 @@ TEST(ParserTest, ErrorFilterWithoutParens) {
   EXPECT_FALSE(Parse("SELECT ?s { ?s ?p ?o ?t . FILTER ?t = now }").ok());
 }
 
+TEST(ParserTest, DeepParenNestingIsParseErrorNotStackOverflow) {
+  // Regression: unbounded recursion in ParseOperand let inputs like ten
+  // thousand '(' overflow the stack (found by fuzz_parser). The parser
+  // now bounds expression nesting and reports a ParseError.
+  std::string q = "SELECT ?s { ?s ?p ?o ?t . FILTER(";
+  q += std::string(10000, '(');
+  q += "?s";
+  q += std::string(10000, ')');
+  q += ") }";
+  auto result = Parse(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, DeepBangNestingIsParseErrorNotStackOverflow) {
+  std::string q = "SELECT ?s { ?s ?p ?o ?t . FILTER(";
+  q += std::string(10000, '!');
+  q += "(?s = 1)) }";
+  auto result = Parse(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, ReasonableNestingStillParses) {
+  // The depth bound must not reject legitimately nested filters.
+  std::string q = "SELECT ?s { ?s ?p ?o ?t . FILTER(";
+  q += std::string(100, '(');
+  q += "!!(?s = 1)";
+  q += std::string(100, ')');
+  q += ") }";
+  auto result = Parse(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(ParserTest, TruncatedInputIsParseError) {
+  // Every prefix of a valid query must fail cleanly (no out-of-bounds
+  // token access past the trailing EOF).
+  const std::string full =
+      "SELECT ?s { ?s ?p ?o ?t . FILTER(TSTART(?t) >= 2013-01-01) }";
+  for (size_t len = 0; len < full.size(); ++len) {
+    auto result = Parse(full.substr(0, len));
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError)
+          << "prefix length " << len;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rdftx::sparqlt

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/invariants.h"
 #include "store_test_util.h"
 
 namespace rdftx {
@@ -103,6 +104,25 @@ TEST(TemporalGraphTest, AssertRetractOnline) {
   TemporalSet v = g.Validity({1, 2, 3});
   ASSERT_EQ(v.runs().size(), 1u);
   EXPECT_EQ(v.runs()[0], Interval(100, 150));
+}
+
+TEST(TemporalGraphTest, AllIndicesPassDeepValidation) {
+  // The four index MVBTs must satisfy the full invariant catalog after a
+  // loaded-then-updated history (invariant-checked builds additionally
+  // re-validate inside Load / after every engine update batch).
+  Rng rng(4242);
+  TemporalGraph g(TemporalGraphOptions{.block_capacity = 16,
+                                       .compress_leaves = true});
+  ASSERT_TRUE(g.Load(testutil::RandomTriples(&rng, 3000)).ok());
+  for (int i = 0; i < 200; ++i) {
+    Triple t{1 + rng.Uniform(12), 1 + rng.Uniform(6), 1 + rng.Uniform(20)};
+    Chronon at = static_cast<Chronon>(100000 + i);
+    if (!g.Assert(t, at).ok()) {
+      ASSERT_TRUE(g.Retract(t, at).ok());
+    }
+  }
+  Status st = analysis::ValidateTemporalGraph(g);
+  EXPECT_TRUE(st.ok()) << st.ToString();
 }
 
 class TemporalGraphConformanceTest
