@@ -174,6 +174,49 @@ void PrintSeriesRow(const std::vector<std::string>& cells) {
   std::fflush(stdout);
 }
 
+void JsonReport::Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  fields_.emplace_back(key, buf);
+}
+
+void JsonReport::Add(const std::string& key, uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void JsonReport::Add(const std::string& key, const std::string& value) {
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') quoted.push_back('\\');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  fields_.emplace_back(key, std::move(quoted));
+}
+
+bool JsonReport::Write() const {
+  std::string path;
+  if (const char* dir = std::getenv("RDFTX_BENCH_JSON_DIR")) {
+    path = std::string(dir) + "/";
+  }
+  path += "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                 fields_[i].second.c_str(),
+                 i + 1 < fields_.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 std::string Fmt(double v) {
   char buf[32];
   if (v >= 100 || v == static_cast<int64_t>(v)) {

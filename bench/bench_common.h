@@ -91,6 +91,28 @@ void PrintSeriesHeader(const std::string& figure,
                        const std::vector<std::string>& columns);
 void PrintSeriesRow(const std::vector<std::string>& cells);
 
+/// Machine-readable bench output: a flat JSON object written to
+/// BENCH_<name>.json (in $RDFTX_BENCH_JSON_DIR, default the working
+/// directory), so CI can archive one artifact per bench and track the
+/// perf trajectory across PRs.
+class JsonReport {
+ public:
+  /// `name` becomes the BENCH_<name>.json file stem.
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, uint64_t value);
+  void Add(const std::string& key, const std::string& value);
+
+  /// Writes the file; returns false (with a stderr note) on I/O failure.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  // Key plus pre-rendered JSON value, in insertion order.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
 /// Formats a number with limited precision.
 std::string Fmt(double v);
 

@@ -1,0 +1,159 @@
+// Read-path overhaul bench: repeated range/snapshot pattern scans over
+// the same store, isolating what the zone maps, the devirtualized
+// cursor, and the decoded-leaf cache each buy on a hot serving loop.
+// Configurations:
+//   plain            — uncompressed MVBT, no zone maps, no cache
+//   compressed       — delta-compressed leaves, pruning + cache off
+//   compressed+zone  — zone maps prune non-intersecting leaves
+//   compressed+zone+cache — plus the sharded decoded-leaf cache
+// The headline ratio (acceptance gate of the overhaul) is
+// compressed / compressed+zone+cache on the repeated workload.
+//
+// Results are written to BENCH_read_path.json so CI can archive the
+// trajectory across PRs.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rdftx;
+using namespace rdftx::bench;
+
+struct Config {
+  const char* label;
+  TemporalGraphOptions opts;
+};
+
+/// A repeated serving workload: mid-history windowed scans mixing
+/// predicate patterns (wide: many leaves per query) with subject
+/// patterns (narrow: selective prefix ranges). The window covers the
+/// middle half of the dataset's own event-time span, so scans match
+/// real data while zone maps can prune the leaves outside it.
+std::vector<PatternSpec> MakeQueries(const Fixture& f) {
+  Chronon lo = kChrononMax, hi = 0;
+  for (const TemporalTriple& tt : f.data.triples) {
+    lo = std::min(lo, tt.iv.start);
+    if (tt.iv.end != kChrononNow) hi = std::max(hi, tt.iv.end);
+    hi = std::max(hi, tt.iv.start);
+  }
+  const Chronon span = hi > lo ? hi - lo : 1;
+  Rng rng(7);
+  const Interval window(lo + span / 4, lo + span / 4 + span / 2);
+  std::vector<PatternSpec> queries;
+  for (int i = 0; i < 8; ++i) {
+    const TemporalTriple& tt =
+        f.data.triples[rng.Uniform(f.data.triples.size())];
+    queries.push_back(
+        PatternSpec{kInvalidTerm, tt.triple.p, kInvalidTerm, window});
+  }
+  for (int i = 0; i < 64; ++i) {
+    const TemporalTriple& tt =
+        f.data.triples[rng.Uniform(f.data.triples.size())];
+    queries.push_back(
+        PatternSpec{tt.triple.s, kInvalidTerm, kInvalidTerm, window});
+  }
+  return queries;
+}
+
+uint64_t RunOnce(const TemporalGraph& store,
+                 const std::vector<PatternSpec>& queries, ScanStats* stats) {
+  uint64_t rows = 0;
+  for (const PatternSpec& spec : queries) {
+    store.ScanPattern(
+        spec, [&](const Triple&, const Interval&) { ++rows; }, stats);
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  const Fixture f = MakeWikipedia(Scaled(60000));
+  const int kRuns = 5;
+
+  const Config configs[] = {
+      {"plain",
+       {.compress_leaves = false, .zone_maps = false, .leaf_cache_bytes = 0}},
+      {"compressed",
+       {.compress_leaves = true, .zone_maps = false, .leaf_cache_bytes = 0}},
+      {"compressed_zone",
+       {.compress_leaves = true, .zone_maps = true, .leaf_cache_bytes = 0}},
+      {"compressed_zone_cache",
+       {.compress_leaves = true,
+        .zone_maps = true,
+        .leaf_cache_bytes = 32u << 20}},
+  };
+
+  JsonReport report("read_path");
+  report.Add("dataset_triples", static_cast<uint64_t>(f.data.triples.size()));
+  report.Add("runs", static_cast<uint64_t>(kRuns));
+
+  PrintSeriesHeader(
+      "Read path: repeated windowed scans (avg ms per pass)",
+      {"config", "ms_per_pass", "rows", "leaves_visited", "leaves_pruned",
+       "entries_decoded", "cache_hits", "cache_misses"});
+
+  double compressed_ms = 0, full_ms = 0;
+  uint64_t expect_rows = 0;
+  bool have_expect = false;
+  for (const Config& cfg : configs) {
+    TemporalGraph store(cfg.opts);
+    if (!store.Load(f.data.triples).ok()) return 1;
+    // Compressed configs finish the live tail; the plain baseline stays
+    // fully uncompressed.
+    if (cfg.opts.compress_leaves) store.CompressAll();
+    const auto queries = MakeQueries(f);
+
+    // Warm-up pass (fills the cache) + counter pass, then timed passes.
+    uint64_t rows = RunOnce(store, queries, nullptr);
+    ScanStats stats;
+    RunOnce(store, queries, &stats);
+    double seconds = TimeSeconds([&] {
+      for (int r = 0; r < kRuns; ++r) rows = RunOnce(store, queries, nullptr);
+    });
+    const double ms = seconds * 1000.0 / kRuns;
+
+    if (!have_expect) {
+      expect_rows = rows;
+      have_expect = true;
+    }
+    if (rows == 0 || rows != expect_rows) {
+      // A zero-row workload would make every config trivially "fast";
+      // treat it as a harness bug, not a result.
+      std::fprintf(stderr, "result mismatch: %s returned %llu rows, want %llu (nonzero)\n",
+                   cfg.label, static_cast<unsigned long long>(rows),
+                   static_cast<unsigned long long>(expect_rows));
+      return 1;
+    }
+    if (std::string(cfg.label) == "compressed") compressed_ms = ms;
+    if (std::string(cfg.label) == "compressed_zone_cache") full_ms = ms;
+
+    PrintSeriesRow({cfg.label, Fmt(ms), Fmt(static_cast<double>(rows)),
+                    Fmt(static_cast<double>(stats.leaves_visited)),
+                    Fmt(static_cast<double>(stats.leaves_pruned)),
+                    Fmt(static_cast<double>(stats.entries_decoded)),
+                    Fmt(static_cast<double>(stats.cache_hits)),
+                    Fmt(static_cast<double>(stats.cache_misses))});
+
+    std::string prefix = cfg.label;
+    report.Add(prefix + "_ms_per_pass", ms);
+    report.Add(prefix + "_rows", rows);
+    report.Add(prefix + "_leaves_visited", stats.leaves_visited);
+    report.Add(prefix + "_leaves_pruned", stats.leaves_pruned);
+    report.Add(prefix + "_entries_decoded", stats.entries_decoded);
+    report.Add(prefix + "_cache_hits", stats.cache_hits);
+    report.Add(prefix + "_cache_misses", stats.cache_misses);
+  }
+
+  const double speedup = full_ms > 0 ? compressed_ms / full_ms : 0;
+  report.Add("speedup_zone_cache_vs_compressed", speedup);
+  std::printf("\nspeedup (zone maps + cache vs neither, compressed tree): "
+              "%.2fx\n",
+              speedup);
+  report.Write();
+  return 0;
+}

@@ -25,7 +25,8 @@ Status NaiveStore::Load(const std::vector<TemporalTriple>& triples) {
 }
 
 void NaiveStore::ScanPattern(const PatternSpec& spec,
-                             const ScanCallback& visit) const {
+                             const ScanCallback& visit,
+                             ScanStats* /*stats*/) const {
   for (const TemporalTriple& tt : triples_) {
     if (spec.s != kInvalidTerm && tt.triple.s != spec.s) continue;
     if (spec.p != kInvalidTerm && tt.triple.p != spec.p) continue;

@@ -47,7 +47,8 @@ Status NamedGraphStore::Load(const std::vector<TemporalTriple>& triples) {
 }
 
 void NamedGraphStore::ScanPattern(const PatternSpec& spec,
-                                  const ScanCallback& visit) const {
+                                  const ScanCallback& visit,
+                                  ScanStats* /*stats*/) const {
   // Graphs are sorted by start, so graphs starting at or after the end
   // of the constraint can be skipped; everything earlier must be
   // examined (its end is unbounded by the sort) — the one-sided pruning

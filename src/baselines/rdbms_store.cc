@@ -58,7 +58,8 @@ void RdbmsStore::ScanKeyIndex(const BTree<KeyEntry, Empty>& index, TermId c1,
 }
 
 void RdbmsStore::ScanPattern(const PatternSpec& spec,
-                             const ScanCallback& visit) const {
+                             const ScanCallback& visit,
+                             ScanStats* /*stats*/) const {
   rows_examined_ = 0;
   const bool s = spec.s != kInvalidTerm;
   const bool p = spec.p != kInvalidTerm;

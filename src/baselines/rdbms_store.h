@@ -22,8 +22,9 @@ namespace rdftx {
 class RdbmsStore : public TemporalStore {
  public:
   Status Load(const std::vector<TemporalTriple>& triples) override;
-  void ScanPattern(const PatternSpec& spec,
-                   const ScanCallback& visit) const override;
+  using TemporalStore::ScanPattern;
+  void ScanPattern(const PatternSpec& spec, const ScanCallback& visit,
+                   ScanStats* stats) const override;
   size_t MemoryUsage() const override;
   std::string name() const override { return "RDBMS"; }
   Chronon last_time() const override { return last_time_; }

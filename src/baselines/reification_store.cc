@@ -63,7 +63,8 @@ void ReificationStore::PrefixScan(const std::vector<PlainTriple>& index,
 }
 
 void ReificationStore::ScanPattern(const PatternSpec& spec,
-                                   const ScanCallback& visit) const {
+                                   const ScanCallback& visit,
+                                   ScanStats* /*stats*/) const {
   // SPARQL rewriting: ?stmt subject s . ?stmt predicate p . ?stmt
   // object o . ?stmt start ?ts . ?stmt end ?te — a join on ?stmt,
   // seeded from the most selective bound position via the POS index.

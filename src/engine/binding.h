@@ -9,6 +9,7 @@
 
 #include "dict/dictionary.h"
 #include "temporal/temporal_set.h"
+#include "util/scan_stats.h"
 
 namespace rdftx::engine {
 
@@ -59,6 +60,11 @@ struct ExecStats {
   uint64_t rows_scanned = 0;
   uint64_t join_output_rows = 0;
   uint64_t result_rows = 0;
+  /// Store read-path counters (leaves visited/pruned, entries decoded,
+  /// decoded-leaf cache hits/misses/evictions), accumulated over every
+  /// pattern scan of the query. Race-free like the rest of ExecStats:
+  /// each query owns its own instance.
+  ScanStats scan;
 };
 
 /// Query result: named columns over rows of cells, plus the execution

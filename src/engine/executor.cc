@@ -49,6 +49,7 @@ void MergeStats(const ExecStats& in, ExecStats* out) {
   out->rows_scanned += in.rows_scanned;
   out->join_output_rows += in.join_output_rows;
   out->result_rows += in.result_rows;
+  out->scan.MergeFrom(in.scan);
 }
 
 std::string RowFingerprint(const std::vector<Cell>& cells) {

@@ -448,9 +448,11 @@ void ScanToRows(const TemporalStore& store, const CompiledPattern& cp,
   const size_t before = out->size();
   if (cp.never_matches || cp.spec.time.empty()) return;
   std::unordered_map<Triple, std::vector<Interval>, TripleHash> groups;
-  store.ScanPattern(cp.spec, [&](const Triple& t, const Interval& iv) {
-    groups[t].push_back(iv);
-  });
+  ScanStats scan;
+  store.ScanPattern(
+      cp.spec,
+      [&](const Triple& t, const Interval& iv) { groups[t].push_back(iv); },
+      &scan);
   out->reserve(out->size() + groups.size());
   const bool needs_full =
       cp.var_t >= 0 && vars[static_cast<size_t>(cp.var_t)].needs_full;
@@ -476,9 +478,10 @@ void ScanToRows(const TemporalStore& store, const CompiledPattern& cp,
         // full-history probe.
         PatternSpec full{triple.s, triple.p, triple.o, Interval::All()};
         std::vector<Interval> runs;
-        store.ScanPattern(full, [&](const Triple&, const Interval& iv) {
-          runs.push_back(iv);
-        });
+        store.ScanPattern(
+            full,
+            [&](const Triple&, const Interval& iv) { runs.push_back(iv); },
+            &scan);
         element = TemporalSet::FromIntervals(std::move(runs));
       } else {
         std::vector<Interval> clipped;
@@ -494,7 +497,10 @@ void ScanToRows(const TemporalStore& store, const CompiledPattern& cp,
     }
     out->push_back(std::move(row));
   }
-  if (stats != nullptr) stats->rows_scanned += out->size() - before;
+  if (stats != nullptr) {
+    stats->rows_scanned += out->size() - before;
+    stats->scan.MergeFrom(scan);
+  }
 }
 
 namespace {

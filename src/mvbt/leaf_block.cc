@@ -66,6 +66,80 @@ KeyDelta PickDelta(uint64_t value, uint64_t neighbor, uint64_t base) {
   return d;
 }
 
+// Encodes one entry against explicit references and appends its bytes to
+// `out`. The encoding depends only on (e, prev, base, ref_te, first) —
+// the property CloseEntry's byte splice relies on: re-encoding entry i
+// with a new end version leaves every later entry's bytes unchanged,
+// because their key/start deltas reference entry i's key and start (not
+// its end) and their te deltas reference entry 0's ref_te.
+void EncodeEntryBytes(const Entry& e, const Entry& prev, const Entry& base,
+                      Chronon ref_te, bool first, std::vector<uint8_t>* out,
+                      CompressionStats* stats) {
+  const bool compact_ok = !first && e.key.a == prev.key.a && e.live();
+  if (compact_ok) {
+    uint64_t z2 = ZigZagEncode(static_cast<int64_t>(e.key.b - prev.key.b));
+    uint64_t z3 = ZigZagEncode(static_cast<int64_t>(e.key.c - prev.key.c));
+    unsigned c2 = WidthCode(z2), c3 = WidthCode(z3);
+    uint8_t header = 0x80 | static_cast<uint8_t>(c2 << 4) |
+                     static_cast<uint8_t>(c3 << 1);
+    out->push_back(header);
+    PutFixed(out, z2, CodeBytes(c2));
+    PutFixed(out, z3, CodeBytes(c3));
+    PutVarint(out, e.start - prev.start);
+    if (stats != nullptr) {
+      ++stats->compact_headers;
+      ++stats->te_live;
+    }
+    return;
+  }
+  KeyDelta d1 = PickDelta(e.key.a, prev.key.a, base.key.a);
+  KeyDelta d2 = PickDelta(e.key.b, prev.key.b, base.key.b);
+  KeyDelta d3 = PickDelta(e.key.c, prev.key.c, base.key.c);
+  unsigned te_flag;
+  uint64_t te_payload = 0;
+  if (e.live()) {
+    te_flag = kTeLive;
+  } else {
+    uint64_t len = e.end - e.start;
+    uint64_t zd = ZigZagEncode(static_cast<int64_t>(e.end) -
+                               static_cast<int64_t>(ref_te));
+    if (VarintLen(len) <= VarintLen(zd)) {
+      te_flag = kTeShort;
+      te_payload = len;
+    } else {
+      te_flag = kTeDelta;
+      te_payload = zd;
+    }
+  }
+  uint16_t header = 0;
+  header |= static_cast<uint16_t>(te_flag) << 13;
+  header |= static_cast<uint16_t>(d1.code) << 10;
+  header |= static_cast<uint16_t>(d2.code) << 7;
+  header |= static_cast<uint16_t>(d3.code) << 4;
+  if (d1.from_base) header |= 1u << 3;
+  if (d2.from_base) header |= 1u << 2;
+  if (d3.from_base) header |= 1u << 1;
+  // High byte first: its top bit is the H flag (0 = normal), so the
+  // decoder can discriminate normal from compact headers on byte one.
+  out->push_back(static_cast<uint8_t>(header >> 8));
+  out->push_back(static_cast<uint8_t>(header & 0xFF));
+  PutFixed(out, d1.zz, CodeBytes(d1.code));
+  PutFixed(out, d2.zz, CodeBytes(d2.code));
+  PutFixed(out, d3.zz, CodeBytes(d3.code));
+  PutVarint(out, e.start - prev.start);
+  if (te_flag != kTeLive) PutVarint(out, te_payload);
+  if (stats != nullptr) {
+    ++stats->normal_headers;
+    if (te_flag == kTeLive) {
+      ++stats->te_live;
+    } else if (te_flag == kTeShort) {
+      ++stats->te_short;
+    } else {
+      ++stats->te_delta;
+    }
+  }
+}
+
 }  // namespace
 
 void LeafBlock::Append(const Entry& e) {
@@ -93,147 +167,30 @@ void LeafBlock::AppendEncoded(const Entry& e, CompressionStats* stats) {
   const bool first = !checkpoint_.valid;
   const Entry prev = first ? Entry{Key3{}, 0, 0} : checkpoint_.last;
   const Entry base = first ? Entry{Key3{}, 0, 0} : base_;
-  const Chronon ref_te = RefTe();
-
-  const bool compact_ok = !first && e.key.a == prev.key.a && e.live();
-  if (compact_ok) {
-    uint64_t z2 = ZigZagEncode(static_cast<int64_t>(e.key.b - prev.key.b));
-    uint64_t z3 = ZigZagEncode(static_cast<int64_t>(e.key.c - prev.key.c));
-    unsigned c2 = WidthCode(z2), c3 = WidthCode(z3);
-    uint8_t header = 0x80 | static_cast<uint8_t>(c2 << 4) |
-                     static_cast<uint8_t>(c3 << 1);
-    bytes_.push_back(header);
-    PutFixed(&bytes_, z2, CodeBytes(c2));
-    PutFixed(&bytes_, z3, CodeBytes(c3));
-    PutVarint(&bytes_, e.start - prev.start);
-    if (stats != nullptr) {
-      ++stats->compact_headers;
-      ++stats->te_live;
-    }
-  } else {
-    KeyDelta d1 = PickDelta(e.key.a, prev.key.a, base.key.a);
-    KeyDelta d2 = PickDelta(e.key.b, prev.key.b, base.key.b);
-    KeyDelta d3 = PickDelta(e.key.c, prev.key.c, base.key.c);
-    unsigned te_flag;
-    uint64_t te_payload = 0;
-    if (e.live()) {
-      te_flag = kTeLive;
-    } else {
-      uint64_t len = e.end - e.start;
-      uint64_t zd = ZigZagEncode(static_cast<int64_t>(e.end) -
-                                 static_cast<int64_t>(ref_te));
-      if (VarintLen(len) <= VarintLen(zd)) {
-        te_flag = kTeShort;
-        te_payload = len;
-      } else {
-        te_flag = kTeDelta;
-        te_payload = zd;
-      }
-    }
-    uint16_t header = 0;
-    header |= static_cast<uint16_t>(te_flag) << 13;
-    header |= static_cast<uint16_t>(d1.code) << 10;
-    header |= static_cast<uint16_t>(d2.code) << 7;
-    header |= static_cast<uint16_t>(d3.code) << 4;
-    if (d1.from_base) header |= 1u << 3;
-    if (d2.from_base) header |= 1u << 2;
-    if (d3.from_base) header |= 1u << 1;
-    // High byte first: its top bit is the H flag (0 = normal), so the
-    // decoder can discriminate normal from compact headers on byte one.
-    bytes_.push_back(static_cast<uint8_t>(header >> 8));
-    bytes_.push_back(static_cast<uint8_t>(header & 0xFF));
-    PutFixed(&bytes_, d1.zz, CodeBytes(d1.code));
-    PutFixed(&bytes_, d2.zz, CodeBytes(d2.code));
-    PutFixed(&bytes_, d3.zz, CodeBytes(d3.code));
-    PutVarint(&bytes_, e.start - prev.start);
-    if (te_flag != kTeLive) PutVarint(&bytes_, te_payload);
-    if (stats != nullptr) {
-      ++stats->normal_headers;
-      if (te_flag == kTeLive) {
-        ++stats->te_live;
-      } else if (te_flag == kTeShort) {
-        ++stats->te_short;
-      } else {
-        ++stats->te_delta;
-      }
-    }
-  }
+  EncodeEntryBytes(e, prev, base, RefTe(), first, &bytes_, stats);
   if (first) base_ = e;
   checkpoint_.last = e;
   checkpoint_.valid = true;
 }
 
+void LeafBlock::ReencodeAll(const std::vector<Entry>& entries) {
+  bytes_.clear();
+  checkpoint_ = Checkpoint{};
+  for (const Entry& e : entries) AppendEncoded(e, nullptr);
+}
+
 void LeafBlock::DecodeInto(std::vector<Entry>* out) const {
   out->clear();
   out->reserve(count_);
-  Entry prev{Key3{}, 0, 0};
-  Entry base{Key3{}, 0, 0};
-  Chronon ref_te = 0;
-  size_t pos = 0;
-  for (size_t i = 0; i < count_; ++i) {
-    Entry e;
-    uint8_t first_byte = bytes_[pos];
-    if (first_byte & 0x80) {
-      // Compact header.
-      ++pos;
-      unsigned c2 = (first_byte >> 4) & 0x7, c3 = (first_byte >> 1) & 0x7;
-      uint64_t z2 = GetFixed(&bytes_[pos], CodeBytes(c2));
-      pos += CodeBytes(c2);
-      uint64_t z3 = GetFixed(&bytes_[pos], CodeBytes(c3));
-      pos += CodeBytes(c3);
-      e.key.a = prev.key.a;
-      e.key.b = prev.key.b + static_cast<uint64_t>(ZigZagDecode(z2));
-      e.key.c = prev.key.c + static_cast<uint64_t>(ZigZagDecode(z3));
-      e.start =
-          prev.start + static_cast<Chronon>(GetVarint(bytes_.data(), &pos));
-      e.end = kChrononNow;
-    } else {
-      uint16_t header = (static_cast<uint16_t>(bytes_[pos]) << 8) |
-                        static_cast<uint16_t>(bytes_[pos + 1]);
-      pos += 2;
-      unsigned te_flag = (header >> 13) & 0x3;
-      unsigned c1 = (header >> 10) & 0x7;
-      unsigned c2 = (header >> 7) & 0x7;
-      unsigned c3 = (header >> 4) & 0x7;
-      bool s1 = header & (1u << 3);
-      bool s2 = header & (1u << 2);
-      bool s3 = header & (1u << 1);
-      uint64_t z1 = GetFixed(&bytes_[pos], CodeBytes(c1));
-      pos += CodeBytes(c1);
-      uint64_t z2 = GetFixed(&bytes_[pos], CodeBytes(c2));
-      pos += CodeBytes(c2);
-      uint64_t z3 = GetFixed(&bytes_[pos], CodeBytes(c3));
-      pos += CodeBytes(c3);
-      e.key.a = (s1 ? base.key.a : prev.key.a) +
-                static_cast<uint64_t>(ZigZagDecode(z1));
-      e.key.b = (s2 ? base.key.b : prev.key.b) +
-                static_cast<uint64_t>(ZigZagDecode(z2));
-      e.key.c = (s3 ? base.key.c : prev.key.c) +
-                static_cast<uint64_t>(ZigZagDecode(z3));
-      e.start =
-          prev.start + static_cast<Chronon>(GetVarint(bytes_.data(), &pos));
-      if (te_flag == kTeLive) {
-        e.end = kChrononNow;
-      } else if (te_flag == kTeShort) {
-        e.end =
-            e.start + static_cast<Chronon>(GetVarint(bytes_.data(), &pos));
-      } else {
-        int64_t d = ZigZagDecode(GetVarint(bytes_.data(), &pos));
-        e.end = static_cast<Chronon>(static_cast<int64_t>(ref_te) + d);
-      }
-    }
-    if (i == 0) {
-      base = e;
-      ref_te = base.end == kChrononNow ? base.start : base.end;
-    }
-    out->push_back(e);
-    prev = e;
-  }
-  assert(pos == bytes_.size());
+  Cursor cur(*this);
+  Entry e;
+  while (cur.Next(&e)) out->push_back(e);
+  assert(cur.byte_pos() == bytes_.size());
 }
 
-bool LeafBlock::CloseEntry(const Key3& key, Chronon te) {
+bool LeafBlock::CloseEntry(const Key3& key, Chronon te, size_t* decoded) {
   if (!compressed_) {
+    if (decoded != nullptr) *decoded = 0;  // plain blocks decode nothing
     // Scan from the back: the live entry for a key is unique and recent
     // inserts cluster at the end.
     for (auto it = plain_.rbegin(); it != plain_.rend(); ++it) {
@@ -244,21 +201,62 @@ bool LeafBlock::CloseEntry(const Key3& key, Chronon te) {
     }
     return false;
   }
-  std::vector<Entry> entries;
-  DecodeInto(&entries);
+  // The live entry for a key is unique per block, so the first live match
+  // of a forward streaming scan is the entry to close; the decode stops
+  // there instead of materializing the block.
+  Cursor cur(*this);
+  Entry prev{Key3{}, 0, 0};
+  Entry base{Key3{}, 0, 0};
+  Chronon ref_te = 0;
+  Entry e;
+  size_t i = 0;
+  size_t entry_begin = 0;
   bool found = false;
-  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-    if (it->live() && it->key == key) {
-      it->end = te;
+  while (true) {
+    entry_begin = cur.byte_pos();
+    if (!cur.Next(&e)) break;
+    if (i == 0) {
+      base = e;
+      ref_te = base.end == kChrononNow ? base.start : base.end;
+    }
+    if (e.live() && e.key == key) {
       found = true;
       break;
     }
+    prev = e;
+    ++i;
   }
-  if (!found) return false;
-  // Re-encode the whole block (paper §4.2.2: deletion scans all entries).
-  bytes_.clear();
-  checkpoint_ = Checkpoint{};
-  for (const Entry& e : entries) AppendEncoded(e, nullptr);
+  if (!found) {
+    if (decoded != nullptr) *decoded = cur.decoded();
+    return false;
+  }
+  if (i == 0) {
+    // Entry 0 is the block base: its end version is the te-delta reference
+    // of every later entry, so closing it re-encodes the whole block.
+    std::vector<Entry> entries;
+    DecodeInto(&entries);
+    entries[0].end = te;
+    ReencodeAll(entries);
+    if (decoded != nullptr) *decoded = count_;
+    return true;
+  }
+  // Splice: only entry i's bytes change (see EncodeEntryBytes), so the
+  // suffix after it is reused verbatim.
+  Entry closed = e;
+  closed.end = te;
+  std::vector<uint8_t> enc;
+  EncodeEntryBytes(closed, prev, base, ref_te, /*first=*/false, &enc, nullptr);
+  const size_t entry_end = cur.byte_pos();
+  std::vector<uint8_t> nb;
+  nb.reserve(bytes_.size() - (entry_end - entry_begin) + enc.size());
+  nb.insert(nb.end(), bytes_.begin(),
+            bytes_.begin() + static_cast<ptrdiff_t>(entry_begin));
+  nb.insert(nb.end(), enc.begin(), enc.end());
+  nb.insert(nb.end(), bytes_.begin() + static_cast<ptrdiff_t>(entry_end),
+            bytes_.end());
+  bytes_ = std::move(nb);
+  if (i == count_ - 1) checkpoint_.last = closed;
+  if (decoded != nullptr) *decoded = cur.decoded();
   return true;
 }
 
@@ -284,9 +282,7 @@ void LeafBlock::CapLiveEntries(Chronon t, std::vector<Key3>* extracted) {
     }
   }
   if (!changed) return;
-  bytes_.clear();
-  checkpoint_ = Checkpoint{};
-  for (const Entry& e : entries) AppendEncoded(e, nullptr);
+  ReencodeAll(entries);
 }
 
 void LeafBlock::PurgeEmptyEntries() {
@@ -297,63 +293,36 @@ void LeafBlock::PurgeEmptyEntries() {
     plain_ = std::move(entries);
     return;
   }
-  bytes_.clear();
-  checkpoint_ = Checkpoint{};
-  size_t n = entries.size();
-  count_ = 0;
-  for (size_t i = 0; i < n; ++i) {
-    AppendEncoded(entries[i], nullptr);
-    ++count_;
-  }
+  ReencodeAll(entries);
 }
 
-bool LeafBlock::FindLive(const Key3& key, Entry* out) const {
+bool LeafBlock::FindLive(const Key3& key, Entry* out, size_t* decoded) const {
+  if (!compressed_) {
+    if (decoded != nullptr) *decoded = 0;  // plain blocks decode nothing
+    for (const Entry& e : plain_) {
+      if (e.live() && e.key == key) {
+        *out = e;
+        return true;
+      }
+    }
+    return false;
+  }
+  Cursor cur(*this);
+  Entry e;
   bool found = false;
-  Visit([&](const Entry& e) {
+  while (cur.Next(&e)) {
     if (e.live() && e.key == key) {
       *out = e;
       found = true;
-      return false;
+      break;
     }
-    return true;
-  });
+  }
+  if (decoded != nullptr) *decoded = cur.decoded();
   return found;
 }
 
 void LeafBlock::Visit(const std::function<bool(const Entry&)>& fn) const {
-  if (!compressed_) {
-    for (const Entry& e : plain_) {
-      if (!fn(e)) return;
-    }
-    return;
-  }
-  // Decode into a reusable per-thread scratch buffer: scans visit many
-  // compressed leaves and a per-visit allocation would dominate. The
-  // buffer is checked out of a pool stack so a callback that triggers
-  // another Visit (e.g. a validity expansion probe) gets its own.
-  //
-  // The pool is bounded: each thread retains at most kMaxPooledBuffers
-  // buffers of at most kMaxPooledCapacity entries. Long-lived worker
-  // threads would otherwise keep their high-water mark alive for the
-  // whole process lifetime (see the lifetime note on Visit() in
-  // leaf_block.h).
-  constexpr size_t kMaxPooledBuffers = 4;
-  constexpr size_t kMaxPooledCapacity = 4096;
-  thread_local std::vector<std::vector<Entry>> pool;
-  std::vector<Entry> entries;
-  if (!pool.empty()) {
-    entries = std::move(pool.back());
-    pool.pop_back();
-  }
-  DecodeInto(&entries);
-  for (const Entry& e : entries) {
-    if (!fn(e)) break;
-  }
-  if (pool.size() < kMaxPooledBuffers &&
-      entries.capacity() <= kMaxPooledCapacity) {
-    entries.clear();
-    pool.push_back(std::move(entries));
-  }
+  VisitWith([&fn](const Entry& e) { return fn(e); });
 }
 
 std::vector<Entry> LeafBlock::Decode() const {
@@ -361,6 +330,30 @@ std::vector<Entry> LeafBlock::Decode() const {
   std::vector<Entry> entries;
   DecodeInto(&entries);
   return entries;
+}
+
+LeafZoneMap LeafBlock::ComputeZoneMap() const {
+  LeafZoneMap zm;
+  zm.valid = true;
+  bool first = true;
+  VisitWith([&](const Entry& e) {
+    if (first) {
+      zm.min_key = e.key;
+      zm.max_key = e.key;
+      zm.min_start = e.start;
+      zm.max_end = e.end;
+      first = false;
+    } else {
+      if (e.key < zm.min_key) zm.min_key = e.key;
+      if (zm.max_key < e.key) zm.max_key = e.key;
+      if (e.start < zm.min_start) zm.min_start = e.start;
+      if (zm.max_end < e.end) zm.max_end = e.end;
+    }
+    ++zm.entry_count;
+    if (e.live()) ++zm.live_count;
+    return true;
+  });
+  return zm;
 }
 
 void LeafBlock::Compress(CompressionStats* stats) {

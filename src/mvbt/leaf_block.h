@@ -9,19 +9,28 @@
 // Entries are appended in nondecreasing start-version order, which the
 // MVBT guarantees (transaction-time updates). A checkpoint — the byte
 // offset and decoded values of the last entry — lets appends run without
-// rescanning the block (§4.2.2). Closing an entry (deletion) decodes and
-// re-encodes the block, matching the paper's "scan all the entries and
-// modify the te of the matched entry".
+// rescanning the block (§4.2.2). Closing an entry (deletion) decodes up
+// to the matched entry and splices its re-encoded bytes in place; only a
+// close of the block base (entry 0) re-encodes the whole block, because
+// the base's end version is the te-delta reference of every later entry.
+//
+// Visitation is devirtualized: VisitWith() is a template that decodes
+// the compressed stream entry-by-entry through an inline Cursor, so scan
+// callers pay no per-entry std::function dispatch and early exits stop
+// decoding immediately instead of materializing the block first (the
+// std::function Visit() overload remains as a thin boundary wrapper).
 #ifndef RDFTX_MVBT_LEAF_BLOCK_H_
 #define RDFTX_MVBT_LEAF_BLOCK_H_
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "mvbt/key.h"
 #include "temporal/interval.h"
 #include "util/date.h"
+#include "util/varint.h"
 
 namespace rdftx::mvbt {
 
@@ -46,6 +55,39 @@ struct CompressionStats {
   uint64_t te_live = 0;
 };
 
+/// Per-leaf summary recorded when a leaf dies (dead leaves are
+/// immutable, so the summary never goes stale). The read path skips
+/// decoding a leaf whose zone map proves that no entry can intersect the
+/// query rectangle.
+struct LeafZoneMap {
+  Key3 min_key;
+  Key3 max_key;
+  /// Smallest entry start version.
+  Chronon min_start = 0;
+  /// One past the largest entry end (kChrononNow if any entry is live).
+  Chronon max_end = 0;
+  uint64_t entry_count = 0;
+  uint64_t live_count = 0;
+  /// False until the summary is built; an invalid zone map never prunes.
+  bool valid = false;
+
+  /// True unless the summary proves no entry intersects (range, time).
+  bool MayIntersect(const KeyRange& range, const Interval& time) const {
+    if (!valid) return true;
+    if (entry_count == 0) return false;
+    if (max_key < range.lo || range.hi < min_key) return false;
+    return Interval(min_start, max_end).Overlaps(time);
+  }
+
+  /// True unless the summary proves no entry is alive at `t` in `range`.
+  bool MayContain(const KeyRange& range, Chronon t) const {
+    if (!valid) return true;
+    if (entry_count == 0) return false;
+    if (max_key < range.lo || range.hi < min_key) return false;
+    return t >= min_start && t < max_end;
+  }
+};
+
 /// Entry storage of a single MVBT leaf.
 class LeafBlock {
  public:
@@ -58,8 +100,11 @@ class LeafBlock {
   void Append(const Entry& e);
 
   /// Sets the end version of the live entry with `key` to `te`.
-  /// Returns false if no live entry with that key exists.
-  bool CloseEntry(const Key3& key, Chronon te);
+  /// Returns false if no live entry with that key exists. On compressed
+  /// blocks the scan stops at the match and splices the re-encoded entry
+  /// into the byte stream; `decoded` (optional) receives the number of
+  /// entries decoded, which tests use to assert the early exit.
+  bool CloseEntry(const Key3& key, Chronon te, size_t* decoded = nullptr);
 
   /// Version-split support: caps every live entry at `t` in this block and
   /// appends the capped entries' keys to `extracted`. Single pass.
@@ -69,21 +114,122 @@ class LeafBlock {
   /// same-version in-place reorganization.
   void PurgeEmptyEntries();
 
-  /// Returns the live entry with `key`, or nullptr-like miss via bool.
-  bool FindLive(const Key3& key, Entry* out) const;
+  /// Returns the live entry with `key` via `out`; false on miss. Stops
+  /// decoding at the match (live entries are unique per key). `decoded`
+  /// (optional) receives the number of entries decoded.
+  bool FindLive(const Key3& key, Entry* out, size_t* decoded = nullptr) const;
 
-  /// Visits every entry in append order; return false to stop.
-  ///
-  /// Lifetime note: compressed visits decode through a small
-  /// thread_local scratch-buffer pool that lives until the calling
-  /// thread exits. The pool is bounded (a few buffers, each capped in
-  /// capacity), so long-lived worker threads hold only a small constant
-  /// amount of scratch, not their historical high-water mark. Safe to
-  /// call concurrently from many threads on an immutable block.
+  /// Streaming decoder over the compressed byte stream. Decodes one
+  /// entry per Next() with no allocation, so early exits never pay for
+  /// the rest of the block. Only meaningful while the block is not
+  /// mutated (blocks are externally synchronized; dead leaves are
+  /// immutable).
+  class Cursor {
+   public:
+    explicit Cursor(const LeafBlock& block)
+        : bytes_(block.bytes_.data()), count_(block.count_) {}
+
+    /// Decodes the next entry; false when the block is exhausted.
+    bool Next(Entry* e) {
+      if (i_ >= count_) return false;
+      const uint8_t first_byte = bytes_[pos_];
+      if (first_byte & 0x80) {
+        // Compact header: shares the first key component with its
+        // neighbour and is live.
+        ++pos_;
+        const unsigned c2 = (first_byte >> 4) & 0x7;
+        const unsigned c3 = (first_byte >> 1) & 0x7;
+        const uint64_t z2 = GetFixed(bytes_ + pos_, CodeBytes(c2));
+        pos_ += CodeBytes(c2);
+        const uint64_t z3 = GetFixed(bytes_ + pos_, CodeBytes(c3));
+        pos_ += CodeBytes(c3);
+        e->key.a = prev_.key.a;
+        e->key.b = prev_.key.b + static_cast<uint64_t>(ZigZagDecode(z2));
+        e->key.c = prev_.key.c + static_cast<uint64_t>(ZigZagDecode(z3));
+        e->start = prev_.start + static_cast<Chronon>(GetVarint(bytes_, &pos_));
+        e->end = kChrononNow;
+      } else {
+        const uint16_t header = (static_cast<uint16_t>(bytes_[pos_]) << 8) |
+                                static_cast<uint16_t>(bytes_[pos_ + 1]);
+        pos_ += 2;
+        const unsigned te_flag = (header >> 13) & 0x3;
+        const unsigned c1 = (header >> 10) & 0x7;
+        const unsigned c2 = (header >> 7) & 0x7;
+        const unsigned c3 = (header >> 4) & 0x7;
+        const uint64_t z1 = GetFixed(bytes_ + pos_, CodeBytes(c1));
+        pos_ += CodeBytes(c1);
+        const uint64_t z2 = GetFixed(bytes_ + pos_, CodeBytes(c2));
+        pos_ += CodeBytes(c2);
+        const uint64_t z3 = GetFixed(bytes_ + pos_, CodeBytes(c3));
+        pos_ += CodeBytes(c3);
+        e->key.a = ((header & (1u << 3)) ? base_.key.a : prev_.key.a) +
+                   static_cast<uint64_t>(ZigZagDecode(z1));
+        e->key.b = ((header & (1u << 2)) ? base_.key.b : prev_.key.b) +
+                   static_cast<uint64_t>(ZigZagDecode(z2));
+        e->key.c = ((header & (1u << 1)) ? base_.key.c : prev_.key.c) +
+                   static_cast<uint64_t>(ZigZagDecode(z3));
+        e->start = prev_.start + static_cast<Chronon>(GetVarint(bytes_, &pos_));
+        if (te_flag == kTeLiveFlag) {
+          e->end = kChrononNow;
+        } else if (te_flag == kTeShortFlag) {
+          e->end = e->start + static_cast<Chronon>(GetVarint(bytes_, &pos_));
+        } else {
+          const int64_t d = ZigZagDecode(GetVarint(bytes_, &pos_));
+          e->end = static_cast<Chronon>(static_cast<int64_t>(ref_te_) + d);
+        }
+      }
+      if (i_ == 0) {
+        base_ = *e;
+        ref_te_ = base_.end == kChrononNow ? base_.start : base_.end;
+      }
+      prev_ = *e;
+      ++i_;
+      return true;
+    }
+
+    /// Byte offset of the next undecoded entry.
+    size_t byte_pos() const { return pos_; }
+    /// Entries decoded so far.
+    size_t decoded() const { return i_; }
+
+   private:
+    const uint8_t* bytes_;
+    size_t count_;
+    size_t pos_ = 0;
+    size_t i_ = 0;
+    Entry prev_{Key3{}, 0, 0};
+    Entry base_{Key3{}, 0, 0};
+    Chronon ref_te_ = 0;
+  };
+
+  /// Visits every entry in append order with a devirtualized callable;
+  /// return false to stop. Compressed blocks decode through a streaming
+  /// Cursor — no scratch buffer, and stopping early stops the decode.
+  /// Safe to call concurrently from many threads on an immutable block.
+  template <typename Fn>
+  void VisitWith(Fn&& fn) const {
+    if (!compressed_) {
+      for (const Entry& e : plain_) {
+        if (!fn(e)) return;
+      }
+      return;
+    }
+    Cursor cur(*this);
+    Entry e;
+    while (cur.Next(&e)) {
+      if (!fn(e)) return;
+    }
+  }
+
+  /// Type-erased visitation for boundary callers; forwards to VisitWith.
   void Visit(const std::function<bool(const Entry&)>& fn) const;
 
   /// Copies all entries out in append order.
   std::vector<Entry> Decode() const;
+
+  /// Builds the per-leaf summary of the current entries. Meant to be
+  /// taken when the owning leaf dies (the block is immutable after).
+  LeafZoneMap ComputeZoneMap() const;
 
   /// Converts to the delta-compressed representation. Idempotent.
   void Compress(CompressionStats* stats = nullptr);
@@ -95,6 +241,14 @@ class LeafBlock {
   size_t MemoryUsage() const;
 
  private:
+  // te-rule flags of the normal header (bits 14-13), shared between the
+  // encoder (leaf_block.cc) and the inline Cursor decoder.
+  static constexpr unsigned kTeShortFlag = 0;
+  static constexpr unsigned kTeDeltaFlag = 1;
+  static constexpr unsigned kTeLiveFlag = 2;
+
+  static unsigned CodeBytes(unsigned code) { return code == 7 ? 8u : code; }
+
   struct Checkpoint {
     Entry last;       // previously appended entry (delta base)
     bool valid = false;
@@ -102,6 +256,7 @@ class LeafBlock {
 
   void DecodeInto(std::vector<Entry>* out) const;
   void AppendEncoded(const Entry& e, CompressionStats* stats);
+  void ReencodeAll(const std::vector<Entry>& entries);
   Chronon RefTe() const;
 
   bool compressed_ = false;

@@ -28,10 +28,18 @@ KeyRange UnionRange(const KeyRange& x, const KeyRange& y) {
   return KeyRange{std::min(x.lo, y.lo), std::max(x.hi, y.hi)};
 }
 
+// Bytes charged per cached decoded leaf beyond the entry payload,
+// approximating the cache's own list/map node cost.
+constexpr size_t kCacheEntryOverhead = 96;
+
 }  // namespace
 
 Mvbt::Mvbt(const MvbtOptions& options) : options_(options) {
   options_.block_capacity = std::max<size_t>(8, options_.block_capacity);
+  if (options_.leaf_cache_bytes > 0) {
+    leaf_cache_ = std::make_unique<LeafCache>(options_.leaf_cache_bytes,
+                                              options_.leaf_cache_shards);
+  }
   const size_t b = options_.block_capacity;
   weak_min_ = std::max<size_t>(2, b / 5);
   strong_max_ = std::max(weak_min_ * 2 + 2, b * 4 / 5);
@@ -156,6 +164,9 @@ void Mvbt::MaybeCompressDeadLeaf(Node* leaf) {
   if (options_.compress_leaves && !leaf->block.compressed()) {
     leaf->block.Compress();
   }
+  // The summary stays correct forever: the leaf just died and dead
+  // leaves are immutable.
+  if (options_.zone_maps) leaf->zone_map = leaf->block.ComputeZoneMap();
   leaf->backlinks.shrink_to_fit();  // dead leaves are immutable
 }
 
@@ -516,6 +527,12 @@ void Mvbt::CollectBorderLeaves(const KeyRange& range, Chronon border,
 
 void Mvbt::CollectRegionLeaves(const KeyRange& range, const Interval& time,
                                std::vector<const Node*>* out) const {
+  CollectRegionLeaves(range, time, out, nullptr, /*prune=*/false);
+}
+
+void Mvbt::CollectRegionLeaves(const KeyRange& range, const Interval& time,
+                               std::vector<const Node*>* out, ScanStats* stats,
+                               bool prune) const {
   if (time.empty() || range.lo > range.hi) return;
   const Chronon border =
       time.end == kChrononNow ? kChrononMax : time.end - 1;
@@ -526,7 +543,13 @@ void Mvbt::CollectRegionLeaves(const KeyRange& range, const Interval& time,
     const Node* n = stack.back();
     stack.pop_back();
     if (!visited.insert(n).second) continue;
-    out->push_back(n);
+    // Pruning skips only the emission: backlinks of a pruned leaf are
+    // still followed, so the link chain to earlier leaves stays intact.
+    if (prune && !n->zone_map.MayIntersect(range, time)) {
+      if (stats != nullptr) ++stats->leaves_pruned;
+    } else {
+      out->push_back(n);
+    }
     for (const Node* pred : n->backlinks) {
       if (!visited.contains(pred) && pred->lifespan().Overlaps(time) &&
           pred->range.Overlaps(range)) {
@@ -536,31 +559,39 @@ void Mvbt::CollectRegionLeaves(const KeyRange& range, const Interval& time,
   }
 }
 
+std::shared_ptr<const std::vector<Entry>> Mvbt::CachedEntries(
+    const Node* n, ScanStats* stats) const {
+  if (auto hit = leaf_cache_->Get(n)) {
+    if (stats != nullptr) ++stats->cache_hits;
+    return hit;
+  }
+  std::vector<Entry> entries = n->block.Decode();
+  const size_t bytes = entries.size() * sizeof(Entry) + kCacheEntryOverhead;
+  uint64_t evicted = 0;
+  auto inserted = leaf_cache_->Insert(n, std::move(entries), bytes, &evicted);
+  if (stats != nullptr) {
+    ++stats->cache_misses;
+    stats->entries_decoded += inserted->size();
+    stats->cache_evictions += evicted;
+  }
+  return inserted;
+}
+
 void Mvbt::QueryRange(
     const KeyRange& range, const Interval& time,
     const std::function<void(const Key3&, const Interval&)>& visit) const {
-  std::vector<const Node*> leaves;
-  CollectRegionLeaves(range, time, &leaves);
-  for (const Node* n : leaves) {
-    n->block.Visit([&](const Entry& e) {
-      if (range.Contains(e.key) && e.interval().Overlaps(time)) {
-        visit(e.key, e.interval());
-      }
-      return true;
-    });
-  }
+  QueryRangeT(range, time,
+              [&visit](const Key3& k, const Interval& iv) { visit(k, iv); });
 }
 
 void Mvbt::QuerySnapshot(const KeyRange& range, Chronon t,
                          const std::function<void(const Key3&)>& visit) const {
-  std::vector<const Node*> leaves;
-  CollectBorderLeaves(range, t, &leaves);
-  for (const Node* leaf : leaves) {
-    leaf->block.Visit([&](const Entry& e) {
-      if (range.Contains(e.key) && e.interval().Contains(t)) visit(e.key);
-      return true;
-    });
-  }
+  QuerySnapshotT(range, t, [&visit](const Key3& k) { visit(k); });
+}
+
+util::CacheCounters Mvbt::leaf_cache_counters() const {
+  if (leaf_cache_ == nullptr) return util::CacheCounters{};
+  return leaf_cache_->counters();
 }
 
 bool Mvbt::FindLive(const Key3& key, Chronon* start) const {
@@ -585,9 +616,16 @@ size_t Mvbt::MemoryUsage() const {
 size_t Mvbt::CompressAllLeaves(CompressionStats* stats) {
   size_t compressed = 0;
   for (Node& n : arena_) {
-    if (n.is_leaf && !n.block.compressed()) {
+    if (!n.is_leaf) continue;
+    if (!n.block.compressed()) {
       n.block.Compress(stats);
       ++compressed;
+    }
+    // Backfill summaries for leaves that died before zone maps were on
+    // (or when this tree was built with compress_leaves=false). Live
+    // leaves never get one: their contents still change.
+    if (options_.zone_maps && !n.alive() && !n.zone_map.valid) {
+      n.zone_map = n.block.ComputeZoneMap();
     }
   }
   return compressed;

@@ -25,11 +25,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mvbt/key.h"
 #include "mvbt/leaf_block.h"
 #include "temporal/interval.h"
+#include "util/scan_stats.h"
+#include "util/sharded_lru_cache.h"
 #include "util/status.h"
 
 namespace rdftx::mvbt {
@@ -42,6 +45,16 @@ struct MvbtOptions {
   /// (dead leaves are immutable) and CompressAllLeaves() compresses the
   /// live ones too. When false the tree is the "standard MVBT" baseline.
   bool compress_leaves = false;
+  /// When true, a zone map (min/max key, interval hull, entry counts) is
+  /// recorded for each leaf when it dies, and queries skip leaves whose
+  /// zone map proves no entry can intersect the query rectangle. Pruning
+  /// never changes results — it only avoids decoding.
+  bool zone_maps = true;
+  /// Byte budget of the decoded-leaf cache, which holds decoded Entry
+  /// vectors of hot dead compressed leaves. 0 disables the cache.
+  size_t leaf_cache_bytes = 0;
+  /// Shard count of the decoded-leaf cache (clamped to a power of two).
+  size_t leaf_cache_shards = 8;
 };
 
 /// Structure-change and size counters, exposed for tests and benches.
@@ -75,11 +88,52 @@ class Mvbt {
   /// `range` (inclusive) and interval overlapping `time`. Fragments of
   /// one logical record are emitted exactly once and can be coalesced by
   /// the caller. Uses the backward-link range-interval scan.
+  ///
+  /// This is the devirtualized scan: `visit(key, interval)` is a direct
+  /// call, zone maps skip leaves that cannot intersect the rectangle,
+  /// and hot dead compressed leaves are served from the decoded-leaf
+  /// cache. Per-query counters land in `stats` when non-null.
+  template <typename Visitor>
+  void QueryRangeT(const KeyRange& range, const Interval& time,
+                   Visitor&& visit, ScanStats* stats = nullptr) const {
+    std::vector<const Node*> leaves;
+    CollectRegionLeaves(range, time, &leaves, stats,
+                        /*prune=*/options_.zone_maps);
+    for (const Node* n : leaves) {
+      ScanLeaf(*n, stats, [&](const Entry& e) {
+        if (range.Contains(e.key) && e.interval().Overlaps(time)) {
+          visit(e.key, e.interval());
+        }
+        return true;
+      });
+    }
+  }
+
+  /// Keys alive at version `t` within `range` (timeslice query),
+  /// devirtualized like QueryRangeT.
+  template <typename Visitor>
+  void QuerySnapshotT(const KeyRange& range, Chronon t, Visitor&& visit,
+                      ScanStats* stats = nullptr) const {
+    std::vector<const Node*> leaves;
+    CollectBorderLeaves(range, t, &leaves);
+    for (const Node* leaf : leaves) {
+      if (options_.zone_maps && !leaf->zone_map.MayContain(range, t)) {
+        if (stats != nullptr) ++stats->leaves_pruned;
+        continue;
+      }
+      ScanLeaf(*leaf, stats, [&](const Entry& e) {
+        if (range.Contains(e.key) && e.interval().Contains(t)) visit(e.key);
+        return true;
+      });
+    }
+  }
+
+  /// Type-erased boundary wrapper over QueryRangeT.
   void QueryRange(
       const KeyRange& range, const Interval& time,
       const std::function<void(const Key3&, const Interval&)>& visit) const;
 
-  /// Keys alive at version `t` within `range` (timeslice query).
+  /// Type-erased boundary wrapper over QuerySnapshotT.
   void QuerySnapshot(const KeyRange& range, Chronon t,
                      const std::function<void(const Key3&)>& visit) const;
 
@@ -109,6 +163,10 @@ class Mvbt {
   const MvbtStats& stats() const { return stats_; }
   const MvbtOptions& options() const { return options_; }
 
+  /// Lifetime totals of the decoded-leaf cache (all zero when the cache
+  /// is disabled). Thread-safe.
+  util::CacheCounters leaf_cache_counters() const;
+
   // --- internal node structure, public for white-box tests and the
   // synchronized join (sync_join.cc) ---
 
@@ -136,6 +194,10 @@ class Mvbt {
     // Leaf state.
     LeafBlock block;
     std::vector<Node*> backlinks;  // temporal predecessors
+    // Built when the leaf dies (MvbtOptions::zone_maps); invalid on live
+    // leaves, whose contents still change. An invalid zone map never
+    // prunes.
+    LeafZoneMap zone_map;
 
     // Inner state.
     std::vector<IndexEntry> entries;
@@ -161,9 +223,18 @@ class Mvbt {
 
   /// Collects every leaf whose (key range x lifespan) rectangle
   /// intersects the query region, via the border search plus the
-  /// backward-link walk (steps (i)+(ii) of §5.2.1).
+  /// backward-link walk (steps (i)+(ii) of §5.2.1). The unpruned set,
+  /// used by the structural validator and the synchronized join.
   void CollectRegionLeaves(const KeyRange& range, const Interval& time,
                            std::vector<const Node*>* out) const;
+
+  /// As above, but when `prune` is set, leaves whose zone map proves no
+  /// entry can intersect (range, time) are skipped at emission —
+  /// backlinks are still traversed through them, so the link chain walk
+  /// is unaffected. `stats` (optional) receives the pruned-leaf count.
+  void CollectRegionLeaves(const KeyRange& range, const Interval& time,
+                           std::vector<const Node*>* out, ScanStats* stats,
+                           bool prune) const;
 
   // --- introspection for analysis::ValidateMvbt and white-box tests ---
 
@@ -215,6 +286,38 @@ class Mvbt {
 
   Status ValidateNode(const Node* node, const KeyRange& range) const;
 
+  using LeafCache = util::ShardedLruCache<const Node*, std::vector<Entry>>;
+
+  /// Decoded entries of a dead compressed leaf, through the cache.
+  std::shared_ptr<const std::vector<Entry>> CachedEntries(
+      const Node* n, ScanStats* stats) const;
+
+  /// Feeds a leaf's entries to `fn` (stopping when it returns false),
+  /// choosing the cheapest source: the decoded-leaf cache for dead
+  /// compressed leaves when the cache is on, the streaming cursor
+  /// otherwise. Counts the visit and any decode work into `stats`.
+  template <typename Fn>
+  void ScanLeaf(const Node& n, ScanStats* stats, Fn&& fn) const {
+    if (stats != nullptr) ++stats->leaves_visited;
+    if (leaf_cache_ != nullptr && !n.alive() && n.block.compressed()) {
+      const auto entries = CachedEntries(&n, stats);
+      for (const Entry& e : *entries) {
+        if (!fn(e)) return;
+      }
+      return;
+    }
+    if (stats != nullptr && n.block.compressed()) {
+      size_t decoded = 0;
+      n.block.VisitWith([&](const Entry& e) {
+        ++decoded;
+        return fn(e);
+      });
+      stats->entries_decoded += decoded;
+      return;
+    }
+    n.block.VisitWith(fn);
+  }
+
   MvbtOptions options_;
   size_t weak_min_;    // d: min live entries in a live non-root node
   size_t strong_max_;  // post-restructure max live entries
@@ -225,6 +328,11 @@ class Mvbt {
   Chronon last_time_ = 0;
   size_t live_size_ = 0;
   MvbtStats stats_;
+  // Decoded-leaf cache (null when leaf_cache_bytes == 0). Keyed by node
+  // identity: arena nodes never move or die before the tree, and only
+  // dead leaves — immutable by construction — are ever inserted, so no
+  // invalidation protocol is needed.
+  std::unique_ptr<LeafCache> leaf_cache_;
 };
 
 }  // namespace rdftx::mvbt

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "rdf/triple.h"
+#include "util/scan_stats.h"
 #include "util/status.h"
 
 namespace rdftx {
@@ -29,9 +30,18 @@ class TemporalStore {
   virtual Status Load(const std::vector<TemporalTriple>& triples) = 0;
 
   /// Emits every triple matching the pattern constants whose validity
-  /// overlaps spec.time (fragments, see ScanCallback).
-  virtual void ScanPattern(const PatternSpec& spec,
-                           const ScanCallback& visit) const = 0;
+  /// overlaps spec.time (fragments, see ScanCallback). `stats` (may be
+  /// null) receives the scan's read-path counters; it is owned by the
+  /// query, so concurrent scans never share one. Stores without an
+  /// instrumented read path leave it untouched.
+  virtual void ScanPattern(const PatternSpec& spec, const ScanCallback& visit,
+                           ScanStats* stats) const = 0;
+
+  /// Convenience overload without counters. Implementations re-expose it
+  /// with `using TemporalStore::ScanPattern;`.
+  void ScanPattern(const PatternSpec& spec, const ScanCallback& visit) const {
+    ScanPattern(spec, visit, nullptr);
+  }
 
   /// Approximate heap footprint of indices + payload (Fig 8).
   virtual size_t MemoryUsage() const = 0;

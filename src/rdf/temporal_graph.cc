@@ -24,7 +24,9 @@ struct LoadEvent {
 TemporalGraph::TemporalGraph(const TemporalGraphOptions& options)
     : options_(options) {
   mvbt::MvbtOptions mo{.block_capacity = options_.block_capacity,
-                       .compress_leaves = options_.compress_leaves};
+                       .compress_leaves = options_.compress_leaves,
+                       .zone_maps = options_.zone_maps,
+                       .leaf_cache_bytes = options_.leaf_cache_bytes};
   for (auto& idx : indices_) idx = std::make_unique<mvbt::Mvbt>(mo);
 }
 
@@ -163,13 +165,18 @@ Status TemporalGraph::Retract(const Triple& t, Chronon at) {
 }
 
 void TemporalGraph::ScanPattern(const PatternSpec& spec,
-                                const ScanCallback& visit) const {
+                                const ScanCallback& visit,
+                                ScanStats* stats) const {
   const IndexOrder order = ChooseIndex(spec);
   const KeyRange range = PatternRange(order, spec);
-  index(order).QueryRange(range, spec.time,
-                          [&](const Key3& k, const Interval& iv) {
-                            visit(DecodeKey(order, k), iv);
-                          });
+  // QueryRangeT keeps the whole leaf scan devirtualized; the only
+  // std::function hop left is the engine-boundary `visit` itself.
+  index(order).QueryRangeT(
+      range, spec.time,
+      [&](const Key3& k, const Interval& iv) {
+        visit(DecodeKey(order, k), iv);
+      },
+      stats);
 }
 
 TemporalSet TemporalGraph::Validity(const Triple& t) const {

@@ -29,6 +29,13 @@ struct TemporalGraphOptions {
   /// Delta-compress leaves (the full RDF-TX configuration). Off gives
   /// the "standard MVBT" baseline of §7.2.
   bool compress_leaves = true;
+  /// Per-leaf zone maps: queries skip dead leaves whose summary proves
+  /// no entry can match (never changes results).
+  bool zone_maps = true;
+  /// Decoded-leaf cache budget per MVBT index (the store holds four), in
+  /// bytes; 0 disables. Hot dead compressed leaves are then decoded once
+  /// and served from the cache.
+  size_t leaf_cache_bytes = 8u << 20;
 };
 
 /// The RDF-TX temporal RDF graph store.
@@ -50,8 +57,9 @@ class TemporalGraph : public TemporalStore {
 
   // TemporalStore:
   Status Load(const std::vector<TemporalTriple>& triples) override;
-  void ScanPattern(const PatternSpec& spec,
-                   const ScanCallback& visit) const override;
+  using TemporalStore::ScanPattern;
+  void ScanPattern(const PatternSpec& spec, const ScanCallback& visit,
+                   ScanStats* stats) const override;
   size_t MemoryUsage() const override;
   std::string name() const override { return "RDF-TX"; }
   Chronon last_time() const override { return indices_[0]->last_time(); }

@@ -1,0 +1,150 @@
+// A bounded, sharded LRU cache with a byte budget, built for the MVBT
+// decoded-leaf cache: keys are immutable-object identities (dead leaves
+// never change), values are handed out as shared_ptr so an entry can be
+// evicted while another thread still reads it. Each shard owns one mutex,
+// one LRU list, and an equal slice of the byte budget, so concurrent
+// readers of different leaves rarely contend on the same lock. Hit /
+// miss / eviction totals are plain counters mutated under the shard
+// locks and summed on demand.
+#ifndef RDFTX_UTIL_SHARDED_LRU_CACHE_H_
+#define RDFTX_UTIL_SHARDED_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace rdftx::util {
+
+/// Aggregate counters of a ShardedLruCache, summed across shards.
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
+
+/// Sharded byte-budgeted LRU. `Key` must be hashable and equality
+/// comparable; values are immutable once inserted.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  using ValuePtr = std::shared_ptr<const Value>;
+
+  /// `byte_budget` is split evenly across `num_shards` (clamped to a
+  /// power of two in [1, 64]).
+  explicit ShardedLruCache(size_t byte_budget, size_t num_shards = 8)
+      : byte_budget_(byte_budget) {
+    size_t shards = 1;
+    while (shards < num_shards && shards < 64) shards *= 2;
+    shards_ = std::vector<Shard>(shards);
+    shard_budget_ = byte_budget / shards;
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  ValuePtr Get(const Key& key) {
+    Shard& s = ShardOf(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return nullptr;
+    }
+    ++s.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts `value` (charged `bytes` against the shard budget),
+  /// evicting least-recently-used entries as needed. Returns the cached
+  /// pointer — the already-present one if another thread raced this
+  /// insert — and reports how many entries were evicted. A value larger
+  /// than a whole shard's budget is returned uncached.
+  ValuePtr Insert(const Key& key, Value value, size_t bytes,
+                  uint64_t* evicted = nullptr) {
+    if (evicted != nullptr) *evicted = 0;
+    if (bytes > shard_budget_) {
+      return std::make_shared<const Value>(std::move(value));
+    }
+    Shard& s = ShardOf(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      // Lost an insert race; keep the incumbent.
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return it->second->value;
+    }
+    s.lru.push_front(Node{key, std::make_shared<const Value>(std::move(value)),
+                          bytes});
+    s.map.emplace(key, s.lru.begin());
+    s.bytes += bytes;
+    uint64_t dropped = 0;
+    while (s.bytes > shard_budget_ && s.lru.size() > 1) {
+      const Node& victim = s.lru.back();
+      s.bytes -= victim.bytes;
+      s.map.erase(victim.key);
+      s.lru.pop_back();
+      ++s.evictions;
+      ++dropped;
+    }
+    if (evicted != nullptr) *evicted = dropped;
+    return s.lru.front().value;
+  }
+
+  /// Sums the per-shard counters.
+  CacheCounters counters() const {
+    CacheCounters total;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.entries += s.lru.size();
+      total.bytes += s.bytes;
+    }
+    return total;
+  }
+
+  size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Node {
+    Key key;
+    std::shared_ptr<const Value> value;
+    size_t bytes;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Node> lru;  // front = most recently used
+    std::unordered_map<Key, typename std::list<Node>::iterator, Hash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardOf(const Key& key) {
+    // Mix the hash so pointer keys (aligned, low-entropy low bits) still
+    // spread across shards.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return shards_[h & (shards_.size() - 1)];
+  }
+
+  size_t byte_budget_;
+  size_t shard_budget_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace rdftx::util
+
+#endif  // RDFTX_UTIL_SHARDED_LRU_CACHE_H_
