@@ -1,0 +1,147 @@
+// Snapshot persistence bench: save/load round trip on the GovTrack and
+// Wikipedia histories. Measures cold ingest (TemporalGraph::Load: four
+// index descents + structure changes per triple) against snapshot load
+// (one sequential checksummed read, leaves restored in their on-disk
+// delta-encoded form), verifies the loaded store answers a full scan
+// and a query workload byte-identically, and runs the deep structural
+// validator on the restored forest.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.h"
+#include "bench_common.h"
+#include "storage/snapshot.h"
+#include "temporal/temporal_set.h"
+#include "workload/query_gen.h"
+
+namespace {
+
+using namespace rdftx;
+using namespace rdftx::bench;
+
+// Canonical fingerprint of the complete store contents: every triple's
+// coalesced validity from a full SPO scan.
+std::string FullScanFingerprint(const TemporalGraph& g) {
+  std::map<Triple, std::vector<Interval>> raw;
+  g.ScanPattern(PatternSpec{}, [&](const Triple& t, const Interval& iv) {
+    raw[t].push_back(iv);
+  });
+  std::string out;
+  for (auto& [t, ivs] : raw) {
+    TemporalSet set = TemporalSet::FromIntervals(ivs);
+    out += std::to_string(t.s) + "," + std::to_string(t.p) + "," +
+           std::to_string(t.o) + ":" + set.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string SortedResults(const engine::QueryEngine& eng,
+                          const std::vector<std::string>& queries) {
+  std::string out;
+  for (const std::string& q : queries) {
+    auto r = eng.Execute(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n%s\n",
+                   r.status().ToString().c_str(), q.c_str());
+      std::abort();
+    }
+    std::vector<std::string> rows;
+    for (const auto& row : r->rows) {
+      std::string fp;
+      for (const engine::Cell& cell : row) cell.AppendFingerprint(&fp);
+      rows.push_back(std::move(fp));
+    }
+    std::sort(rows.begin(), rows.end());
+    for (const std::string& fp : rows) out += fp + "\n";
+    out += "--\n";
+  }
+  return out;
+}
+
+void RunOne(const char* label, Fixture f, JsonReport* report) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("rdftx_bench_snapshot_" + std::string(label) + ".rtxsnap"))
+          .string();
+
+  TemporalGraph original(TemporalGraphOptions{.compress_leaves = true});
+  const double ingest_s =
+      TimeSeconds([&] { (void)original.Load(f.data.triples); });
+
+  const double save_s = TimeSeconds([&] {
+    Status st = original.SaveSnapshot(path, f.dict.get());
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  });
+  const uint64_t file_bytes = std::filesystem::file_size(path);
+
+  TemporalGraph loaded;
+  Dictionary loaded_dict;
+  const double load_s = TimeSeconds([&] {
+    Status st = loaded.LoadSnapshot(path, &loaded_dict);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  });
+
+  // Correctness gates: the loaded store must be indistinguishable.
+  if (FullScanFingerprint(loaded) != FullScanFingerprint(original)) {
+    std::fprintf(stderr, "%s: loaded scan differs from original\n", label);
+    std::abort();
+  }
+  for (int i = 0; i < 4; ++i) {
+    Status st = analysis::ValidateMvbt(loaded.index(static_cast<IndexOrder>(i)));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: ValidateMvbt: %s\n", label,
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+  Rng rng(77);
+  auto queries = workload::MakeSelectionQueries(f.data, *f.dict, 10, &rng);
+  auto joins = workload::MakeJoinQueries(f.data, *f.dict, 5, &rng);
+  queries.insert(queries.end(), joins.begin(), joins.end());
+  engine::QueryEngine eng_orig(&original, f.dict.get());
+  engine::QueryEngine eng_loaded(&loaded, &loaded_dict);
+  if (SortedResults(eng_orig, queries) != SortedResults(eng_loaded, queries)) {
+    std::fprintf(stderr, "%s: query results differ after load\n", label);
+    std::abort();
+  }
+
+  const double speedup = ingest_s / load_s;
+  PrintSeriesHeader(std::string("Snapshot round trip: ") + label,
+                    {"triples", "ingest_s", "save_s", "load_s", "speedup",
+                     "file_MB"});
+  PrintSeriesRow({std::to_string(f.data.triples.size()), Fmt(ingest_s),
+                  Fmt(save_s), Fmt(load_s), Fmt(speedup),
+                  Fmt(static_cast<double>(file_bytes) / (1024.0 * 1024.0))});
+  std::printf("\n");
+
+  const std::string prefix = label;
+  report->Add(prefix + "_triples",
+              static_cast<uint64_t>(f.data.triples.size()));
+  report->Add(prefix + "_ingest_seconds", ingest_s);
+  report->Add(prefix + "_save_seconds", save_s);
+  report->Add(prefix + "_load_seconds", load_s);
+  report->Add(prefix + "_load_speedup", speedup);
+  report->Add(prefix + "_file_bytes", file_bytes);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+
+int main() {
+  JsonReport report("snapshot");
+  RunOne("govtrack", MakeGovTrack(Scaled(120000)), &report);
+  RunOne("wikipedia", MakeWikipedia(Scaled(120000)), &report);
+  report.Write();
+  return 0;
+}

@@ -64,6 +64,19 @@ class RdfTx {
   /// Parses, optimizes, and executes a SPARQLt query.
   Result<engine::ResultSet> Query(std::string_view text) const;
 
+  /// Writes the finished knowledge base (indices + dictionary) to a
+  /// snapshot file at `path`. Requires Finish().
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Opens a knowledge base from a snapshot file: restores the
+  /// dictionary and the four MVBT indices as saved, then rebuilds the
+  /// optimizer statistics (catalog + histogram) from one SPO index
+  /// scan — far cheaper than re-ingesting, since ingest pays four
+  /// index descents plus structure changes per triple. The result is
+  /// finished and ready to Query().
+  static Result<std::unique_ptr<RdfTx>> OpenSnapshot(
+      const std::string& path, const RdfTxOptions& options = {});
+
   /// Dictionary access (e.g. to pre-intern terms or decode ids).
   Dictionary* dictionary() { return &dict_; }
   const TemporalGraph& graph() const { return graph_; }
@@ -78,6 +91,11 @@ class RdfTx {
   size_t MemoryUsage() const;
 
  private:
+  /// Builds catalog, histogram, optimizer, and engine from `staged_`
+  /// over the already-populated graph, then clears the staging area.
+  /// Shared tail of Finish() and OpenSnapshot().
+  Status BuildDerivedState();
+
   RdfTxOptions options_;
   Dictionary dict_;
   TemporalGraph graph_;

@@ -42,6 +42,10 @@ class Dictionary {
   /// Number of interned terms (excluding the reserved slot).
   size_t size() const { return terms_.size() - 1; }
 
+  /// Pre-sizes the lookup table for `term_count` upcoming Interns; used
+  /// by the snapshot loader, which knows the final size up front.
+  void Reserve(size_t term_count) { index_.reserve(term_count); }
+
   /// Approximate heap footprint in bytes, for the Fig 8 size accounting.
   size_t MemoryUsage() const;
 

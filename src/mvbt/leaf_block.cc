@@ -332,28 +332,215 @@ std::vector<Entry> LeafBlock::Decode() const {
   return entries;
 }
 
+namespace {
+
+void AccumulateZone(const Entry& e, LeafZoneMap* zm, bool* first) {
+  if (*first) {
+    zm->min_key = e.key;
+    zm->max_key = e.key;
+    zm->min_start = e.start;
+    zm->max_end = e.end;
+    *first = false;
+  } else {
+    if (e.key < zm->min_key) zm->min_key = e.key;
+    if (zm->max_key < e.key) zm->max_key = e.key;
+    if (e.start < zm->min_start) zm->min_start = e.start;
+    if (zm->max_end < e.end) zm->max_end = e.end;
+  }
+  ++zm->entry_count;
+  if (e.live()) ++zm->live_count;
+}
+
+}  // namespace
+
 LeafZoneMap LeafBlock::ComputeZoneMap() const {
   LeafZoneMap zm;
   zm.valid = true;
   bool first = true;
   VisitWith([&](const Entry& e) {
-    if (first) {
-      zm.min_key = e.key;
-      zm.max_key = e.key;
-      zm.min_start = e.start;
-      zm.max_end = e.end;
-      first = false;
-    } else {
-      if (e.key < zm.min_key) zm.min_key = e.key;
-      if (zm.max_key < e.key) zm.max_key = e.key;
-      if (e.start < zm.min_start) zm.min_start = e.start;
-      if (zm.max_end < e.end) zm.max_end = e.end;
-    }
-    ++zm.entry_count;
-    if (e.live()) ++zm.live_count;
+    AccumulateZone(e, &zm, &first);
     return true;
   });
   return zm;
+}
+
+LeafZoneMap LeafBlock::ComputeZoneMap(const std::vector<Entry>& entries) {
+  LeafZoneMap zm;
+  zm.valid = true;
+  bool first = true;
+  for (const Entry& e : entries) AccumulateZone(e, &zm, &first);
+  return zm;
+}
+
+Status LeafBlock::CheckStream(const uint8_t* bytes, size_t size, size_t count,
+                              std::vector<Entry>* out) {
+  size_t pos = 0;
+  Entry prev{Key3{}, 0, 0};
+  Entry base{Key3{}, 0, 0};
+  Chronon ref_te = 0;
+  // Bounded LEB128 decode; false on truncation or an unterminated
+  // 64-bit run (which the unchecked Cursor would mis-decode).
+  auto get_varint = [&](uint64_t* v) -> bool {
+    *v = 0;
+    unsigned shift = 0;
+    while (shift < 64) {
+      if (pos >= size) return false;
+      const uint8_t b = bytes[pos];
+      ++pos;
+      *v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return true;
+      shift += 7;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < count; ++i) {
+    if (pos >= size) {
+      return Status::Corruption("leaf stream truncated at entry " +
+                                std::to_string(i));
+    }
+    Entry e;
+    const uint8_t first_byte = bytes[pos];
+    if (first_byte & 0x80) {
+      ++pos;
+      const unsigned c2 = (first_byte >> 4) & 0x7;
+      const unsigned c3 = (first_byte >> 1) & 0x7;
+      if (size - pos < CodeBytes(c2) + CodeBytes(c3)) {
+        return Status::Corruption("leaf stream truncated in compact key");
+      }
+      const uint64_t z2 = GetFixed(bytes + pos, CodeBytes(c2));
+      pos += CodeBytes(c2);
+      const uint64_t z3 = GetFixed(bytes + pos, CodeBytes(c3));
+      pos += CodeBytes(c3);
+      e.key.a = prev.key.a;
+      e.key.b = prev.key.b + static_cast<uint64_t>(ZigZagDecode(z2));
+      e.key.c = prev.key.c + static_cast<uint64_t>(ZigZagDecode(z3));
+      uint64_t ds = 0;
+      if (!get_varint(&ds)) {
+        return Status::Corruption("leaf stream truncated in compact ts");
+      }
+      const uint64_t start = static_cast<uint64_t>(prev.start) + ds;
+      if (start > kChrononMax) {
+        return Status::Corruption("leaf entry start outside temporal domain");
+      }
+      e.start = static_cast<Chronon>(start);
+      e.end = kChrononNow;
+    } else {
+      if (size - pos < 2) {
+        return Status::Corruption("leaf stream truncated in header");
+      }
+      const uint16_t header = (static_cast<uint16_t>(bytes[pos]) << 8) |
+                              static_cast<uint16_t>(bytes[pos + 1]);
+      pos += 2;
+      const unsigned te_flag = (header >> 13) & 0x3;
+      if (te_flag > kTeLive) {
+        return Status::Corruption("leaf entry has invalid te rule");
+      }
+      const unsigned c1 = (header >> 10) & 0x7;
+      const unsigned c2 = (header >> 7) & 0x7;
+      const unsigned c3 = (header >> 4) & 0x7;
+      if (size - pos < CodeBytes(c1) + CodeBytes(c2) + CodeBytes(c3)) {
+        return Status::Corruption("leaf stream truncated in key deltas");
+      }
+      const uint64_t z1 = GetFixed(bytes + pos, CodeBytes(c1));
+      pos += CodeBytes(c1);
+      const uint64_t z2 = GetFixed(bytes + pos, CodeBytes(c2));
+      pos += CodeBytes(c2);
+      const uint64_t z3 = GetFixed(bytes + pos, CodeBytes(c3));
+      pos += CodeBytes(c3);
+      e.key.a = ((header & (1u << 3)) ? base.key.a : prev.key.a) +
+                static_cast<uint64_t>(ZigZagDecode(z1));
+      e.key.b = ((header & (1u << 2)) ? base.key.b : prev.key.b) +
+                static_cast<uint64_t>(ZigZagDecode(z2));
+      e.key.c = ((header & (1u << 1)) ? base.key.c : prev.key.c) +
+                static_cast<uint64_t>(ZigZagDecode(z3));
+      uint64_t ds = 0;
+      if (!get_varint(&ds)) {
+        return Status::Corruption("leaf stream truncated in ts");
+      }
+      const uint64_t start = static_cast<uint64_t>(prev.start) + ds;
+      if (start > kChrononMax) {
+        return Status::Corruption("leaf entry start outside temporal domain");
+      }
+      e.start = static_cast<Chronon>(start);
+      if (te_flag == kTeLive) {
+        e.end = kChrononNow;
+      } else if (te_flag == kTeShort) {
+        uint64_t len = 0;
+        if (!get_varint(&len)) {
+          return Status::Corruption("leaf stream truncated in te length");
+        }
+        const uint64_t end = start + len;
+        if (end > kChrononNow) {
+          return Status::Corruption("leaf entry end outside temporal domain");
+        }
+        e.end = static_cast<Chronon>(end);
+      } else {
+        uint64_t zd = 0;
+        if (!get_varint(&zd)) {
+          return Status::Corruption("leaf stream truncated in te delta");
+        }
+        const int64_t end =
+            static_cast<int64_t>(ref_te) + ZigZagDecode(zd);
+        if (end < 0 || end > static_cast<int64_t>(kChrononNow)) {
+          return Status::Corruption("leaf entry end outside temporal domain");
+        }
+        e.end = static_cast<Chronon>(end);
+      }
+    }
+    if (i == 0) {
+      base = e;
+      ref_te = base.end == kChrononNow ? base.start : base.end;
+    }
+    prev = e;
+    if (out != nullptr) out->push_back(e);
+  }
+  if (pos != size) {
+    return Status::Corruption("leaf stream has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Result<LeafBlock> LeafBlock::FromCompressedBytes(std::vector<uint8_t> bytes,
+                                                 size_t count,
+                                                 std::vector<Entry>* decoded) {
+  // Every encoded entry consumes at least one byte, so a count larger
+  // than the stream is corrupt; checking first keeps the reserve below
+  // from turning a hostile count into a giant allocation.
+  if (count > bytes.size()) {
+    return Status::Corruption("leaf entry count exceeds stream size");
+  }
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  Status st = CheckStream(bytes.data(), bytes.size(), count, &entries);
+  if (!st.ok()) return st;
+  LeafBlock b;
+  b.compressed_ = true;
+  b.count_ = count;
+  b.bytes_ = std::move(bytes);
+  if (!entries.empty()) {
+    b.base_ = entries.front();
+    b.checkpoint_.last = entries.back();
+    b.checkpoint_.valid = true;
+  }
+  if (decoded != nullptr) *decoded = std::move(entries);
+  return b;
+}
+
+Result<LeafBlock> LeafBlock::FromEntries(std::vector<Entry> entries) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].start > kChrononMax) {
+      return Status::Corruption("plain entry start outside temporal domain");
+    }
+    if (i > 0 && entries[i].start < entries[i - 1].start) {
+      return Status::Corruption("plain entries not start-ordered");
+    }
+  }
+  LeafBlock b;
+  b.count_ = entries.size();
+  b.checkpoint_.valid = !entries.empty();
+  if (b.checkpoint_.valid) b.checkpoint_.last = entries.back();
+  b.plain_ = std::move(entries);
+  return b;
 }
 
 void LeafBlock::Compress(CompressionStats* stats) {

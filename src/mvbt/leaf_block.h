@@ -30,6 +30,7 @@
 #include "mvbt/key.h"
 #include "temporal/interval.h"
 #include "util/date.h"
+#include "util/status.h"
 #include "util/varint.h"
 
 namespace rdftx::mvbt {
@@ -230,6 +231,43 @@ class LeafBlock {
   /// Builds the per-leaf summary of the current entries. Meant to be
   /// taken when the owning leaf dies (the block is immutable after).
   LeafZoneMap ComputeZoneMap() const;
+
+  /// Same summary over an already-decoded entry vector, so callers that
+  /// hold the entries (e.g. the snapshot loader, which just validated
+  /// the stream) don't pay a second decode pass.
+  static LeafZoneMap ComputeZoneMap(const std::vector<Entry>& entries);
+
+  // --- snapshot persistence hooks (storage/snapshot.cc) ---
+
+  /// Raw delta-encoded byte stream of a compressed block. Snapshots
+  /// store these bytes verbatim, so saving never re-encodes a leaf.
+  /// Only meaningful while compressed().
+  const std::vector<uint8_t>& compressed_bytes() const { return bytes_; }
+
+  /// Entry vector of a plain block. Only meaningful while !compressed().
+  const std::vector<Entry>& plain_entries() const { return plain_; }
+
+  /// Reconstructs a compressed block from snapshot bytes. The stream is
+  /// decoded with full bounds checking before acceptance: exactly
+  /// `count` entries must consume exactly `bytes.size()` bytes, start
+  /// versions must be nondecreasing, and every decoded chronon must lie
+  /// in the temporal domain. Returns Corruption otherwise — a hostile or
+  /// damaged stream can never reach the unchecked fast-path Cursor.
+  /// `decoded` (may be null) receives the validated entries, saving the
+  /// caller a separate decode of the freshly built block.
+  static Result<LeafBlock> FromCompressedBytes(
+      std::vector<uint8_t> bytes, size_t count,
+      std::vector<Entry>* decoded = nullptr);
+
+  /// Reconstructs a plain block from snapshot entries (validating the
+  /// nondecreasing-start append invariant).
+  static Result<LeafBlock> FromEntries(std::vector<Entry> entries);
+
+  /// Bounds-checked decode of a delta stream: the validation core of
+  /// FromCompressedBytes, exposed for fuzzing. Appends decoded entries
+  /// to `out` when non-null.
+  static Status CheckStream(const uint8_t* bytes, size_t size, size_t count,
+                            std::vector<Entry>* out = nullptr);
 
   /// Converts to the delta-compressed representation. Idempotent.
   void Compress(CompressionStats* stats = nullptr);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace rdftx::mvbt {
 namespace {
@@ -631,6 +633,116 @@ size_t Mvbt::CompressAllLeaves(CompressionStats* stats) {
   return compressed;
 }
 
+Status Mvbt::BeginRestore() {
+  if (arena_.size() != 1 || last_time_ != 0 || live_size_ != 0 ||
+      arena_.front().block.count() != 0) {
+    return Status::InvalidArgument(
+        "snapshot restore requires a freshly constructed tree");
+  }
+  arena_.clear();
+  roots_.clear();
+  live_root_ = nullptr;
+  stats_ = MvbtStats{};
+  return Status::OK();
+}
+
+Mvbt::Node* Mvbt::AppendRestoredNode() {
+  arena_.emplace_back();
+  return &arena_.back();
+}
+
+Status Mvbt::FinishRestore(const std::vector<SnapshotRoot>& roots,
+                           Chronon last_time, uint64_t live_size,
+                           const MvbtStats& stats) {
+  if (arena_.empty()) return Status::Corruption("restored forest has no nodes");
+  if (roots.empty()) return Status::Corruption("restored forest has no roots");
+  roots_.clear();
+  roots_.reserve(roots.size());
+  for (const SnapshotRoot& r : roots) {
+    if (r.node >= arena_.size()) {
+      return Status::Corruption("root references node id out of range");
+    }
+    roots_.push_back(RootEntry{r.start, r.end, &arena_[r.node]});
+  }
+  live_root_ = roots_.back().node;
+  if (!live_root_->alive() || live_root_->parent != nullptr) {
+    return Status::Corruption("restored live root is dead or has a parent");
+  }
+  last_time_ = last_time;
+  live_size_ = live_size;
+  // Recompute the derived counters and cross-check the snapshot's own
+  // record of them: a mismatch means the node payloads and the metadata
+  // disagree, i.e. the file is internally inconsistent.
+  uint64_t leaves = 0, inners = 0, live = 0;
+  for (const Node& n : arena_) {
+    if (n.is_leaf) {
+      ++leaves;
+      if (n.alive()) live += n.live_count;
+    } else {
+      ++inners;
+    }
+  }
+  stats_ = stats;
+  if (stats_.leaf_nodes != leaves || stats_.inner_nodes != inners) {
+    return Status::Corruption("restored node counts disagree with stats");
+  }
+  if (stats_.roots != roots_.size()) {
+    return Status::Corruption("restored root count disagrees with stats");
+  }
+  if (live != live_size_) {
+    return Status::Corruption("restored live size disagrees with leaves");
+  }
+  RDFTX_RETURN_IF_ERROR(CheckChildGraphAcyclic());
+  return Validate();
+}
+
+Status Mvbt::CheckChildGraphAcyclic() const {
+  std::unordered_map<const Node*, size_t> index;
+  index.reserve(arena_.size());
+  {
+    size_t i = 0;
+    for (const Node& n : arena_) index[&n] = i++;
+  }
+  // Iterative three-color DFS over every child edge (dead and alive):
+  // query traversals walk dead subtrees too, so a cycle anywhere would
+  // hang them.
+  std::vector<uint8_t> color(arena_.size(), 0);  // 0 new, 1 open, 2 done
+  std::vector<std::pair<size_t, size_t>> stack;  // (node id, next entry)
+  for (size_t start = 0; start < arena_.size(); ++start) {
+    if (color[start] != 0) continue;
+    color[start] = 1;
+    stack.clear();
+    stack.push_back({start, 0});
+    while (!stack.empty()) {
+      const size_t ni = stack.back().first;
+      const size_t ei = stack.back().second;
+      const Node& n = arena_[ni];
+      if (n.is_leaf || ei >= n.entries.size()) {
+        color[ni] = 2;
+        stack.pop_back();
+        continue;
+      }
+      ++stack.back().second;
+      const Node* child = n.entries[ei].child;
+      if (child == nullptr) {
+        return Status::Corruption("inner entry has null child");
+      }
+      auto it = index.find(child);
+      if (it == index.end()) {
+        return Status::Corruption("inner entry child outside the arena");
+      }
+      if (color[it->second] == 1) {
+        return Status::Corruption("cycle in the child-reference graph");
+      }
+      if (color[it->second] == 0) {
+        color[it->second] = 1;
+        stack.push_back({it->second, 0});
+      }
+    }
+  }
+  return Status::OK();
+}
+
 void Mvbt::ForEachNode(const std::function<void(const Node&)>& fn) const {
   for (const Node& n : arena_) fn(n);
 }
@@ -644,7 +756,14 @@ void Mvbt::ForEachRoot(
   for (const RootEntry& r : roots_) fn(r.start, r.end, r.node);
 }
 
-Status Mvbt::ValidateNode(const Node* node, const KeyRange& range) const {
+Status Mvbt::ValidateNode(const Node* node, const KeyRange& range,
+                          size_t depth) const {
+  // A genuine MVBT's height is logarithmic; this bound only trips on a
+  // crafted snapshot whose live tree is a pathological chain, stopping
+  // the recursion long before the call stack is at risk.
+  if (depth > 256) {
+    return Status::Corruption("live tree deeper than any valid MVBT");
+  }
   if (node->range.lo != range.lo || node->range.hi != range.hi) {
     return Status::Corruption("node range mismatch");
   }
@@ -732,7 +851,8 @@ Status Mvbt::ValidateNode(const Node* node, const KeyRange& range) const {
     }
     // Recurse into live children.
     for (const IndexEntry* e : lives) {
-      RDFTX_RETURN_IF_ERROR(ValidateNode(e->child, e->child->range));
+      RDFTX_RETURN_IF_ERROR(ValidateNode(e->child, e->child->range,
+                                         depth + 1));
     }
   }
   return Status::OK();

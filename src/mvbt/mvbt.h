@@ -236,6 +236,48 @@ class Mvbt {
                            std::vector<const Node*>* out, ScanStats* stats,
                            bool prune) const;
 
+  // --- snapshot persistence hooks (storage/snapshot.cc) ---
+
+  /// Stable node ids for snapshots: a node's id is its position in
+  /// creation order (the ForEachNode order). Ids are dense in
+  /// [0, node_count()) and never change — arena nodes are never freed.
+  size_t node_count() const { return arena_.size(); }
+
+  /// Node by creation-order id.
+  const Node* node_at(size_t id) const { return &arena_[id]; }
+
+  /// A root directory entry as stored in a snapshot: the covered
+  /// version range plus the root's node id.
+  struct SnapshotRoot {
+    Chronon start = 0;
+    Chronon end = kChrononNow;
+    uint64_t node = 0;
+  };
+
+  /// Begins a snapshot restore. Only valid on a freshly constructed,
+  /// never-updated tree; discards the implicit empty root. The loader
+  /// then appends every node in creation order with AppendRestoredNode
+  /// — filling the public Node fields directly and wiring
+  /// child/backlink/parent pointers via RestoredNode — and finally
+  /// calls FinishRestore.
+  Status BeginRestore();
+
+  /// Appends one blank node in creation order and returns it for the
+  /// loader to fill. Earlier nodes never move (the arena is a deque).
+  Node* AppendRestoredNode();
+
+  /// Mutable node access while a restore is in flight.
+  Node* RestoredNode(size_t id) { return &arena_[id]; }
+
+  /// Installs the root directory and scalar state, recomputes the
+  /// derived counters, cross-checks them against the snapshot's
+  /// `stats`, and runs Validate() on the rebuilt forest. Any
+  /// inconsistency surfaces as Corruption and leaves the tree unusable
+  /// (callers discard it).
+  Status FinishRestore(const std::vector<SnapshotRoot>& roots,
+                       Chronon last_time, uint64_t live_size,
+                       const MvbtStats& stats);
+
   // --- introspection for analysis::ValidateMvbt and white-box tests ---
 
   /// Visits every node ever created (dead and alive), in creation order.
@@ -284,7 +326,12 @@ class Mvbt {
   void CheckNodeConditions(Node* node, Chronon t);
   void MaybeCompressDeadLeaf(Node* leaf);
 
-  Status ValidateNode(const Node* node, const KeyRange& range) const;
+  Status ValidateNode(const Node* node, const KeyRange& range,
+                      size_t depth = 0) const;
+
+  /// Rejects cycles in the child-reference graph (possible only in a
+  /// crafted snapshot; organic trees are acyclic by construction).
+  Status CheckChildGraphAcyclic() const;
 
   using LeafCache = util::ShardedLruCache<const Node*, std::vector<Entry>>;
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
+
+#include "storage/snapshot.h"
 
 #ifdef RDFTX_CHECK_INVARIANTS
 #include "analysis/invariants.h"
@@ -200,6 +203,48 @@ size_t TemporalGraph::CompressAll(mvbt::CompressionStats* stats) {
   size_t n = 0;
   for (auto& idx : indices_) n += idx->CompressAllLeaves(stats);
   return n;
+}
+
+Status TemporalGraph::SaveSnapshot(const std::string& path,
+                                   const Dictionary* dict) const {
+  return storage::WriteSnapshot(*this, dict, path);
+}
+
+Status TemporalGraph::LoadSnapshot(const std::string& path,
+                                   Dictionary* dict) {
+  return storage::ReadSnapshot(path, this, dict);
+}
+
+Status TemporalGraph::InstallRestoredIndices(
+    std::array<std::unique_ptr<mvbt::Mvbt>, 4> indices) {
+  if (last_time() != 0 || live_size() != 0 ||
+      indices_[0]->node_count() != 1) {
+    return Status::InvalidArgument(
+        "snapshot load requires a freshly constructed graph");
+  }
+  for (const auto& idx : indices) {
+    if (idx == nullptr) {
+      return Status::InvalidArgument("restored index is null");
+    }
+  }
+  // The four permutation indices hold the same triples, so their clocks
+  // and live sizes must agree; a snapshot stitched together from
+  // different stores fails here even though each index is self-consistent.
+  for (size_t i = 1; i < indices.size(); ++i) {
+    if (indices[i]->last_time() != indices[0]->last_time() ||
+        indices[i]->live_size() != indices[0]->live_size()) {
+      return Status::Corruption("restored indices disagree on clock or size");
+    }
+  }
+  indices_ = std::move(indices);
+  // Keep the option block truthful about what is now installed.
+  options_.block_capacity = indices_[0]->options().block_capacity;
+  options_.compress_leaves = indices_[0]->options().compress_leaves;
+  options_.zone_maps = indices_[0]->options().zone_maps;
+#ifdef RDFTX_CHECK_INVARIANTS
+  RDFTX_RETURN_IF_ERROR(analysis::ValidateTemporalGraph(*this));
+#endif
+  return Status::OK();
 }
 
 }  // namespace rdftx

@@ -18,6 +18,8 @@
 
 namespace rdftx {
 
+class Dictionary;
+
 /// Which permutation of (s, p, o) an index stores.
 enum class IndexOrder { kSpo = 0, kSop = 1, kPos = 2, kOps = 3 };
 
@@ -82,6 +84,26 @@ class TemporalGraph : public TemporalStore {
   const mvbt::Mvbt& index(IndexOrder order) const {
     return *indices_[static_cast<size_t>(order)];
   }
+
+  // --- snapshot persistence (storage/snapshot.cc) ---
+
+  /// Writes this graph — and `dict`, when non-null — to a snapshot file
+  /// at `path` (atomic: tmp file + rename).
+  Status SaveSnapshot(const std::string& path,
+                      const Dictionary* dict = nullptr) const;
+
+  /// Restores this graph (and `dict`, when non-null) from a snapshot
+  /// file. The graph must be freshly constructed and never updated; its
+  /// leaf-cache settings are kept, while block capacity and the
+  /// compression/zone-map flags come from the snapshot. Corruption of
+  /// any kind surfaces as a Status error naming the failing section.
+  Status LoadSnapshot(const std::string& path, Dictionary* dict = nullptr);
+
+  /// Restore hook for the snapshot loader: swaps in four fully rebuilt
+  /// and validated indices. Fails unless this graph is still empty and
+  /// the four indices agree on their clock and live size.
+  Status InstallRestoredIndices(
+      std::array<std::unique_ptr<mvbt::Mvbt>, 4> indices);
 
  private:
   TemporalGraphOptions options_;

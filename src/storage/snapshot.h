@@ -1,0 +1,51 @@
+// On-disk snapshot persistence for the RDF-TX store: serializes the
+// dictionary, the four MVBT indices (inner nodes, leaf blocks in their
+// existing delta-encoded byte form, backlinks and zone maps as node-id
+// references), and graph metadata into a single checksummed file.
+// Loading memory-maps the file (with a buffered fallback), validates
+// every section checksum eagerly, and reconstructs the node graph from
+// the id table — any corruption surfaces as a Status error naming the
+// failing section, never a crash.
+#ifndef RDFTX_STORAGE_SNAPSHOT_H_
+#define RDFTX_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdftx {
+class Dictionary;
+class TemporalGraph;
+}  // namespace rdftx
+
+namespace rdftx::storage {
+
+/// Serializes `graph` (and `dict` when non-null) into the snapshot file
+/// payload. Leaf blocks are stored verbatim — compressed leaves are
+/// never re-encoded — so saving is a single pass over the node arenas.
+std::vector<uint8_t> SerializeSnapshot(const TemporalGraph& graph,
+                                       const Dictionary* dict);
+
+/// SerializeSnapshot + atomic write to `path` (tmp file + rename).
+Status WriteSnapshot(const TemporalGraph& graph, const Dictionary* dict,
+                     const std::string& path);
+
+/// Restores `graph` (and `dict` when non-null) from an in-memory
+/// snapshot image. Both targets must be freshly constructed and empty.
+/// Section checksums are validated before any payload byte is
+/// interpreted, every node/term reference is bounds-checked during
+/// reconstruction, and the rebuilt forest passes the full MVBT
+/// structural validation before the call succeeds. On error the targets
+/// are unusable and must be discarded.
+Status ReadSnapshotFromBuffer(const uint8_t* data, size_t size,
+                              TemporalGraph* graph, Dictionary* dict);
+
+/// Opens `path` (mmap with buffered fallback) and restores from it.
+Status ReadSnapshot(const std::string& path, TemporalGraph* graph,
+                    Dictionary* dict);
+
+}  // namespace rdftx::storage
+
+#endif  // RDFTX_STORAGE_SNAPSHOT_H_

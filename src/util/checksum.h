@@ -1,0 +1,24 @@
+// XXH64 content checksums for the on-disk snapshot format. The snapshot
+// layer hashes every section payload (and the section table itself) so
+// that any accidental corruption — truncation, bit flips, torn writes —
+// is detected eagerly at open time and surfaces as a Status error
+// instead of undefined behaviour in the decoders.
+//
+// This is a from-scratch implementation of the public XXH64 algorithm
+// (Yann Collet, BSD-licensed specification); no external dependency.
+#ifndef RDFTX_UTIL_CHECKSUM_H_
+#define RDFTX_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rdftx::util {
+
+/// XXH64 of `size` bytes starting at `data`, with the given seed.
+/// Deterministic across platforms (the implementation reads input
+/// little-endian byte-by-byte, so it is endianness-independent).
+uint64_t XxHash64(const void* data, size_t size, uint64_t seed = 0);
+
+}  // namespace rdftx::util
+
+#endif  // RDFTX_UTIL_CHECKSUM_H_

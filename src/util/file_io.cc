@@ -1,0 +1,123 @@
+#include "util/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RDFTX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define RDFTX_HAVE_MMAP 0
+#endif
+
+namespace rdftx::util {
+
+Status WriteFileAtomic(const std::string& path, const uint8_t* data,
+                       size_t size) {
+#if RDFTX_HAVE_MMAP
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      return Status::InvalidArgument("cannot open for write: " + tmp);
+    }
+    f.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      return Status::InvalidArgument("short write: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("rename failed: " + path + " (" +
+                                   std::strerror(errno) + ")");
+  }
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  const std::streamsize size = f.tellg();
+  if (size < 0) return Status::InvalidArgument("cannot stat: " + path);
+  f.seekg(0);
+  out->assign(static_cast<size_t>(size), 0);
+  if (size > 0 &&
+      !f.read(reinterpret_cast<char*>(out->data()), size)) {
+    return Status::InvalidArgument("short read: " + path);
+  }
+  return Status::OK();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+#if RDFTX_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  buffer_ = std::move(other.buffer_);
+  if (!mapped_ && data_ != nullptr) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if RDFTX_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile out;
+#if RDFTX_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const size_t size = static_cast<size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        return out;  // empty file: empty view
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        out.data_ = static_cast<const uint8_t*>(map);
+        out.size_ = size;
+        out.mapped_ = true;
+        return out;
+      }
+      // Fall through to the buffered path below.
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  RDFTX_RETURN_IF_ERROR(ReadFile(path, &out.buffer_));
+  out.data_ = out.buffer_.data();
+  out.size_ = out.buffer_.size();
+  out.mapped_ = false;
+  return out;
+}
+
+}  // namespace rdftx::util

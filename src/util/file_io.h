@@ -1,0 +1,56 @@
+// File I/O helpers for the snapshot layer: whole-file atomic writes and
+// read-only access that memory-maps on POSIX with a portable
+// read-into-buffer fallback (also used when mmap fails, e.g. on
+// filesystems without mapping support).
+#ifndef RDFTX_UTIL_FILE_IO_H_
+#define RDFTX_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdftx::util {
+
+/// Writes `size` bytes to `path` atomically: the data lands in
+/// `path.tmp.<pid>` first and is renamed over `path` only after a
+/// successful write + flush, so a crash never leaves a half-written
+/// snapshot under the final name.
+Status WriteFileAtomic(const std::string& path, const uint8_t* data,
+                       size_t size);
+
+/// Reads the whole file into `out`. Replaces any previous contents.
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out);
+
+/// Read-only view of a file: an mmap when the platform supports it, a
+/// heap buffer otherwise. Move-only; unmaps/frees on destruction.
+class MappedFile {
+ public:
+  /// Opens `path`; never throws. On POSIX the file is mapped
+  /// MAP_PRIVATE; if mapping fails for any reason the contents are read
+  /// into a buffer instead, so callers see one uniform interface.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the contents are served by an actual memory mapping.
+  bool mapped() const { return mapped_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> buffer_;  // fallback storage when !mapped_
+};
+
+}  // namespace rdftx::util
+
+#endif  // RDFTX_UTIL_FILE_IO_H_

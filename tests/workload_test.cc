@@ -58,6 +58,44 @@ TEST(WikipediaGenTest, Deterministic) {
   EXPECT_EQ(a.triples, b.triples);
 }
 
+// The full benchmark pipeline — dataset, dictionary, and every query
+// stream — must be a pure function of the seed, so a bench or a
+// conformance failure can be replayed exactly from its seed alone.
+TEST(WorkloadDeterminismTest, SameSeedSameDatasetAndQueryStream) {
+  auto make = [](Dictionary* dict, Dataset* d,
+                 std::vector<std::string>* queries) {
+    *d = GenerateWikipedia(dict, WikipediaOptions{.num_triples = 4000,
+                                                  .seed = 99});
+    Rng rng(31);
+    *queries = MakeSelectionQueries(*d, *dict, 10, &rng);
+    auto joins = MakeJoinQueries(*d, *dict, 6, &rng);
+    queries->insert(queries->end(), joins.begin(), joins.end());
+    for (auto& [size, qs] : MakeComplexQueries(*d, *dict, 3, 5, 2, &rng)) {
+      queries->insert(queries->end(), qs.begin(), qs.end());
+    }
+  };
+  Dictionary dict_a, dict_b;
+  Dataset a, b;
+  std::vector<std::string> qa, qb;
+  make(&dict_a, &a, &qa);
+  make(&dict_b, &b, &qb);
+  // Byte-identical dataset: triples, id mapping, and metadata.
+  EXPECT_EQ(a.triples, b.triples);
+  EXPECT_EQ(a.subjects, b.subjects);
+  EXPECT_EQ(a.predicates, b.predicates);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.horizon, b.horizon);
+  ASSERT_EQ(dict_a.size(), dict_b.size());
+  for (TermId id = 1; id <= dict_a.size(); ++id) {
+    ASSERT_EQ(dict_a.Decode(id), dict_b.Decode(id));
+  }
+  // Byte-identical query stream.
+  ASSERT_EQ(qa.size(), qb.size());
+  for (size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i], qb[i]) << "query " << i << " diverged";
+  }
+}
+
 TEST(WikipediaGenTest, VersionsOfOnePropertyDoNotOverlap) {
   Dictionary dict;
   Dataset d = GenerateWikipedia(&dict, WikipediaOptions{.num_triples = 10000,
