@@ -47,10 +47,10 @@ int main() {
                       1000.0;
       auto time_plan = [&](const std::vector<int>& order) {
         // One warm-up + two measured runs.
-        (void)eng.ExecutePlan(*parsed, order);
+        eng.ExecutePlan(*parsed, order).IgnoreError();
         double s = TimeSeconds([&] {
-          (void)eng.ExecutePlan(*parsed, order);
-          (void)eng.ExecutePlan(*parsed, order);
+          eng.ExecutePlan(*parsed, order).IgnoreError();
+          eng.ExecutePlan(*parsed, order).IgnoreError();
         });
         return s * 1000.0 / 2.0;
       };

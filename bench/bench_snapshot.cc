@@ -71,7 +71,7 @@ void RunOne(const char* label, Fixture f, JsonReport* report) {
 
   TemporalGraph original(TemporalGraphOptions{.compress_leaves = true});
   const double ingest_s =
-      TimeSeconds([&] { (void)original.Load(f.data.triples); });
+      TimeSeconds([&] { original.Load(f.data.triples).IgnoreError(); });
 
   const double save_s = TimeSeconds([&] {
     Status st = original.SaveSnapshot(path, f.dict.get());

@@ -197,7 +197,7 @@ Result<ResultSet> QueryEngine::Execute(const sparqlt::Query& query) const {
     }
     merged.stats.result_rows = merged.rows.size();
     {
-      std::lock_guard<std::mutex> lock(last_stats_mutex_);
+      util::MutexLock lock(&last_stats_mutex_);
       last_stats_ = merged.stats;
     }
     return merged;
@@ -217,10 +217,9 @@ Result<ResultSet> QueryEngine::ExecutePlan(
   return Run(query, *cq, order);
 }
 
-Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
+Result<ResultSet> QueryEngine::Run([[maybe_unused]] const sparqlt::Query& query,
                                    const CompiledQuery& cq,
                                    const std::vector<int>& order) const {
-  (void)query;
   ExecStats stats;
   if (order.size() != cq.patterns.size()) {
     return Status::InvalidArgument("join order size mismatch");
@@ -368,7 +367,7 @@ Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
   stats.result_rows = result.rows.size();
   result.stats = stats;
   {
-    std::lock_guard<std::mutex> lock(last_stats_mutex_);
+    util::MutexLock lock(&last_stats_mutex_);
     last_stats_ = stats;
   }
   return result;

@@ -6,7 +6,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -15,6 +14,8 @@
 #include "engine/translate.h"
 #include "rdf/store_interface.h"
 #include "sparqlt/parser.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace rdftx::engine {
@@ -83,7 +84,7 @@ class QueryEngine {
   /// serves one query at a time — under concurrency the snapshot is
   /// whichever query completed last. Prefer ResultSet::stats.
   ExecStats last_stats() const {
-    std::lock_guard<std::mutex> lock(last_stats_mutex_);
+    util::MutexLock lock(&last_stats_mutex_);
     return last_stats_;
   }
 
@@ -115,8 +116,8 @@ class QueryEngine {
   JoinOrderProvider join_order_provider_;
   /// Intra-query worker pool; null when options_.num_threads <= 1.
   std::unique_ptr<util::ThreadPool> pool_;
-  mutable std::mutex last_stats_mutex_;
-  mutable ExecStats last_stats_;
+  mutable util::Mutex last_stats_mutex_;
+  mutable ExecStats last_stats_ GUARDED_BY(last_stats_mutex_);
 };
 
 }  // namespace rdftx::engine

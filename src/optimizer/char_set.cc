@@ -104,9 +104,8 @@ size_t CharSetCatalog::MemoryUsage() const {
   }
   bytes += subject_to_set_.size() * (sizeof(TermId) + sizeof(CharSetId) +
                                      2 * sizeof(void*));
-  for (const auto& [p, v] : pred_to_sets_) {
-    (void)p;
-    bytes += v.capacity() * sizeof(CharSetId) + 2 * sizeof(void*);
+  for (const auto& entry : pred_to_sets_) {
+    bytes += entry.second.capacity() * sizeof(CharSetId) + 2 * sizeof(void*);
   }
   bytes += pred_stats_.size() * (sizeof(TermId) + sizeof(PredStats) +
                                  2 * sizeof(void*));

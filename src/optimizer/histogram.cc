@@ -108,7 +108,7 @@ double TemporalHistogram::RangeCount(const mvsbt::Cmvsbt& starts,
   ck = ck * 0x9E3779B97F4A7C15ull + window.start;
   ck = ck * 0x9E3779B97F4A7C15ull + window.end;
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(&cache_mutex_);
     auto it = cache_.find(ck);
     if (it != cache_.end()) return it->second;
   }
@@ -121,7 +121,7 @@ double TemporalHistogram::RangeCount(const mvsbt::Cmvsbt& starts,
   double ended = window.start == 0 ? 0.0 : ends.QueryExact(key, window.start);
   double result = std::max(0.0, started - ended);
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::MutexLock lock(&cache_mutex_);
     cache_.emplace(ck, result);
   }
   return result;
@@ -154,7 +154,7 @@ double TemporalHistogram::EstimatePredicateTriples(
 }
 
 void TemporalHistogram::ClearCache() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::MutexLock lock(&cache_mutex_);
   cache_.clear();
 }
 

@@ -7,12 +7,13 @@
 #ifndef RDFTX_OPTIMIZER_HISTOGRAM_H_
 #define RDFTX_OPTIMIZER_HISTOGRAM_H_
 
-#include <mutex>
 #include <unordered_map>
 
 #include "mvsbt/cmvsbt.h"
 #include "optimizer/char_set.h"
 #include "temporal/interval.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rdftx::optimizer {
 
@@ -75,8 +76,9 @@ class TemporalHistogram {
   /// Per-optimization statistics cache (§6.3). Mutex-guarded so
   /// concurrent queries can optimize against one shared histogram; the
   /// CMVSBTs themselves are immutable after construction.
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<uint64_t, double> cache_;
+  mutable util::Mutex cache_mutex_;
+  mutable std::unordered_map<uint64_t, double> cache_
+      GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace rdftx::optimizer

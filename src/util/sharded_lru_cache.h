@@ -4,18 +4,21 @@
 // evicted while another thread still reads it. Each shard owns one mutex,
 // one LRU list, and an equal slice of the byte budget, so concurrent
 // readers of different leaves rarely contend on the same lock. Hit /
-// miss / eviction totals are plain counters mutated under the shard
-// locks and summed on demand.
+// miss / eviction totals are relaxed atomics (exact, because every
+// mutation happens on the shard's lock-holding path) summed on demand.
 #ifndef RDFTX_UTIL_SHARDED_LRU_CACHE_H_
 #define RDFTX_UTIL_SHARDED_LRU_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rdftx::util {
 
@@ -51,13 +54,13 @@ class ShardedLruCache {
   /// Returns the cached value and refreshes its recency, or nullptr.
   ValuePtr Get(const Key& key) {
     Shard& s = ShardOf(key);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) {
-      ++s.misses;
+      s.misses.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
-    ++s.hits;
+    s.hits.fetch_add(1, std::memory_order_relaxed);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return it->second->value;
   }
@@ -74,7 +77,7 @@ class ShardedLruCache {
       return std::make_shared<const Value>(std::move(value));
     }
     Shard& s = ShardOf(key);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     auto it = s.map.find(key);
     if (it != s.map.end()) {
       // Lost an insert race; keep the incumbent.
@@ -91,9 +94,9 @@ class ShardedLruCache {
       s.bytes -= victim.bytes;
       s.map.erase(victim.key);
       s.lru.pop_back();
-      ++s.evictions;
       ++dropped;
     }
+    if (dropped > 0) s.evictions.fetch_add(dropped, std::memory_order_relaxed);
     if (evicted != nullptr) *evicted = dropped;
     return s.lru.front().value;
   }
@@ -102,10 +105,10 @@ class ShardedLruCache {
   CacheCounters counters() const {
     CacheCounters total;
     for (const Shard& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
-      total.hits += s.hits;
-      total.misses += s.misses;
-      total.evictions += s.evictions;
+      total.hits += s.hits.load(std::memory_order_relaxed);
+      total.misses += s.misses.load(std::memory_order_relaxed);
+      total.evictions += s.evictions.load(std::memory_order_relaxed);
+      MutexLock lock(&s.mu);
       total.entries += s.lru.size();
       total.bytes += s.bytes;
     }
@@ -121,13 +124,18 @@ class ShardedLruCache {
     size_t bytes;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Node> lru;  // front = most recently used
-    std::unordered_map<Key, typename std::list<Node>::iterator, Hash> map;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    mutable Mutex mu;
+    std::list<Node> lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<Key, typename std::list<Node>::iterator, Hash> map
+        GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
+    // Stats are atomics, not GUARDED_BY(mu): counters() must stay exact
+    // without taking every shard lock twice, and a future lock-free read
+    // path may bump them outside mu. All current increments happen while
+    // mu is held, so per-shard totals are exact, not approximate.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   Shard& ShardOf(const Key& key) {

@@ -24,7 +24,12 @@ enum class StatusCode {
 
 /// A cheap, copyable success/error value. `Status::OK()` carries no
 /// allocation; error statuses carry a code and a message.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status compiles to an error under -Werror.
+/// Callers must handle it, propagate it (RDFTX_RETURN_IF_ERROR), or
+/// acknowledge the drop with IgnoreError() — never a bare (void) cast,
+/// which tools/lint rejects.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -58,6 +63,11 @@ class Status {
   /// "OK" or "<code>: <message>", for logs and test failure output.
   std::string ToString() const;
 
+  /// Explicitly discards this status. Greppable, unlike a (void) cast;
+  /// each call site is an audited decision that the error cannot matter
+  /// there (e.g. best-effort cleanup, a bench warm-up, a fuzzer probe).
+  void IgnoreError() const {}
+
  private:
   Status(StatusCode code, std::string msg)
       : code_(code), message_(std::move(msg)) {}
@@ -68,8 +78,9 @@ class Status {
 
 /// Either a value of type T or an error Status. Dereferencing a non-ok
 /// Result is a programming error (asserted in debug builds).
+/// [[nodiscard]] like Status: dropping one silently is a compile error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT
@@ -96,6 +107,10 @@ class Result {
   T& operator*() & { return value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
+
+  /// Explicitly discards this result (value and status alike). See
+  /// Status::IgnoreError() for when that is legitimate.
+  void IgnoreError() const {}
 
  private:
   std::optional<T> value_;

@@ -1,0 +1,71 @@
+// Clang thread-safety-analysis attribute macros, in the Abseil/LevelDB
+// style. Under Clang (which implements -Wthread-safety) they expand to
+// the analysis attributes; under every other compiler they vanish, so
+// annotated code stays portable. Use them through util::Mutex /
+// util::MutexLock (util/mutex.h) — raw std::mutex outside src/util/ is
+// rejected by tools/lint.
+//
+// Conventions (see DESIGN.md "Static analysis & lock discipline"):
+//   - every member protected by a mutex is tagged GUARDED_BY(mu_)
+//   - private helpers that expect a lock held are tagged REQUIRES(mu_)
+//   - lock/unlock primitives themselves use ACQUIRE()/RELEASE()
+#ifndef RDFTX_UTIL_THREAD_ANNOTATIONS_H_
+#define RDFTX_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a type to be a lockable capability (e.g. a mutex class).
+#define CAPABILITY(x) RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The annotated member may only be accessed while holding `x`.
+#define GUARDED_BY(x) RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The pointee of the annotated pointer member is protected by `x`.
+#define PT_GUARDED_BY(x) RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The annotated function may only be called with the capabilities held.
+#define REQUIRES(...) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The annotated function may only be called when the capabilities are
+/// NOT held (deadlock prevention).
+#define EXCLUDES(...) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// The annotated function acquires the capability and does not release
+/// it before returning.
+#define ACQUIRE(...) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases a capability held on entry.
+#define RELEASE(...) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The annotated function attempts the acquisition; the first argument
+/// is the return value that means "acquired".
+#define TRY_ACQUIRE(...) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define ASSERT_CAPABILITY(x) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The annotated function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function deliberately bypasses the analysis (e.g.
+/// the std::condition_variable adoption dance in util::CondVar). Every
+/// use needs a comment justifying it.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // RDFTX_UTIL_THREAD_ANNOTATIONS_H_

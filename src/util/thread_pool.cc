@@ -15,17 +15,17 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (std::thread& w : workers_) w.join();
 }
 
 bool ThreadPool::RunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -38,8 +38,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

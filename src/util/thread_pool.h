@@ -6,15 +6,16 @@
 #ifndef RDFTX_UTIL_THREAD_POOL_H_
 #define RDFTX_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rdftx::util {
 
@@ -48,7 +49,7 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     bool inline_run = workers_.empty();
     if (!inline_run) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (stopping_) {
         inline_run = true;
       } else {
@@ -58,7 +59,7 @@ class ThreadPool {
     if (inline_run) {
       (*task)();
     } else {
-      cv_.notify_one();
+      cv_.Signal();
     }
     return future;
   }
@@ -67,10 +68,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for every i in [0, n). With a usable pool the range is cut

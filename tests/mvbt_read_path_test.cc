@@ -123,7 +123,7 @@ void Churn(Mvbt* a, Mvbt* b, uint64_t seed, int ops = 4000) {
     Key3 k{rng.Uniform(6), rng.Uniform(6), rng.Uniform(20)};
     if (rng.Bernoulli(0.6)) {
       if (a->Insert(k, t).ok()) live.push_back(k);
-      if (b != nullptr) (void)b->Insert(k, t);
+      if (b != nullptr) b->Insert(k, t).IgnoreError();
     } else if (!live.empty()) {
       size_t at = rng.Uniform(live.size());
       const Key3 victim = live[at];
@@ -131,7 +131,7 @@ void Churn(Mvbt* a, Mvbt* b, uint64_t seed, int ops = 4000) {
         live[at] = live.back();
         live.pop_back();
       }
-      if (b != nullptr) (void)b->Erase(victim, t);
+      if (b != nullptr) b->Erase(victim, t).IgnoreError();
     }
   }
   a->CompressAllLeaves();
@@ -264,7 +264,12 @@ TEST(MvbtReadPath, CacheBudgetIsEnforced) {
 TEST(MvbtReadPath, ConcurrentCachedScansAreRaceFree) {
   // Many threads hammer the same tree through the decoded-leaf cache;
   // every pass must see the same fragments. The TSan preset runs this
-  // test to certify the cache's synchronization.
+  // test to certify the cache's synchronization. The budget is kept far
+  // below the scan's working set on purpose: every pass cycles the LRU,
+  // so eviction churn runs concurrently with lookups. (That also means
+  // a hit happens only when two threads reach the same leaf close
+  // together — hits may legitimately be zero under some schedules, so
+  // the assertions below check exact accounting, not a hit rate.)
   Mvbt tree(MvbtOptions{.block_capacity = 8,
                         .compress_leaves = true,
                         .leaf_cache_bytes = 64u << 10,
@@ -273,12 +278,15 @@ TEST(MvbtReadPath, ConcurrentCachedScansAreRaceFree) {
 
   const KeyRange all{kKeyMin, kKeyMax};
   const Interval window(0, tree.last_time() + 1);
-  const std::vector<Fragment> want = RangeFragments(tree, all, window, nullptr);
+  ScanStats want_stats;
+  const std::vector<Fragment> want =
+      RangeFragments(tree, all, window, &want_stats);
   ASSERT_FALSE(want.empty());
 
   constexpr int kThreads = 8;
   constexpr int kPasses = 6;
   std::vector<std::string> failures(kThreads);
+  std::vector<uint64_t> lookups(kThreads, 0);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int i = 0; i < kThreads; ++i) {
@@ -289,6 +297,7 @@ TEST(MvbtReadPath, ConcurrentCachedScansAreRaceFree) {
           failures[i] = "fragment mismatch";
           return;
         }
+        lookups[i] += stats.cache_hits + stats.cache_misses;
       }
     });
   }
@@ -296,8 +305,15 @@ TEST(MvbtReadPath, ConcurrentCachedScansAreRaceFree) {
   for (int i = 0; i < kThreads; ++i) {
     EXPECT_TRUE(failures[i].empty()) << "thread " << i << ": " << failures[i];
   }
+  // The shared counters must account for every lookup the per-query
+  // ScanStats observed — nothing lost to racy increments.
+  uint64_t total_lookups = want_stats.cache_hits + want_stats.cache_misses;
+  for (uint64_t n : lookups) total_lookups += n;
   const util::CacheCounters counters = tree.leaf_cache_counters();
-  EXPECT_GT(counters.hits, 0u);
+  EXPECT_EQ(counters.hits + counters.misses, total_lookups);
+  EXPECT_GT(counters.misses, 0u);
+  EXPECT_GT(counters.evictions, 0u);  // the budget really was under pressure
+  EXPECT_LE(counters.bytes, uint64_t{64u << 10});
 }
 
 // ---------------------------------------------------------------------

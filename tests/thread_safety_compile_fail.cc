@@ -1,0 +1,45 @@
+// Deliberately mis-locked translation unit for the compile-fail gate
+// (thread_safety_compile_test): under Clang with -Werror=thread-safety
+// the unguarded increment in Bad() must be rejected, proving the
+// GUARDED_BY plumbing actually enforces. Compiled with
+// -DRDFTX_EXPECT_CLEAN the violation is removed and the file must
+// compile — the positive control that failures come from the analysis,
+// not a broken include. Not part of rdftx_tests (the *_test.cc glob
+// skips it); it is only ever fed to the compiler by the test harness.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() {
+    rdftx::util::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+#ifndef RDFTX_EXPECT_CLEAN
+  // Writes a GUARDED_BY member without holding the mutex.
+  void IncrementRacy() { ++value_; }
+#endif
+
+  int Read() {
+    rdftx::util::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  rdftx::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.IncrementLocked();
+#ifndef RDFTX_EXPECT_CLEAN
+  c.IncrementRacy();
+#endif
+  return c.Read() == 0;
+}

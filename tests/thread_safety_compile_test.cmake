@@ -1,0 +1,55 @@
+# ctest harness for the lock-discipline compile-fail gate. Invoked as:
+#   cmake -DCXX=<compiler> -DCXX_ID=<CMAKE_CXX_COMPILER_ID>
+#         -DSRC_DIR=<repo root> -P thread_safety_compile_test.cmake
+#
+# Under Clang (which implements -Wthread-safety):
+#   1. the mis-locked TU must FAIL to compile with -Werror=thread-safety
+#   2. the same TU with the violation compiled out (-DRDFTX_EXPECT_CLEAN)
+#      must SUCCEED — positive control for (1)
+# Under any other compiler the annotation macros expand to nothing, so
+# the mis-locked TU must simply compile; that verifies the no-op path.
+
+if(NOT CXX OR NOT SRC_DIR)
+  message(FATAL_ERROR "usage: cmake -DCXX=... -DCXX_ID=... -DSRC_DIR=... -P thread_safety_compile_test.cmake")
+endif()
+
+set(_tu "${SRC_DIR}/tests/thread_safety_compile_fail.cc")
+set(_base ${CXX} -std=c++20 -fsyntax-only "-I${SRC_DIR}/src")
+
+if(CXX_ID MATCHES "Clang")
+  execute_process(
+    COMMAND ${_base} -Wthread-safety -Werror=thread-safety "${_tu}"
+    RESULT_VARIABLE _bad_rc
+    OUTPUT_VARIABLE _bad_out ERROR_VARIABLE _bad_err)
+  if(_bad_rc EQUAL 0)
+    message(FATAL_ERROR
+      "mis-locked access COMPILED under -Werror=thread-safety; the "
+      "annotations are not enforcing")
+  endif()
+  if(NOT _bad_err MATCHES "thread-safety|guarded_by|requires holding")
+    message(FATAL_ERROR
+      "compile failed for an unexpected reason (not thread-safety):\n${_bad_err}")
+  endif()
+  execute_process(
+    COMMAND ${_base} -Wthread-safety -Werror=thread-safety
+            -DRDFTX_EXPECT_CLEAN "${_tu}"
+    RESULT_VARIABLE _good_rc
+    OUTPUT_VARIABLE _good_out ERROR_VARIABLE _good_err)
+  if(NOT _good_rc EQUAL 0)
+    message(FATAL_ERROR
+      "positive control failed: the correctly-locked TU did not compile:\n${_good_err}")
+  endif()
+  message(STATUS "thread-safety gate OK: mis-lock rejected, clean TU accepted")
+else()
+  execute_process(
+    COMMAND ${_base} "${_tu}"
+    RESULT_VARIABLE _rc
+    OUTPUT_VARIABLE _out ERROR_VARIABLE _err)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR
+      "annotation macros are not no-ops under ${CXX_ID}:\n${_err}")
+  endif()
+  message(STATUS
+    "thread-safety gate: ${CXX_ID} has no -Wthread-safety; verified the "
+    "annotations compile away (enforcement runs in the Clang CI job)")
+endif()

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Project lint: repo-specific invariants clang-tidy can't express.
+
+Rules (see DESIGN.md "Static analysis & lock discipline"):
+
+  raw-mutex       No std::mutex / std::lock_guard / std::unique_lock /
+                  std::scoped_lock / std::condition_variable / shared or
+                  recursive mutexes outside src/util/. All locking goes
+                  through util::Mutex / util::MutexLock / util::CondVar
+                  so it carries thread-safety annotations.
+  void-suppress   No `(void)expr;` discards anywhere. A dropped Status /
+                  Result is acknowledged with .IgnoreError(); an unused
+                  parameter is named [[maybe_unused]].
+  nondeterminism  No wall-clock / RNG calls in src/ outside
+                  src/util/rng.* and src/util/date.*. Query results and
+                  index layout must be a function of the input alone.
+  nodiscard-meta  src/util/status.h keeps Status and Result<T> marked
+                  [[nodiscard]] (the compiler enforces "no Status
+                  constructed and dropped" from there).
+
+The textual layer always runs and needs only Python. When clang-query
+and a compile_commands.json are available (the CI lint job; any local
+clang install), the AST rules in tools/lint/rules/*.qry run as well and
+catch spellings the regexes can't (aliases, macro expansion, a Status
+temporary discarded through a cast).
+
+Usage:
+  tools/lint/lint.py [--root DIR] [--compile-commands build/compile_commands.json]
+                     [--clang-query BIN] [--require-clang-query]
+
+Exit status 0 = clean, 1 = findings, 2 = configuration error.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SOURCE_DIRS = ["src", "tests", "bench", "fuzz", "examples"]
+SOURCE_EXT = {".cc", ".cpp", ".h", ".hpp"}
+
+# ---------------------------------------------------------------------------
+# Textual rules
+# ---------------------------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b")
+
+# `(void)` followed by something discardable; `(void*)`, `(void) {`
+# (function signatures) and `f(void)` never match.
+VOID_SUPPRESS_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_(]")
+
+NONDETERMINISM_RE = re.compile(
+    r"(system_clock|steady_clock|high_resolution_clock)\s*::\s*now\b"
+    r"|\bstd::random_device\b"
+    r"|\bstd::mt19937(_64)?\b"
+    r"|\bstd::minstd_rand0?\b"
+    r"|\b(srand|rand|rand_r|drand48|lrand48|random)\s*\("
+    r"|\b(time|gettimeofday|clock_gettime|localtime|gmtime)\s*\(")
+
+STRING_OR_CHAR_RE = re.compile(
+    r'"(?:\\.|[^"\\])*"' r"|'(?:\\.|[^'\\])*'")
+LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines
+    so reported line numbers stay true."""
+
+    def blank(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    text = LINE_COMMENT_RE.sub(blank, text)
+    text = STRING_OR_CHAR_RE.sub(blank, text)
+    return text
+
+
+def is_under(path, prefix):
+    return path == prefix or path.startswith(prefix + os.sep)
+
+
+def rule_applies(rule, rel):
+    rel = rel.replace(os.sep, "/")
+    if rule == "raw-mutex":
+        # Everywhere except the annotated wrappers' own home.
+        return not rel.startswith("src/util/")
+    if rule == "void-suppress":
+        return True
+    if rule == "nondeterminism":
+        # Library code only; tests and benches legitimately read clocks.
+        if not rel.startswith("src/"):
+            return False
+        return not re.match(r"src/util/(rng|date)\.(h|cc)$", rel)
+    raise ValueError(rule)
+
+
+def textual_findings(root):
+    findings = []
+    files = []
+    for d in SOURCE_DIRS:
+        top = os.path.join(root, d)
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in SOURCE_EXT:
+                    files.append(os.path.join(dirpath, name))
+    for path in sorted(files):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = strip_comments_and_strings(f.read())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for rule, regex in (
+                ("raw-mutex", RAW_MUTEX_RE),
+                ("void-suppress", VOID_SUPPRESS_RE),
+                ("nondeterminism", NONDETERMINISM_RE),
+            ):
+                if rule_applies(rule, rel) and regex.search(line):
+                    findings.append(
+                        f"{rel}:{lineno}: [{rule}] {line.strip()}")
+    return findings
+
+
+def nodiscard_meta_findings(root):
+    findings = []
+    status_h = os.path.join(root, "src", "util", "status.h")
+    try:
+        with open(status_h, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return [f"src/util/status.h: [nodiscard-meta] file missing"]
+    for decl in (r"class\s*\[\[nodiscard\]\]\s*Status",
+                 r"class\s*\[\[nodiscard\]\]\s*Result"):
+        if not re.search(decl, text):
+            findings.append(
+                "src/util/status.h: [nodiscard-meta] expected declaration "
+                f"matching /{decl}/ — Status and Result must stay "
+                "[[nodiscard]]")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# clang-query AST rules
+# ---------------------------------------------------------------------------
+
+MATCH_COUNT_RE = re.compile(r"^(\d+) match(?:es)?\.$", re.MULTILINE)
+
+
+def clang_query_findings(root, clang_query, compile_commands):
+    build_dir = os.path.dirname(os.path.abspath(compile_commands))
+    with open(compile_commands, encoding="utf-8") as f:
+        db = json.load(f)
+    tus = sorted({
+        os.path.normpath(os.path.join(e.get("directory", ""), e["file"]))
+        for e in db
+        if is_under(os.path.normpath(
+            os.path.join(e.get("directory", ""), e["file"])),
+            os.path.join(root, "src"))
+    })
+    if not tus:
+        return ["[clang-query] no src/ translation units in "
+                f"{compile_commands}"]
+    rules_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "rules")
+    findings = []
+    for qry in sorted(os.listdir(rules_dir)):
+        if not qry.endswith(".qry"):
+            continue
+        cmd = [clang_query, "-p", build_dir,
+               "-f", os.path.join(rules_dir, qry)] + tus
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            findings.append(
+                f"[clang-query] {qry} failed to run:\n{proc.stderr.strip()}")
+            continue
+        total = sum(int(n) for n in MATCH_COUNT_RE.findall(proc.stdout))
+        if total > 0:
+            # Echo the match locations (lines like "path:line:col: note").
+            locs = [ln for ln in proc.stdout.splitlines()
+                    if re.match(r".+\.(cc|h):\d+:\d+", ln)]
+            findings.append(f"[clang-query] {qry}: {total} match(es)")
+            findings.extend("  " + ln for ln in locs[:50])
+    return findings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the AST rules")
+    ap.add_argument("--clang-query", default=None,
+                    help="clang-query binary (default: search PATH)")
+    ap.add_argument("--require-clang-query", action="store_true",
+                    help="fail instead of skipping when clang-query or the "
+                         "compile database is unavailable (CI mode)")
+    args = ap.parse_args()
+
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+    findings = textual_findings(root)
+    findings += nodiscard_meta_findings(root)
+
+    clang_query = args.clang_query or next(
+        (p for p in ("clang-query", "clang-query-18", "clang-query-17",
+                     "clang-query-16", "clang-query-15", "clang-query-14")
+         if shutil.which(p)), None)
+    if clang_query and args.compile_commands and \
+            os.path.exists(args.compile_commands):
+        findings += clang_query_findings(root, clang_query,
+                                         args.compile_commands)
+    elif args.require_clang_query:
+        print("lint: clang-query and/or compile_commands.json unavailable "
+              "but --require-clang-query was passed", file=sys.stderr)
+        return 2
+    else:
+        print("lint: clang-query or compile database unavailable; "
+              "AST rules skipped (textual rules still enforced)")
+
+    if findings:
+        print(f"lint: {len(findings)} finding(s):")
+        for f in findings:
+            print("  " + f)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
