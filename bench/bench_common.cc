@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "storage/snapshot_format.h"
+#include "util/checksum.h"
 #include "workload/govtrack_gen.h"
 #include "workload/wikipedia_gen.h"
 
@@ -75,17 +77,34 @@ namespace {
 
 // Snapshot caching for the MVBT-backed systems: with RDFTX_SNAPSHOT_DIR
 // set, BuildStore loads a previously saved snapshot instead of
-// re-ingesting, and saves one after a cold ingest. Keyed by system and
-// triple count — datasets are pure functions of their seed, so a
-// sweep's sizes never collide. Lets repeated fig9/fig8 runs skip the
-// dominant setup cost.
+// re-ingesting, and saves one after a cold ingest. Keyed by system,
+// triple count, and a fingerprint of the graph options + snapshot
+// format version — datasets are pure functions of their seed, so a
+// sweep's sizes never collide, but the same tag IS built under
+// different options (block-capacity / compression / zone-map sweeps in
+// the fig10b and ablation benches), and without the fingerprint one
+// configuration's cache would silently serve another's. Lets repeated
+// fig9/fig8 runs skip the dominant setup cost.
 std::unique_ptr<TemporalGraph> BuildMvbtStore(const TemporalGraphOptions& opts,
                                               const char* tag,
                                               const Fixture& fixture) {
   std::string path;
   if (const char* dir = std::getenv("RDFTX_SNAPSHOT_DIR")) {
+    // leaf_cache_bytes is excluded: it is a runtime cache budget, not
+    // persisted state, so it cannot change what the snapshot holds.
+    storage::ByteWriter fp;
+    fp.U32(storage::kFormatVersion);
+    fp.U64(opts.block_capacity);
+    fp.U8(opts.compress_leaves ? 1 : 0);
+    fp.U8(opts.zone_maps ? 1 : 0);
+    const uint64_t fingerprint = util::XxHash64(
+        fp.buffer().data(), fp.buffer().size(), storage::kChecksumSeed);
+    char fp_hex[17];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
     path = std::string(dir) + "/" + tag + "_" +
-           std::to_string(fixture.data.triples.size()) + ".rtxsnap";
+           std::to_string(fixture.data.triples.size()) + "_" + fp_hex +
+           ".rtxsnap";
     auto cached = std::make_unique<TemporalGraph>(opts);
     Status st = cached->LoadSnapshot(path);
     if (st.ok()) return cached;

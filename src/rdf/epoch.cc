@@ -1,0 +1,174 @@
+#include "rdf/epoch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rdftx {
+namespace {
+
+bool MatchesConstants(const PatternSpec& spec, const Triple& t) {
+  return (spec.s == kInvalidTerm || spec.s == t.s) &&
+         (spec.p == kInvalidTerm || spec.p == t.p) &&
+         (spec.o == kInvalidTerm || spec.o == t.o);
+}
+
+}  // namespace
+
+DeltaChunk::DeltaChunk(std::vector<Delta> deltas,
+                       std::shared_ptr<const DeltaChunk> prev)
+    : deltas_(std::move(deltas)), prev_(std::move(prev)) {
+  total_ = deltas_.size() + (prev_ ? prev_->total() : 0);
+  last_lsn_ = !deltas_.empty() ? deltas_.back().lsn
+                               : (prev_ ? prev_->last_lsn() : 0);
+}
+
+DeltaChunk::~DeltaChunk() {
+  // Hand-unroll the chain: destroying chunk N must not recursively
+  // destroy N-1, N-2, ... (tens of thousands of frames after a long
+  // uncheckpointed run). Detach the tail and release it link by link
+  // while we hold the only reference; a link some reader still shares
+  // stops the walk, and that reader's release resumes it later.
+  std::shared_ptr<const DeltaChunk> tail = std::move(prev_);
+  while (tail && tail.use_count() == 1) {
+    // Sole owner, so mutating the node we are about to free is safe.
+    auto* chunk = const_cast<DeltaChunk*>(tail.get());
+    std::shared_ptr<const DeltaChunk> next = std::move(chunk->prev_);
+    tail = std::move(next);
+  }
+}
+
+Epoch::Epoch(std::shared_ptr<const TemporalGraph> base,
+             std::shared_ptr<const DeltaChunk> head, Chronon last_time)
+    : base_(std::move(base)), head_(std::move(head)), last_time_(last_time) {}
+
+Status Epoch::Load([[maybe_unused]] const std::vector<TemporalTriple>& triples) {
+  return Status::NotSupported(
+      "Epoch is a read view; write through LiveStore");
+}
+
+void Epoch::EnsureOverlayLocked() const {
+  if (overlay_built_) return;
+  // Chunks run newest -> oldest; events must land in LSN order.
+  std::vector<const DeltaChunk*> chain;
+  for (const DeltaChunk* c = head_.get(); c != nullptr; c = c->prev().get()) {
+    chain.push_back(c);
+  }
+  std::reverse(chain.begin(), chain.end());
+  for (const DeltaChunk* c : chain) {
+    for (const Delta& d : c->deltas()) {
+      overlay_[d.triple].emplace_back(d.time, d.is_assert);
+    }
+  }
+  overlay_built_ = true;
+}
+
+void Epoch::ScanPattern(const PatternSpec& spec, const ScanCallback& visit,
+                        ScanStats* stats) const {
+  if (head_ == nullptr) {  // no overlay: the view IS the base graph
+    base_->ScanPattern(spec, visit, stats);
+    return;
+  }
+
+  // Phase 1 (no lock): scan the immutable base. Closed fragments are
+  // final — the writer never touches the past — and stream straight
+  // through. Fragments still open at the base clock ("live") are the
+  // only ones the overlay can affect (a retract closes them), so they
+  // are parked for phase 2.
+  std::vector<std::pair<Triple, Interval>> open_fragments;
+  base_->ScanPattern(
+      spec,
+      [&](const Triple& t, const Interval& iv) {
+        if (iv.end == kChrononNow) {
+          open_fragments.emplace_back(t, iv);
+        } else {
+          visit(t, iv);
+        }
+      },
+      stats);
+
+  // Phase 2 (overlay lock): merge committed deltas.
+  util::MutexLock lock(&mu_);
+  EnsureOverlayLocked();
+
+  for (const auto& [t, iv] : open_fragments) {
+    Interval run = iv;
+    const auto it = overlay_.find(t);
+    if (it != overlay_.end() && !it->second.empty() &&
+        !it->second.front().second) {
+      // Leading retract: it closes the run that was open in the base.
+      run = Interval(iv.start, it->second.front().first);
+    }
+    if (run.Overlaps(spec.time)) visit(t, run);
+  }
+
+  for (const auto& [t, events] : overlay_) {
+    if (!MatchesConstants(spec, t)) continue;
+    // Runs born in the overlay. A leading retract belongs to the base
+    // run handled above; after that, events alternate assert/retract
+    // (writer-validated), each pair one run, a trailing assert open
+    // until now.
+    size_t i = (!events.empty() && !events.front().second) ? 1 : 0;
+    bool open = false;
+    Chronon start = 0;
+    for (; i < events.size(); ++i) {
+      if (events[i].second) {
+        if (!open) {
+          start = events[i].first;
+          open = true;
+        }
+      } else if (open) {
+        const Interval run(start, events[i].first);
+        if (run.Overlaps(spec.time)) visit(t, run);
+        open = false;
+      }
+    }
+    if (open) {
+      const Interval run(start, kChrononNow);
+      if (run.Overlaps(spec.time)) visit(t, run);
+    }
+  }
+}
+
+TemporalSet Epoch::Validity(const Triple& t) const {
+  const TemporalSet base_validity = base_->Validity(t);
+  std::vector<Interval> runs(base_validity.runs().begin(),
+                             base_validity.runs().end());
+  if (head_ != nullptr) {
+    util::MutexLock lock(&mu_);
+    EnsureOverlayLocked();
+    const auto it = overlay_.find(t);
+    if (it != overlay_.end()) {
+      const auto& events = it->second;
+      size_t i = 0;
+      if (!events.empty() && !events.front().second) {
+        // Leading retract closes the base-live run.
+        if (!runs.empty() && runs.back().end == kChrononNow) {
+          runs.back() = Interval(runs.back().start, events.front().first);
+          if (runs.back().empty()) runs.pop_back();
+        }
+        i = 1;
+      }
+      bool open = false;
+      Chronon start = 0;
+      for (; i < events.size(); ++i) {
+        if (events[i].second) {
+          if (!open) {
+            start = events[i].first;
+            open = true;
+          }
+        } else if (open) {
+          runs.emplace_back(start, events[i].first);
+          open = false;
+        }
+      }
+      if (open) runs.emplace_back(start, kChrononNow);
+    }
+  }
+  return TemporalSet::FromIntervals(std::move(runs));
+}
+
+size_t Epoch::MemoryUsage() const {
+  return base_->MemoryUsage() + delta_count() * sizeof(Delta);
+}
+
+}  // namespace rdftx

@@ -1,0 +1,125 @@
+// Epoch-based read views for live ingestion (DESIGN.md §11).
+//
+// The MVBT write path mutates live leaves in place, so readers must
+// never traverse the tree the writer is appending to. Instead the live
+// store publishes *epochs*: an immutable base TemporalGraph (the last
+// checkpoint image) plus an immutable cons-list of committed delta
+// batches (DeltaChunk). Publishing a commit allocates one new chunk and
+// one new Epoch — existing epochs are never touched, so a reader keeps
+// a consistent view for as long as it holds its shared_ptr. Reclamation
+// is the shared_ptr reference count: when the last reader of an old
+// epoch drops it, its chunks (and, after a checkpoint swaps in a new
+// base, the old base graph) are freed.
+//
+// Correctness of the merge in Epoch::ScanPattern leans on two writer
+// invariants (enforced by LiveStore before a delta is logged):
+//   1. event times are nondecreasing, and every overlay event is at or
+//      after the base graph's clock;
+//   2. asserts hit dead triples and retracts hit live ones, so per
+//      triple the overlay event list alternates and a leading retract
+//      can only close a run that is open ("live") in the base.
+#ifndef RDFTX_RDF_EPOCH_H_
+#define RDFTX_RDF_EPOCH_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rdf/store_interface.h"
+#include "rdf/temporal_graph.h"
+#include "rdf/triple.h"
+#include "temporal/temporal_set.h"
+#include "util/mutex.h"
+
+namespace rdftx {
+
+/// One committed write: assert or retract of a triple at a time point.
+struct Delta {
+  uint64_t lsn = 0;
+  bool is_assert = true;
+  Triple triple;
+  Chronon time = 0;
+};
+
+/// An immutable batch of committed deltas plus a link to the previous
+/// batch. Chunks form a persistent list shared structurally between
+/// epochs; each publish adds one chunk at the head.
+class DeltaChunk {
+ public:
+  DeltaChunk(std::vector<Delta> deltas, std::shared_ptr<const DeltaChunk> prev);
+  /// Unlinks the tail iteratively so dropping the last reference to a
+  /// long chain cannot overflow the stack with recursive destructors.
+  ~DeltaChunk();
+
+  DeltaChunk(const DeltaChunk&) = delete;
+  DeltaChunk& operator=(const DeltaChunk&) = delete;
+
+  const std::vector<Delta>& deltas() const { return deltas_; }
+  const std::shared_ptr<const DeltaChunk>& prev() const { return prev_; }
+  /// Number of deltas in this chunk and all chunks before it.
+  uint64_t total() const { return total_; }
+  /// LSN of the newest delta in this chunk.
+  uint64_t last_lsn() const { return last_lsn_; }
+
+ private:
+  std::vector<Delta> deltas_;
+  std::shared_ptr<const DeltaChunk> prev_;
+  uint64_t total_ = 0;
+  uint64_t last_lsn_ = 0;
+};
+
+/// A consistent, immutable read view: base graph + committed overlay.
+/// Implements TemporalStore, so the query engine and the conformance
+/// harness run against a live store exactly as against a sealed one.
+/// Thread-safe: any number of threads may scan one epoch concurrently
+/// (the lazily built overlay index is guarded by an internal mutex; the
+/// base-graph scan, the expensive part, runs outside it).
+class Epoch : public TemporalStore {
+ public:
+  /// `base` must no longer be written to; `head` may be null (no
+  /// overlay). `last_time` is the store clock at publish.
+  Epoch(std::shared_ptr<const TemporalGraph> base,
+        std::shared_ptr<const DeltaChunk> head, Chronon last_time);
+
+  // TemporalStore:
+  Status Load(const std::vector<TemporalTriple>& triples) override;
+  using TemporalStore::ScanPattern;
+  void ScanPattern(const PatternSpec& spec, const ScanCallback& visit,
+                   ScanStats* stats) const override;
+  size_t MemoryUsage() const override;
+  std::string name() const override { return "RDF-TX-live"; }
+  Chronon last_time() const override { return last_time_; }
+
+  /// Full coalesced validity of one triple, base and overlay merged.
+  TemporalSet Validity(const Triple& t) const;
+
+  const std::shared_ptr<const TemporalGraph>& base() const { return base_; }
+  const std::shared_ptr<const DeltaChunk>& head() const { return head_; }
+  /// LSN of the newest committed delta visible in this epoch (0 if the
+  /// overlay is empty — then the view is exactly the base graph).
+  uint64_t last_lsn() const { return head_ ? head_->last_lsn() : 0; }
+  /// Number of overlay deltas in this view.
+  uint64_t delta_count() const { return head_ ? head_->total() : 0; }
+
+ private:
+  /// Per-triple overlay events, (time, is_assert) in LSN order.
+  using OverlayMap =
+      std::unordered_map<Triple, std::vector<std::pair<Chronon, bool>>,
+                         TripleHash>;
+
+  void EnsureOverlayLocked() const REQUIRES(mu_);
+
+  std::shared_ptr<const TemporalGraph> base_;
+  std::shared_ptr<const DeltaChunk> head_;
+  Chronon last_time_ = 0;
+
+  mutable util::Mutex mu_;
+  mutable bool overlay_built_ GUARDED_BY(mu_) = false;
+  mutable OverlayMap overlay_ GUARDED_BY(mu_);
+};
+
+}  // namespace rdftx
+
+#endif  // RDFTX_RDF_EPOCH_H_

@@ -448,13 +448,17 @@ Status ParseIndex(ByteReader r, uint32_t expected_order,
   return Status::OK();
 }
 
-}  // namespace
+Status ParseWalState(ByteReader r, uint64_t* last_applied_lsn) {
+  RDFTX_RETURN_IF_ERROR(r.U64(last_applied_lsn));
+  return r.ExpectEnd();
+}
 
-std::vector<uint8_t> SerializeSnapshot(const TemporalGraph& graph,
-                                       const Dictionary* dict) {
+std::vector<uint8_t> SerializeSnapshotImpl(
+    const TemporalGraph& graph, const std::vector<uint8_t>* dict_section,
+    const uint64_t* last_applied_lsn) {
   std::vector<std::pair<uint32_t, std::vector<uint8_t>>> sections;
-  if (dict != nullptr) {
-    sections.emplace_back(kSectionDictionary, SerializeDictionary(*dict));
+  if (dict_section != nullptr) {
+    sections.emplace_back(kSectionDictionary, *dict_section);
   }
   sections.emplace_back(kSectionGraphMeta, SerializeGraphMeta(graph));
   for (uint32_t i = 0; i < 4; ++i) {
@@ -462,7 +466,32 @@ std::vector<uint8_t> SerializeSnapshot(const TemporalGraph& graph,
         kSectionIndexBase + i,
         SerializeIndex(graph.index(static_cast<IndexOrder>(i)), i));
   }
+  if (last_applied_lsn != nullptr) {
+    ByteWriter w;
+    w.U64(*last_applied_lsn);
+    sections.emplace_back(kSectionWalState, w.Take());
+  }
   return AssembleFile(sections);
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeDictionarySection(const Dictionary& dict) {
+  return SerializeDictionary(dict);
+}
+
+std::vector<uint8_t> SerializeSnapshot(const TemporalGraph& graph,
+                                       const Dictionary* dict) {
+  std::vector<uint8_t> dict_section;
+  if (dict != nullptr) dict_section = SerializeDictionary(*dict);
+  return SerializeSnapshotImpl(graph, dict != nullptr ? &dict_section : nullptr,
+                               nullptr);
+}
+
+std::vector<uint8_t> SerializeSnapshotForCheckpoint(
+    const TemporalGraph& graph, std::vector<uint8_t> dict_section,
+    uint64_t last_applied_lsn) {
+  return SerializeSnapshotImpl(graph, &dict_section, &last_applied_lsn);
 }
 
 Status WriteSnapshot(const TemporalGraph& graph, const Dictionary* dict,
@@ -473,6 +502,14 @@ Status WriteSnapshot(const TemporalGraph& graph, const Dictionary* dict,
 
 Status ReadSnapshotFromBuffer(const uint8_t* data, size_t size,
                               TemporalGraph* graph, Dictionary* dict) {
+  uint64_t ignored_lsn = 0;
+  return ReadSnapshotFromBuffer(data, size, graph, dict, &ignored_lsn);
+}
+
+Status ReadSnapshotFromBuffer(const uint8_t* data, size_t size,
+                              TemporalGraph* graph, Dictionary* dict,
+                              uint64_t* last_applied_lsn) {
+  *last_applied_lsn = 0;
   if (size < kHeaderBytes) {
     return Status::Corruption("snapshot header truncated");
   }
@@ -565,14 +602,29 @@ Status ReadSnapshotFromBuffer(const uint8_t* data, size_t size,
                    i, meta, cache_opts, &indices[i]));
   }
 
+  const auto wal_it = sections.find(kSectionWalState);
+  if (wal_it != sections.end()) {
+    RDFTX_RETURN_IF_ERROR(ParseWalState(
+        ByteReader(wal_it->second.first, wal_it->second.second,
+                   SectionName(kSectionWalState)),
+        last_applied_lsn));
+  }
+
   return graph->InstallRestoredIndices(std::move(indices));
 }
 
 Status ReadSnapshot(const std::string& path, TemporalGraph* graph,
                     Dictionary* dict) {
+  uint64_t ignored_lsn = 0;
+  return ReadSnapshot(path, graph, dict, &ignored_lsn);
+}
+
+Status ReadSnapshot(const std::string& path, TemporalGraph* graph,
+                    Dictionary* dict, uint64_t* last_applied_lsn) {
   Result<util::MappedFile> file = util::MappedFile::Open(path);
   if (!file.ok()) return file.status();
-  return ReadSnapshotFromBuffer(file->data(), file->size(), graph, dict);
+  return ReadSnapshotFromBuffer(file->data(), file->size(), graph, dict,
+                                last_applied_lsn);
 }
 
 }  // namespace rdftx::storage

@@ -28,6 +28,20 @@ namespace rdftx::storage {
 std::vector<uint8_t> SerializeSnapshot(const TemporalGraph& graph,
                                        const Dictionary* dict);
 
+/// Serializes just the dictionary section payload. The live-store
+/// checkpoint captures this under its writer mutex (the dictionary is
+/// append-mutable) while the immutable base graph is serialized outside
+/// the lock.
+std::vector<uint8_t> SerializeDictionarySection(const Dictionary& dict);
+
+/// Checkpoint variant of SerializeSnapshot: takes a pre-captured
+/// dictionary section payload and records `last_applied_lsn` in a
+/// wal-state section, marking every WAL record with lsn <= it as folded
+/// into this image (replay skips them).
+std::vector<uint8_t> SerializeSnapshotForCheckpoint(
+    const TemporalGraph& graph, std::vector<uint8_t> dict_section,
+    uint64_t last_applied_lsn);
+
 /// SerializeSnapshot + atomic write to `path` (tmp file + rename).
 Status WriteSnapshot(const TemporalGraph& graph, const Dictionary* dict,
                      const std::string& path);
@@ -42,9 +56,20 @@ Status WriteSnapshot(const TemporalGraph& graph, const Dictionary* dict,
 Status ReadSnapshotFromBuffer(const uint8_t* data, size_t size,
                               TemporalGraph* graph, Dictionary* dict);
 
+/// As above, and additionally reports the wal-state section via
+/// `last_applied_lsn` (0 when the snapshot has none — e.g. one written
+/// by plain SaveSnapshot, which predates WAL integration).
+Status ReadSnapshotFromBuffer(const uint8_t* data, size_t size,
+                              TemporalGraph* graph, Dictionary* dict,
+                              uint64_t* last_applied_lsn);
+
 /// Opens `path` (mmap with buffered fallback) and restores from it.
 Status ReadSnapshot(const std::string& path, TemporalGraph* graph,
                     Dictionary* dict);
+
+/// ReadSnapshot reporting the wal-state LSN (see above).
+Status ReadSnapshot(const std::string& path, TemporalGraph* graph,
+                    Dictionary* dict, uint64_t* last_applied_lsn);
 
 }  // namespace rdftx::storage
 

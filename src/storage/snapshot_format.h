@@ -40,6 +40,11 @@ enum SectionId : uint32_t {
   kSectionDictionary = 1,
   kSectionGraphMeta = 2,
   kSectionIndexBase = 3,  // 3..6 = SPO, SOP, POS, OPS
+  /// WAL position this snapshot covers (u64 last applied LSN). Written
+  /// by checkpoints; absent from plain SaveSnapshot files, and ignored
+  /// by format-version-1 readers that predate it (unknown sections are
+  /// skipped), so adding it is backward compatible.
+  kSectionWalState = 7,
 };
 
 /// Human-readable section name for error messages.
@@ -57,6 +62,8 @@ inline std::string SectionName(uint32_t id) {
       return "index-pos";
     case kSectionIndexBase + 3:
       return "index-ops";
+    case kSectionWalState:
+      return "wal-state";
     default:
       return "section#" + std::to_string(id);
   }

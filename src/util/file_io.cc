@@ -1,5 +1,6 @@
 #include "util/file_io.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -7,63 +8,240 @@
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
-#define RDFTX_HAVE_MMAP 1
+#define RDFTX_HAVE_POSIX_IO 1
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 #else
-#define RDFTX_HAVE_MMAP 0
+#define RDFTX_HAVE_POSIX_IO 0
 #endif
 
 namespace rdftx::util {
+namespace {
+
+std::string Errno(const char* op, const std::string& path) {
+  return std::string(op) + " failed: " + path + " (" + std::strerror(errno) +
+         ")";
+}
+
+/// Unique temp name beside `path`. The per-process counter keeps
+/// concurrent writers (and repeated writers of the same target) in one
+/// process apart; the pid keeps processes apart.
+std::string TempName(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+#if RDFTX_HAVE_POSIX_IO
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." + std::to_string(seq);
+}
+
+/// "a/b/c" -> "a/b"; paths without a separator sync the cwd.
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+#if RDFTX_HAVE_POSIX_IO
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("write", path));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+#endif
+
+}  // namespace
+
+bool DurableFsyncSupported() { return RDFTX_HAVE_POSIX_IO != 0; }
+
+Status SyncDir(const std::string& path_in_dir) {
+#if RDFTX_HAVE_POSIX_IO
+  std::string dir = path_in_dir;
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    dir = DirName(path_in_dir);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError(Errno("open dir", dir));
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Status::IoError(Errno("fsync dir", dir));
+  }
+  return Status::OK();
+#else
+  return Status::OK();  // no directory handles on this platform
+#endif
+}
 
 Status WriteFileAtomic(const std::string& path, const uint8_t* data,
                        size_t size) {
-#if RDFTX_HAVE_MMAP
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const std::string tmp = TempName(path);
+#if RDFTX_HAVE_POSIX_IO
+  // O_EXCL: TempName is unique, so an existing file is stale debris
+  // from a crashed writer — refusing to reuse it keeps the invariant
+  // that we only ever rename a file whose full contents we wrote.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", tmp));
+  Status st = WriteAll(fd, data, size, tmp);
+  // Durability step 1: the temp file's *data* must be on stable storage
+  // before the rename publishes it, or a crash can expose a file with
+  // the final name and garbage contents.
+  if (st.ok() && ::fsync(fd) != 0) st = Status::IoError(Errno("fsync", tmp));
+  if (::close(fd) != 0 && st.ok()) st = Status::IoError(Errno("close", tmp));
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
 #else
-  const std::string tmp = path + ".tmp";
-#endif
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) {
-      return Status::InvalidArgument("cannot open for write: " + tmp);
-    }
+    if (!f) return Status::IoError("cannot open for write: " + tmp);
     f.write(reinterpret_cast<const char*>(data),
             static_cast<std::streamsize>(size));
     f.flush();
     if (!f) {
       std::remove(tmp.c_str());
-      return Status::InvalidArgument("short write: " + tmp);
+      return Status::IoError("short write: " + tmp);
     }
   }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = Status::IoError(Errno("rename", path));
     std::remove(tmp.c_str());
-    return Status::InvalidArgument("rename failed: " + path + " (" +
-                                   std::strerror(errno) + ")");
+    return st;
   }
-  return Status::OK();
+  // Durability step 2: the rename is a directory mutation; it is not
+  // durable until the directory itself is synced.
+  return SyncDir(path);
 }
 
 Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) return Status::NotFound("cannot open: " + path);
   const std::streamsize size = f.tellg();
-  if (size < 0) return Status::InvalidArgument("cannot stat: " + path);
+  if (size < 0) return Status::IoError("cannot stat: " + path);
   f.seekg(0);
   out->assign(static_cast<size_t>(size), 0);
   if (size > 0 &&
       !f.read(reinterpret_cast<char*>(out->data()), size)) {
-    return Status::InvalidArgument("short read: " + path);
+    return Status::IoError("short read: " + path);
   }
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// AppendFile
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  path_ = std::move(other.path_);
+  fd_ = other.fd_;
+  file_ = other.file_;
+  size_ = other.size_;
+  other.fd_ = -1;
+  other.file_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+void AppendFile::Close() {
+#if RDFTX_HAVE_POSIX_IO
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<AppendFile> AppendFile::Open(const std::string& path) {
+  AppendFile out;
+  out.path_ = path;
+#if RDFTX_HAVE_POSIX_IO
+  // Probe existence first so we only pay the directory sync when the
+  // open actually creates the entry.
+  struct stat pre{};
+  const bool existed = ::stat(path.c_str(), &pre) == 0;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status err = Status::IoError(Errno("fstat", path));
+    ::close(fd);
+    return err;
+  }
+  out.fd_ = fd;
+  out.size_ = static_cast<uint64_t>(st.st_size);
+  if (!existed) {
+    const Status dir = SyncDir(path);
+    if (!dir.ok()) {
+      out.Close();
+      return dir;
+    }
+  }
+  return out;
+#else
+  out.file_ = std::fopen(path.c_str(), "ab");
+  if (out.file_ == nullptr) return Status::IoError("cannot open: " + path);
+  const long pos = std::ftell(out.file_);
+  out.size_ = pos > 0 ? static_cast<uint64_t>(pos) : 0;
+  return out;
+#endif
+}
+
+Status AppendFile::Append(const uint8_t* data, size_t size) {
+#if RDFTX_HAVE_POSIX_IO
+  if (fd_ < 0) return Status::InvalidArgument("append on closed file");
+  RDFTX_RETURN_IF_ERROR(WriteAll(fd_, data, size, path_));
+#else
+  if (file_ == nullptr) return Status::InvalidArgument("append on closed file");
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return Status::IoError("short append: " + path_);
+  }
+#endif
+  size_ += size;
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+#if RDFTX_HAVE_POSIX_IO
+  if (fd_ < 0) return Status::InvalidArgument("sync on closed file");
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
+#else
+  if (file_ == nullptr) return Status::InvalidArgument("sync on closed file");
+  if (std::fflush(file_) != 0) return Status::IoError("flush: " + path_);
+#endif
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MappedFile
+
 MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   if (this == &other) return *this;
-#if RDFTX_HAVE_MMAP
+#if RDFTX_HAVE_POSIX_IO
   if (mapped_ && data_ != nullptr) {
     ::munmap(const_cast<uint8_t*>(data_), size_);
   }
@@ -80,7 +258,7 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
 }
 
 MappedFile::~MappedFile() {
-#if RDFTX_HAVE_MMAP
+#if RDFTX_HAVE_POSIX_IO
   if (mapped_ && data_ != nullptr) {
     ::munmap(const_cast<uint8_t*>(data_), size_);
   }
@@ -89,7 +267,7 @@ MappedFile::~MappedFile() {
 
 Result<MappedFile> MappedFile::Open(const std::string& path) {
   MappedFile out;
-#if RDFTX_HAVE_MMAP
+#if RDFTX_HAVE_POSIX_IO
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
     struct stat st{};

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kParseError,
+  kIoError,
 };
 
 /// A cheap, copyable success/error value. `Status::OK()` carries no
@@ -54,6 +55,13 @@ class [[nodiscard]] Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  /// An operating-system I/O failure (write, fsync, rename, ...). Kept
+  /// distinct from Corruption and InvalidArgument so durability-critical
+  /// callers (WAL commit, snapshot write) can tell "the disk said no" —
+  /// after which no ack may be sent — from a bad argument.
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
