@@ -70,7 +70,9 @@ void RunOne(const char* label, Fixture f, JsonReport* report) {
           .string();
 
   TemporalGraph original(TemporalGraphOptions{.compress_leaves = true});
+  // A failed load makes the SaveSnapshot below abort with the real error.
   const double ingest_s =
+      // status-ignored: timing only, failure surfaces in SaveSnapshot.
       TimeSeconds([&] { original.Load(f.data.triples).IgnoreError(); });
 
   const double save_s = TimeSeconds([&] {

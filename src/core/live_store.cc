@@ -206,6 +206,7 @@ LiveStore::~LiveStore() {
   util::MutexLock lock(&mu_);
   // Best-effort: push unacked appends to disk. Acked writes were
   // already synced (or the caller opted out of sync_writes).
+  // status-ignored: destructor; a failed sync only loses unacked writes.
   if (!poisoned_) wal_.Sync().IgnoreError();
 }
 

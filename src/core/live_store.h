@@ -163,7 +163,9 @@ class LiveStore {
   const LiveStoreOptions options_;
   CheckpointFaultHook checkpoint_fault_hook_;  // test-only, set pre-run
 
-  mutable util::Mutex mu_;
+  /// Interior: base-graph scans under it (IsLiveLocked's liveness
+  /// fallback) may take the decoded-leaf cache's shard leaf mutexes.
+  mutable util::Mutex mu_ ACQUIRED_AFTER(ckpt_mu_){"LiveStore::mu_"};
   mutable util::CondVar cv_;
 
   Dictionary dict_ GUARDED_BY(mu_);
@@ -196,8 +198,9 @@ class LiveStore {
   bool stop_ GUARDED_BY(mu_) = false;
 
   /// Serializes checkpoints. Lock order: ckpt_mu_ is always acquired
-  /// before mu_, never the other way around.
-  util::Mutex ckpt_mu_;
+  /// before mu_, never the other way around (and the annotation makes
+  /// both the static and the runtime lock-order checks enforce it).
+  util::Mutex ckpt_mu_ ACQUIRED_BEFORE(mu_){"LiveStore::ckpt_mu_"};
   std::thread checkpointer_;
 };
 

@@ -116,7 +116,8 @@ class QueryEngine {
   JoinOrderProvider join_order_provider_;
   /// Intra-query worker pool; null when options_.num_threads <= 1.
   std::unique_ptr<util::ThreadPool> pool_;
-  mutable util::Mutex last_stats_mutex_;
+  mutable util::Mutex last_stats_mutex_ LEAF_MUTEX{
+      "QueryEngine::last_stats_mutex_"};
   mutable ExecStats last_stats_ GUARDED_BY(last_stats_mutex_);
 };
 

@@ -76,7 +76,8 @@ class TemporalHistogram {
   /// Per-optimization statistics cache (§6.3). Mutex-guarded so
   /// concurrent queries can optimize against one shared histogram; the
   /// CMVSBTs themselves are immutable after construction.
-  mutable util::Mutex cache_mutex_;
+  mutable util::Mutex cache_mutex_ LEAF_MUTEX{
+      "TemporalHistogram::cache_mutex_"};
   mutable std::unordered_map<uint64_t, double> cache_
       GUARDED_BY(cache_mutex_);
 };

@@ -115,7 +115,8 @@ class Epoch : public TemporalStore {
   std::shared_ptr<const DeltaChunk> head_;
   Chronon last_time_ = 0;
 
-  mutable util::Mutex mu_;
+  /// Leaf: EnsureOverlayLocked only walks immutable chunks under it.
+  mutable util::Mutex mu_ LEAF_MUTEX{"Epoch::mu_"};
   mutable bool overlay_built_ GUARDED_BY(mu_) = false;
   mutable OverlayMap overlay_ GUARDED_BY(mu_);
 };

@@ -1,0 +1,205 @@
+// Runtime lock-order cycle detector behind util::Mutex (DESIGN.md §12).
+//
+// Model: a global directed graph over mutex *instances*. Whenever a
+// thread acquires B while holding A (top of its held stack), the edge
+// A -> B is recorded. Before the acquisition blocks, the detector asks
+// whether B already reaches A through recorded edges — if so, this
+// acquisition closes an order cycle that some interleaving can turn
+// into a deadlock, and the process aborts with the cycle trace. The
+// check runs on the *first* inconsistent acquisition, even when the
+// two orders were only ever exercised on different threads or at
+// different times, which is exactly the case a deadlock needs and a
+// hung test cannot show.
+//
+// Nodes are keyed by a monotonically increasing id assigned at
+// construction and never reused, so a mutex allocated at a recycled
+// address cannot inherit a dead mutex's edges; destroyed mutexes are
+// unlinked from the graph. Names (static strings supplied at
+// construction) exist purely for the trace.
+#include "util/mutex.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rdftx::util::lock_order {
+namespace {
+
+struct Node {
+  const char* name = "(unnamed)";
+  std::unordered_set<uint64_t> succ;  // ids acquired while this was held
+};
+
+struct Graph {
+  std::mutex mu;  // raw by design: guards the detector itself
+  std::unordered_map<uint64_t, Node> nodes;
+};
+
+// Leaked singleton: mutexes with static storage duration may be
+// destroyed (and call OnDestroy) after any non-leaked graph would have
+// been torn down.
+Graph& TheGraph() {
+  static Graph* g = new Graph;
+  return *g;
+}
+
+struct Held {
+  uint64_t id;
+  const char* name;
+};
+
+thread_local std::vector<Held> t_held;
+
+// -1 = undecided, 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+
+int ComputeEnabled() {
+  if (const char* env = std::getenv("RDFTX_LOCK_ORDER")) {
+    std::string v(env);
+    for (char& c : v) c = static_cast<char>(std::tolower(c));
+    if (v.empty() || v == "0" || v == "off" || v == "false") return 0;
+    return 1;
+  }
+#ifdef NDEBUG
+  return 0;
+#else
+  return 1;
+#endif
+}
+
+/// Path from `from` to `to` through recorded edges, empty when
+/// unreachable. Caller holds the graph mutex.
+std::vector<uint64_t> FindPath(const Graph& g, uint64_t from, uint64_t to) {
+  std::unordered_map<uint64_t, uint64_t> parent;  // child -> predecessor
+  std::vector<uint64_t> stack{from};
+  parent.emplace(from, from);
+  while (!stack.empty()) {
+    const uint64_t cur = stack.back();
+    stack.pop_back();
+    const auto it = g.nodes.find(cur);
+    if (it == g.nodes.end()) continue;  // destroyed mutex: dangling edge
+    for (uint64_t next : it->second.succ) {
+      if (!parent.emplace(next, cur).second) continue;
+      if (next == to) {
+        std::vector<uint64_t> path{to};
+        for (uint64_t p = cur; p != from; p = parent.at(p)) path.push_back(p);
+        if (to != from) path.push_back(from);
+        std::vector<uint64_t> fwd(path.rbegin(), path.rend());
+        return fwd;
+      }
+      stack.push_back(next);
+    }
+  }
+  return {};
+}
+
+const char* NameOf(const Graph& g, uint64_t id) {
+  const auto it = g.nodes.find(id);
+  return it == g.nodes.end() ? "(destroyed)" : it->second.name;
+}
+
+[[noreturn]] void AbortWithCycle(const Graph& g, uint64_t acquiring,
+                                 const char* acquiring_name,
+                                 const std::vector<uint64_t>& path) {
+  std::fprintf(stderr,
+               "rdftx: lock-order violation: acquiring mutex \"%s\" (#%llu) "
+               "while holding \"%s\" (#%llu) closes an acquisition cycle:\n",
+               acquiring_name, (unsigned long long)acquiring,
+               t_held.empty() ? "?" : t_held.back().name,
+               t_held.empty() ? 0ull : (unsigned long long)t_held.back().id);
+  for (uint64_t id : path) {
+    std::fprintf(stderr, "  \"%s\" (#%llu) ->\n", NameOf(g, id),
+                 (unsigned long long)id);
+  }
+  std::fprintf(stderr, "  \"%s\" (#%llu)  [the acquisition being made]\n",
+               acquiring_name, (unsigned long long)acquiring);
+  std::fprintf(stderr, "locks held by this thread, outermost first:\n");
+  for (const Held& h : t_held) {
+    std::fprintf(stderr, "  \"%s\" (#%llu)\n", h.name,
+                 (unsigned long long)h.id);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool Enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = ComputeEnabled();
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetEnabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ResetForTest() {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.nodes.clear();
+}
+
+uint64_t NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PreAcquire(uint64_t id, const char* name) {
+  if (!Enabled() || t_held.empty()) return;
+  const Held holder = t_held.back();
+  if (holder.id == id) {
+    std::fprintf(stderr,
+                 "rdftx: lock-order violation: recursive acquisition of "
+                 "mutex \"%s\" (#%llu) — util::Mutex is not reentrant\n",
+                 name, (unsigned long long)id);
+    std::fflush(stderr);
+    std::abort();
+  }
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  Node& to = g.nodes[id];
+  to.name = name;
+  Node& from = g.nodes[holder.id];
+  from.name = holder.name;
+  if (!from.succ.insert(id).second) return;  // edge already vetted
+  const std::vector<uint64_t> path = FindPath(g, id, holder.id);
+  if (!path.empty()) AbortWithCycle(g, id, name, path);
+}
+
+void PostAcquire(uint64_t id, const char* name) {
+  if (!Enabled()) return;
+  t_held.push_back(Held{id, name});
+}
+
+void PreRelease(uint64_t id) {
+  if (t_held.empty()) return;
+  // Almost always the top of the stack; out-of-order release (legal,
+  // e.g. hand-over-hand) removes the newest matching entry.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->id == id) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not tracked: acquired while the detector was off. Ignore.
+}
+
+void OnDestroy(uint64_t id) {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.nodes.erase(id);
+  // Edges *into* the dead node may dangle in other nodes' succ sets;
+  // FindPath skips ids with no node, and the id is never reassigned, so
+  // they are inert.
+}
+
+}  // namespace rdftx::util::lock_order

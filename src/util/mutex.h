@@ -3,30 +3,88 @@
 // attributes, so `GUARDED_BY(mu_)` members are compiler-checked under
 // -Werror=thread-safety. All locking in the library goes through these
 // types; tools/lint rejects raw std::mutex outside src/util/.
+//
+// Lock-order discipline (DESIGN.md §12): every util::Mutex member in
+// src/ carries its place in the global acquisition order —
+// ACQUIRED_BEFORE/ACQUIRED_AFTER edges for interior mutexes,
+// LEAF_MUTEX for innermost ones — statically verified by
+// tools/analyzer (`rdftx-analyzer`, check `lock-order`). The same
+// discipline is enforced dynamically: in debug builds (or whenever
+// lock_order::SetEnabled(true) / RDFTX_LOCK_ORDER=1 turns it on) every
+// Lock() feeds a per-thread held-lock stack into a global
+// acquired-while-holding edge graph, and an acquisition that would
+// close a cycle aborts the process with the cycle trace — *before*
+// blocking, so the test dies loudly instead of deadlocking.
 #ifndef RDFTX_UTIL_MUTEX_H_
 #define RDFTX_UTIL_MUTEX_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/thread_annotations.h"
 
 namespace rdftx::util {
 
+namespace lock_order {
+
+/// True when the runtime lock-order cycle detector is active. Defaults
+/// to on in debug builds (!NDEBUG); the RDFTX_LOCK_ORDER environment
+/// variable ("1"/"0") overrides the default in either direction.
+bool Enabled();
+
+/// Turns the detector on or off at runtime (tests use this to exercise
+/// it in release builds). Locks acquired while the detector was off are
+/// simply not tracked.
+void SetEnabled(bool on);
+
+/// Drops every accumulated edge (test isolation). Must only be called
+/// while no tracked mutex is held.
+void ResetForTest();
+
+// Internal hooks, called by Mutex. `PreAcquire` runs the cycle check
+// (and aborts on violation) before the caller blocks on the lock.
+uint64_t NextId();
+void PreAcquire(uint64_t id, const char* name);
+void PostAcquire(uint64_t id, const char* name);
+void PreRelease(uint64_t id);
+void OnDestroy(uint64_t id);
+
+}  // namespace lock_order
+
 /// An annotated standard mutex. Prefer MutexLock for scoped holds; use
 /// Lock()/Unlock() directly only for condition-variable loops.
+///
+/// Give every long-lived mutex a name ("Class::member_") — it is what
+/// the lock-order cycle trace prints, and the static analyzer expects
+/// named members to carry an acquisition-order annotation.
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  Mutex() : Mutex("(unnamed)") {}
+  /// `name` must point to storage outliving the mutex (a literal).
+  explicit Mutex(const char* name)
+      : name_(name), order_id_(lock_order::NextId()) {}
+  ~Mutex() { lock_order::OnDestroy(order_id_); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
+  void Lock() ACQUIRE() {
+    lock_order::PreAcquire(order_id_, name_);
+    mu_.lock();
+    lock_order::PostAcquire(order_id_, name_);
+  }
+  void Unlock() RELEASE() {
+    lock_order::PreRelease(order_id_);
+    mu_.unlock();
+  }
+
+  const char* name() const { return name_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const char* name_;
+  const uint64_t order_id_;
 };
 
 /// RAII lock, annotated so the analysis knows the capability is held
@@ -52,6 +110,9 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   /// Atomically releases *mu, blocks, and reacquires before returning.
+  /// The mutex is held on entry and on exit, so the lock-order detector
+  /// keeps it on the held stack across the wait (the thread acquires
+  /// nothing else while blocked here).
   void Wait(Mutex* mu) REQUIRES(mu) {
     // std::condition_variable wants a std::unique_lock; adopt the held
     // mutex for the wait and release ownership again afterwards so the

@@ -124,7 +124,10 @@ class ShardedLruCache {
     size_t bytes;
   };
   struct Shard {
-    mutable Mutex mu;
+    /// Innermost lock in the tree: scans may take it while the caller
+    /// holds LiveStore::mu_ (liveness fallback through a base-graph
+    /// scan) or any other interior mutex.
+    mutable Mutex mu LEAF_MUTEX{"ShardedLruCache::Shard::mu"};
     std::list<Node> lru GUARDED_BY(mu);  // front = most recently used
     std::unordered_map<Key, typename std::list<Node>::iterator, Hash> map
         GUARDED_BY(mu);

@@ -40,6 +40,34 @@
 #define EXCLUDES(...) \
   RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
 
+/// Lock-order edge: this mutex is acquired before the named mutexes
+/// whenever both are held. The edges across all declarations define the
+/// global acquisition order; tools/analyzer (`rdftx-analyzer`, check
+/// `lock-order`) verifies the edge graph is acyclic and that every
+/// multi-lock scope in the AST respects it, and the runtime detector in
+/// util::Mutex enforces the same property dynamically (DESIGN.md §12).
+#define ACQUIRED_BEFORE(...) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+/// Lock-order edge: this mutex is acquired after the named mutexes.
+#define ACQUIRED_AFTER(...) \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Marks a mutex as a *leaf* of the acquisition order: no other
+/// util::Mutex may be acquired while it is held. Most mutexes in the
+/// tree are leaves; `rdftx-analyzer` requires every util::Mutex member
+/// in src/ to carry either this marker or ACQUIRED_BEFORE/AFTER edges
+/// (interior mutexes may additionally be marked INTERIOR_MUTEX when no
+/// same-class edge is expressible).
+#define LEAF_MUTEX \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(annotate("rdftx::leaf_mutex"))
+
+/// Marks a mutex as *interior*: leaf mutexes may be acquired while it
+/// is held, but holding it together with another interior mutex
+/// requires a declared ACQUIRED_BEFORE/AFTER path between them.
+#define INTERIOR_MUTEX \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(annotate("rdftx::interior_mutex"))
+
 /// The annotated function acquires the capability and does not release
 /// it before returning.
 #define ACQUIRE(...) \

@@ -68,7 +68,8 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  /// Guards only the queue and stop flag; tasks always run outside it.
+  Mutex mutex_ LEAF_MUTEX{"ThreadPool::mutex_"};
   std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
   CondVar cv_;
   bool stopping_ GUARDED_BY(mutex_) = false;

@@ -123,6 +123,7 @@ void Churn(Mvbt* a, Mvbt* b, uint64_t seed, int ops = 4000) {
     Key3 k{rng.Uniform(6), rng.Uniform(6), rng.Uniform(20)};
     if (rng.Bernoulli(0.6)) {
       if (a->Insert(k, t).ok()) live.push_back(k);
+      // status-ignored: b mirrors a; a's status already decided validity.
       if (b != nullptr) b->Insert(k, t).IgnoreError();
     } else if (!live.empty()) {
       size_t at = rng.Uniform(live.size());
@@ -131,6 +132,7 @@ void Churn(Mvbt* a, Mvbt* b, uint64_t seed, int ops = 4000) {
         live[at] = live.back();
         live.pop_back();
       }
+      // status-ignored: b mirrors a; a's status already decided validity.
       if (b != nullptr) b->Erase(victim, t).IgnoreError();
     }
   }

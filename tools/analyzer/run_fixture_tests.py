@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Golden-diagnostic fixture runner for rdftx-analyzer.
+
+Each testdata/**/*.cc fixture carries its expected diagnostics inline:
+
+    some_code();  // expect: [<check>] <message substring>
+
+The runner executes the analyzer in --testing mode on each fixture
+(no compile database needed; fixtures are self-contained) and verifies
+the actual diagnostics against the markers:
+
+  * every marker must be matched by a diagnostic on that line, of that
+    check, whose message contains the substring;
+  * every diagnostic must be claimed by a marker (no surprises);
+  * fixtures without markers (negatives) must produce no diagnostics
+    and exit 0; fixtures with markers must exit 1.
+
+Exit status: 0 all fixtures pass, 1 otherwise.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*\[([a-z-]+)\]\s*(.+?)\s*$")
+DIAG_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+):(?P<col>\d+): "
+                     r"\[(?P<check>[a-z-]+)\] (?P<msg>.*)$")
+
+
+def parse_markers(path):
+    markers = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, text in enumerate(f, start=1):
+            m = EXPECT_RE.search(text)
+            if m:
+                markers.append({"line": lineno, "check": m.group(1),
+                                "substr": m.group(2), "hit": False})
+    return markers
+
+
+def run_fixture(analyzer, path):
+    """Returns a list of human-readable failure strings (empty = pass)."""
+    markers = parse_markers(path)
+    proc = subprocess.run(
+        [analyzer, "--testing", path, "--", "-std=c++17"],
+        capture_output=True, text=True)
+    failures = []
+    if proc.returncode == 2:
+        return [f"analyzer reported a tool/parse error:\n{proc.stderr}"]
+    expected_rc = 1 if markers else 0
+    if proc.returncode != expected_rc:
+        failures.append(f"exit status {proc.returncode}, "
+                        f"expected {expected_rc}")
+    diags = []
+    for raw in proc.stdout.splitlines():
+        if not raw.strip():
+            continue
+        m = DIAG_RE.match(raw)
+        if not m:
+            failures.append(f"unparseable diagnostic line: {raw!r}")
+            continue
+        diags.append({"line": int(m.group("line")),
+                      "check": m.group("check"),
+                      "msg": m.group("msg"), "claimed": False, "raw": raw})
+    for marker in markers:
+        for d in diags:
+            if (not d["claimed"] and d["line"] == marker["line"]
+                    and d["check"] == marker["check"]
+                    and marker["substr"] in d["msg"]):
+                d["claimed"] = True
+                marker["hit"] = True
+                break
+        if not marker["hit"]:
+            failures.append(
+                f"line {marker['line']}: expected [{marker['check']}] "
+                f"diagnostic containing {marker['substr']!r}; not emitted")
+    for d in diags:
+        if not d["claimed"]:
+            failures.append(f"unexpected diagnostic: {d['raw']}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--analyzer", required=True,
+                    help="path to the rdftx-analyzer binary")
+    ap.add_argument("--testdata", required=True,
+                    help="directory of *.cc fixtures (searched recursively)")
+    args = ap.parse_args()
+
+    fixtures = []
+    for dirpath, _dirnames, filenames in os.walk(args.testdata):
+        fixtures.extend(os.path.join(dirpath, f)
+                        for f in filenames if f.endswith(".cc"))
+    fixtures.sort()
+    if not fixtures:
+        print(f"no fixtures found under {args.testdata}", file=sys.stderr)
+        return 1
+
+    failed = 0
+    for path in fixtures:
+        rel = os.path.relpath(path, args.testdata)
+        failures = run_fixture(args.analyzer, path)
+        if failures:
+            failed += 1
+            print(f"FAIL {rel}")
+            for f in failures:
+                print(f"  {f}")
+        else:
+            print(f"PASS {rel}")
+    total = len(fixtures)
+    print(f"{total - failed}/{total} fixtures passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

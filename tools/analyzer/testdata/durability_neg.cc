@@ -1,0 +1,58 @@
+// durability near-miss negatives: the same WAL shapes as the positive
+// fixture, but disciplined — sync before the ack, an error path pruned
+// by its ok() test, an explicit *sync* opt-out branch (an audited
+// decision), a tail return that hands the obligation to the caller,
+// and a read-only fopen. The analyzer must emit nothing for this file.
+extern "C" {
+typedef struct FILE_ FILE;
+FILE* fopen(const char* path, const char* mode);
+}
+
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const;
+  static Status OK();
+};
+
+namespace storage {
+
+struct WalRecord {};
+
+class WalWriter {
+ public:
+  Status Append(const WalRecord& r);
+  Status Sync();
+};
+
+class Store {
+ public:
+  // The happy path syncs before acknowledging.
+  Status SyncedAck(const WalRecord& r) {
+    Status st = wal_.Append(r);
+    if (!st.ok()) return st;
+    st = wal_.Sync();
+    if (!st.ok()) return st;
+    return Status::OK();
+  }
+  // A branch that names the sync option is a deliberate, audited
+  // opt-out (mirrors LiveStoreOptions::sync_writes).
+  Status OptOut(const WalRecord& r, bool sync_writes) {
+    Status st = wal_.Append(r);
+    if (!st.ok()) return st;
+    if (!sync_writes) return Status::OK();
+    return wal_.Sync();
+  }
+  // A tail return passes the status — and the sync obligation — up.
+  Status PassThrough(const WalRecord& r) { return wal_.Append(r); }
+  // Reading is allowed anywhere.
+  FILE* ReadOnly() { return fopen("a", "rb"); }
+
+ private:
+  WalWriter wal_;
+};
+
+}  // namespace storage
+}  // namespace rdftx

@@ -1,0 +1,48 @@
+// durability true positives: a WAL append that can be acknowledged
+// (reach function exit) without a Sync(), and the banned raw mutation
+// primitives — rename/link/fopen-for-write — outside util/file_io.cc.
+extern "C" {
+typedef struct FILE_ FILE;
+FILE* fopen(const char* path, const char* mode);
+int rename(const char* from, const char* to);
+int link(const char* from, const char* to);
+}
+
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const;
+  static Status OK();
+};
+
+namespace storage {
+
+struct WalRecord {};
+
+class WalWriter {
+ public:
+  Status Append(const WalRecord& r);
+  Status Sync();
+};
+
+class Store {
+ public:
+  Status AckWithoutSync(const WalRecord& r) {
+    Status st = wal_.Append(r);  // expect: [durability] WAL append can reach function exit without a Sync()
+    if (!st.ok()) return st;
+    return Status::OK();
+  }
+  void RawMutations() {
+    rename("a", "b");  // expect: [durability] 'rename' outside src/util/file_io.cc
+    link("a", "c");  // expect: [durability] 'link' outside src/util/file_io.cc
+    fopen("a", "wb");  // expect: [durability] raw fopen for writing
+  }
+
+ private:
+  WalWriter wal_;
+};
+
+}  // namespace storage
+}  // namespace rdftx

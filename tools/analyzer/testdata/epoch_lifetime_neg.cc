@@ -1,0 +1,59 @@
+// epoch-lifetime near-miss negatives: owning handles, member-accessor
+// returns, parameter-derived pointers (the caller's epoch outlives the
+// call), value captures, and lambdas that never leave the scope.
+// The analyzer must emit nothing for this file.
+namespace rdftx {
+
+class DeltaChunk {
+ public:
+  int* data();
+};
+
+class Epoch {
+ public:
+  DeltaChunk* chunk();
+};
+
+// Smart-pointer-shaped owner: the field's type is not a raw pointer.
+template <typename T>
+class Owned {
+ public:
+  T* get();
+
+ private:
+  T* ptr_;
+};
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void Submit(Fn fn);
+};
+
+class Snapshot {
+ public:
+  // Accessor returning member state: the reference lives as long as
+  // the owner, not a dying local.
+  Epoch& epoch() { return epoch_; }
+
+ private:
+  Epoch epoch_;
+  Owned<DeltaChunk> chunk_;
+};
+
+// Parameter-derived pointer: the caller's epoch is still open.
+DeltaChunk* FromParam(Epoch& e) { return e.chunk(); }
+
+// Capturing the epoch BY VALUE copies it; no raw aliasing escapes.
+void CopiedCapture(ThreadPool* pool, const Epoch& e) {
+  pool->Submit([e]() mutable { ; });
+}
+
+// A lambda that never leaves this scope may borrow freely.
+int InlineUse(Epoch* e) {
+  auto probe = [e] { return e->chunk(); };
+  probe();
+  return 0;
+}
+
+}  // namespace rdftx

@@ -1,0 +1,36 @@
+// epoch-lifetime true positives: a raw DeltaChunk pointer parked in a
+// field, a pointer derived from a function-local Epoch returned to the
+// caller, and epoch state captured by a lambda handed to a thread pool.
+namespace rdftx {
+
+class DeltaChunk {
+ public:
+  int* data();
+};
+
+class Epoch {
+ public:
+  DeltaChunk* chunk();
+};
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void Submit(Fn fn);
+};
+
+class Cache {
+ private:
+  DeltaChunk* chunk_;  // expect: [epoch-lifetime] raw DeltaChunk pointer stored in field 'chunk_'
+};
+
+DeltaChunk* LeakFromLocal() {
+  Epoch e;
+  return e.chunk();  // expect: [epoch-lifetime] returns a pointer/reference derived from local 'e'
+}
+
+void LeakToPool(ThreadPool* pool, Epoch* epoch) {
+  pool->Submit([epoch] { epoch->chunk(); });  // expect: [epoch-lifetime] lambda handed to 'Submit' captures 'epoch'
+}
+
+}  // namespace rdftx

@@ -1,0 +1,59 @@
+// lock-order near-miss negatives: the same shapes as the positive
+// fixture, but legal — declared-order nesting, a leaf acquired last,
+// hand-over-hand release, and sequential (non-overlapping) scopes.
+// The analyzer must emit nothing for this file.
+namespace rdftx {
+namespace util {
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+}  // namespace util
+}  // namespace rdftx
+
+#define ACQUIRED_BEFORE(...) __attribute__((acquired_before(__VA_ARGS__)))
+#define ACQUIRED_AFTER(...) __attribute__((acquired_after(__VA_ARGS__)))
+#define LEAF_MUTEX __attribute__((annotate("rdftx::leaf_mutex")))
+#define INTERIOR_MUTEX __attribute__((annotate("rdftx::interior_mutex")))
+
+namespace rdftx {
+
+class Store {
+ public:
+  // Nesting along the declared edge: legal.
+  void Ordered() {
+    util::MutexLock g1(&outer_);
+    util::MutexLock g2(&inner_);
+  }
+  // A leaf may always be the innermost lock under a non-leaf.
+  void LeafLast() {
+    util::MutexLock g(&inner_);
+    leaf_.Lock();
+    leaf_.Unlock();
+  }
+  // Hand-over-hand: release the first before taking the "wrong" one.
+  void HandOverHand() {
+    inner_.Lock();
+    inner_.Unlock();
+    outer_.Lock();
+    outer_.Unlock();
+  }
+  // Sequential scopes never overlap: the near miss of Inverted().
+  void Sequential() {
+    { util::MutexLock g(&inner_); }
+    { util::MutexLock g(&outer_); }
+  }
+
+ private:
+  util::Mutex outer_ INTERIOR_MUTEX ACQUIRED_BEFORE(inner_);
+  util::Mutex inner_ ACQUIRED_AFTER(outer_);
+  util::Mutex leaf_ LEAF_MUTEX;
+};
+
+}  // namespace rdftx

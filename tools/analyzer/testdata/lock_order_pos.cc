@@ -1,0 +1,56 @@
+// lock-order true positives: missing annotation, inverted acquisition,
+// acquisition under a leaf, recursive acquisition, declared-order cycle.
+// Self-contained stubs: the check keys on names (util::Mutex,
+// util::MutexLock) and the thread-safety / annotate attributes.
+namespace rdftx {
+namespace util {
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+}  // namespace util
+}  // namespace rdftx
+
+#define ACQUIRED_BEFORE(...) __attribute__((acquired_before(__VA_ARGS__)))
+#define ACQUIRED_AFTER(...) __attribute__((acquired_after(__VA_ARGS__)))
+#define LEAF_MUTEX __attribute__((annotate("rdftx::leaf_mutex")))
+
+namespace rdftx {
+
+class Store {
+ public:
+  void Inverted() {
+    util::MutexLock a(&inner_);
+    util::MutexLock b(&outer_);  // expect: [lock-order] acquires 'rdftx::Store::outer_' while holding 'rdftx::Store::inner_'
+  }
+  void UnderLeaf() {
+    leaf_.Lock();
+    inner_.Lock();  // expect: [lock-order] while leaf mutex 'rdftx::Store::leaf_' is held
+    inner_.Unlock();
+    leaf_.Unlock();
+  }
+  void Recursive() {
+    util::MutexLock a(&outer_);
+    util::MutexLock b(&outer_);  // expect: [lock-order] recursive acquisition
+  }
+
+ private:
+  util::Mutex outer_ ACQUIRED_BEFORE(inner_);
+  util::Mutex inner_ ACQUIRED_AFTER(outer_);
+  util::Mutex leaf_ LEAF_MUTEX;
+  util::Mutex naked_;  // expect: [lock-order] lacks an acquisition-order annotation
+};
+
+class Cycle {
+ private:
+  util::Mutex x_ ACQUIRED_BEFORE(y_);  // expect: [lock-order] declared acquisition order contains a cycle
+  util::Mutex y_ ACQUIRED_BEFORE(x_);
+};
+
+}  // namespace rdftx

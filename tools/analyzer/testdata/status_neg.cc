@@ -1,0 +1,26 @@
+// status-propagation near-miss negatives: checked, propagated, or
+// explicitly audited discards. The analyzer must emit nothing here.
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const;
+};
+
+Status Flush();
+
+Status Propagate() {
+  // Checked and propagated: the canonical pattern.
+  Status st = Flush();
+  if (!st.ok()) return st;
+  // Audited discard through the greppable API.
+  Flush().IgnoreError();
+  // status-ignored: best-effort probe; failure is irrelevant here.
+  (void)Flush();
+  // rdftx-analyzer: allow(status)
+  Flush();
+  return Status();
+}
+
+}  // namespace rdftx

@@ -1,0 +1,31 @@
+// status-propagation true positives: the discard holes that
+// [[nodiscard]] + -Werror cannot see through — casts to void and bare
+// expression statements (e.g. laundered through a macro).
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  void IgnoreError() const;
+};
+
+Status Flush();
+Result<int> Load();
+
+#define LAUNDER(expr) expr
+
+Status CastHoles() {
+  (void)Flush();  // expect: [status] Status/Result discarded with a cast to void
+  static_cast<void>(Load());  // expect: [status] Status/Result discarded with a cast to void
+  LAUNDER(Flush());  // expect: [status] expression result of type Status/Result is discarded
+  return Status();
+}
+
+}  // namespace rdftx

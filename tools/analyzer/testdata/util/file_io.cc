@@ -1,0 +1,21 @@
+// Negative fixture for the file-primitive ban: a path ending in
+// util/file_io.cc IS the audited mutation path — rename/link/fopen are
+// legal here. The analyzer must emit nothing for this file.
+extern "C" {
+typedef struct FILE_ FILE;
+FILE* fopen(const char* path, const char* mode);
+int rename(const char* from, const char* to);
+int link(const char* from, const char* to);
+}
+
+namespace rdftx {
+namespace util {
+
+void CommitFile() {
+  fopen("tmp", "wb");
+  link("tmp", "tmp.bak");
+  rename("tmp", "final");
+}
+
+}  // namespace util
+}  // namespace rdftx

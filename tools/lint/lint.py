@@ -17,6 +17,11 @@ Rules (see DESIGN.md "Static analysis & lock discipline"):
   nodiscard-meta  src/util/status.h keeps Status and Result<T> marked
                   [[nodiscard]] (the compiler enforces "no Status
                   constructed and dropped" from there).
+  ignore-error-justify
+                  Every .IgnoreError() call site carries a justification
+                  comment — `// status-ignored: <why>` on the same line
+                  or the line above. rdftx-analyzer's status-propagation
+                  check recognizes the same convention.
 
 The textual layer always runs and needs only Python. When clang-query
 and a compile_commands.json are available (the CI lint job; any local
@@ -24,9 +29,16 @@ clang install), the AST rules in tools/lint/rules/*.qry run as well and
 catch spellings the regexes can't (aliases, macro expansion, a Status
 temporary discarded through a cast).
 
+With --analyzer BIN (or --analyzer auto), the rdftx-analyzer LibTooling
+binary (tools/analyzer/, built by the `analyzer` preset when Clang dev
+libraries are present) additionally runs over the compile database and
+its findings — lock-order, epoch-lifetime, durability-protocol, and
+status-propagation diagnostics — are merged into the lint report.
+
 Usage:
   tools/lint/lint.py [--root DIR] [--compile-commands build/compile_commands.json]
                      [--clang-query BIN] [--require-clang-query]
+                     [--analyzer BIN|auto] [--require-analyzer]
 
 Exit status 0 = clean, 1 = findings, 2 = configuration error.
 """
@@ -126,6 +138,41 @@ def textual_findings(root):
     return findings
 
 
+IGNORE_ERROR_RE = re.compile(r"\.\s*IgnoreError\s*\(")
+STATUS_IGNORED_COMMENT_RE = re.compile(r"//.*status-ignored:")
+
+
+def ignore_error_findings(root):
+    """IgnoreError() without a `// status-ignored: <why>` justification
+    on the same line or the line above. Works on raw text (the comments
+    are the point). Skips src/util/status.h, where IgnoreError itself is
+    declared."""
+    findings = []
+    for d in SOURCE_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, d)):
+            for name in sorted(names):
+                if os.path.splitext(name)[1] not in SOURCE_EXT:
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                if rel == "src/util/status.h":
+                    continue
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    lines = f.read().splitlines()
+                for lineno, line in enumerate(lines, start=1):
+                    if not IGNORE_ERROR_RE.search(line):
+                        continue
+                    prev = lines[lineno - 2] if lineno >= 2 else ""
+                    if STATUS_IGNORED_COMMENT_RE.search(line) or \
+                            STATUS_IGNORED_COMMENT_RE.search(prev):
+                        continue
+                    findings.append(
+                        f"{rel}:{lineno}: [ignore-error-justify] IgnoreError() "
+                        "without a '// status-ignored: <why>' comment on this "
+                        "or the preceding line")
+    return findings
+
+
 def nodiscard_meta_findings(root):
     findings = []
     status_h = os.path.join(root, "src", "util", "status.h")
@@ -150,18 +197,66 @@ def nodiscard_meta_findings(root):
 
 MATCH_COUNT_RE = re.compile(r"^(\d+) match(?:es)?\.$", re.MULTILINE)
 
+CLANG_QUERY_CANDIDATES = ("clang-query", "clang-query-18", "clang-query-17",
+                          "clang-query-16", "clang-query-15",
+                          "clang-query-14")
 
-def clang_query_findings(root, clang_query, compile_commands):
-    build_dir = os.path.dirname(os.path.abspath(compile_commands))
+# Memoized probe results: explicit-binary-or-"" -> (path, version) with
+# path None when unavailable. Probing runs the binary, so repeated lint
+# invocations (check-lint + check-analyzer in one build) only pay once.
+_CLANG_QUERY_CACHE = {}
+
+
+def resolve_clang_query(explicit=None):
+    """Resolves the clang-query binary to use and its version string.
+    Returns (path, version); path is None when no usable binary exists.
+    Results are cached per `explicit` value."""
+    key = explicit or ""
+    if key in _CLANG_QUERY_CACHE:
+        return _CLANG_QUERY_CACHE[key]
+    candidates = (explicit,) if explicit else CLANG_QUERY_CANDIDATES
+    resolved = (None, None)
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path is None:
+            continue
+        try:
+            proc = subprocess.run([path, "--version"], capture_output=True,
+                                  text=True, timeout=30)
+            version = (proc.stdout or proc.stderr).strip().splitlines()
+            resolved = (path, version[0] if version else "(unknown version)")
+        except (OSError, subprocess.TimeoutExpired) as e:
+            resolved = (path, f"(--version failed: {e})")
+        break
+    _CLANG_QUERY_CACHE[key] = resolved
+    return resolved
+
+
+def describe_clang_query_probe(explicit=None):
+    """Human-readable account of what resolve_clang_query probed, for
+    --require-clang-query failures."""
+    path, version = resolve_clang_query(explicit)
+    if path is None:
+        probed = explicit or ", ".join(CLANG_QUERY_CANDIDATES)
+        return f"no clang-query on PATH (probed: {probed})"
+    return f"resolved clang-query: {path} [{version}]"
+
+
+def src_translation_units(root, compile_commands):
     with open(compile_commands, encoding="utf-8") as f:
         db = json.load(f)
-    tus = sorted({
+    return sorted({
         os.path.normpath(os.path.join(e.get("directory", ""), e["file"]))
         for e in db
         if is_under(os.path.normpath(
             os.path.join(e.get("directory", ""), e["file"])),
             os.path.join(root, "src"))
     })
+
+
+def clang_query_findings(root, clang_query, compile_commands):
+    build_dir = os.path.dirname(os.path.abspath(compile_commands))
+    tus = src_translation_units(root, compile_commands)
     if not tus:
         return ["[clang-query] no src/ translation units in "
                 f"{compile_commands}"]
@@ -188,6 +283,56 @@ def clang_query_findings(root, clang_query, compile_commands):
     return findings
 
 
+# ---------------------------------------------------------------------------
+# rdftx-analyzer (tools/analyzer LibTooling binary)
+# ---------------------------------------------------------------------------
+
+ANALYZER_BUILD_PATHS = (
+    "build-analyzer/tools/analyzer/rdftx-analyzer",
+    "build-lint/tools/analyzer/rdftx-analyzer",
+    "build/tools/analyzer/rdftx-analyzer",
+)
+
+
+def resolve_analyzer(root, spec):
+    """Resolves --analyzer: an explicit path, or 'auto' (PATH, then the
+    conventional build directories). Returns None when unavailable."""
+    if spec is None:
+        return None
+    if spec != "auto":
+        return spec if os.path.exists(spec) else None
+    found = shutil.which("rdftx-analyzer")
+    if found:
+        return found
+    for rel in ANALYZER_BUILD_PATHS:
+        cand = os.path.join(root, rel)
+        if os.path.exists(cand):
+            return cand
+    return None
+
+
+def analyzer_findings(root, analyzer, compile_commands):
+    """Runs rdftx-analyzer over every src/ translation unit in the
+    compile database and merges its diagnostics into the findings."""
+    build_dir = os.path.dirname(os.path.abspath(compile_commands))
+    tus = src_translation_units(root, compile_commands)
+    if not tus:
+        return ["[analyzer] no src/ translation units in "
+                f"{compile_commands}"]
+    cmd = [analyzer, "-p", build_dir, "--src-root", root] + tus
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    except OSError as e:
+        return [f"[analyzer] cannot run {analyzer}: {e}"]
+    if proc.returncode == 0:
+        return []
+    if proc.returncode != 1:
+        return [f"[analyzer] {analyzer} exited {proc.returncode}:\n"
+                f"{proc.stderr.strip()}"]
+    return ["[analyzer] " + ln for ln in proc.stdout.splitlines()
+            if ln.strip()]
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=None,
@@ -199,6 +344,13 @@ def main():
     ap.add_argument("--require-clang-query", action="store_true",
                     help="fail instead of skipping when clang-query or the "
                          "compile database is unavailable (CI mode)")
+    ap.add_argument("--analyzer", default=None, metavar="BIN",
+                    help="also run the rdftx-analyzer LibTooling binary "
+                         "(path, or 'auto' to search PATH and the "
+                         "conventional build dirs) and merge its findings")
+    ap.add_argument("--require-analyzer", action="store_true",
+                    help="fail instead of skipping when rdftx-analyzer or "
+                         "the compile database is unavailable (CI mode)")
     args = ap.parse_args()
 
     root = args.root or os.path.dirname(os.path.dirname(
@@ -206,22 +358,45 @@ def main():
 
     findings = textual_findings(root)
     findings += nodiscard_meta_findings(root)
+    findings += ignore_error_findings(root)
 
-    clang_query = args.clang_query or next(
-        (p for p in ("clang-query", "clang-query-18", "clang-query-17",
-                     "clang-query-16", "clang-query-15", "clang-query-14")
-         if shutil.which(p)), None)
-    if clang_query and args.compile_commands and \
-            os.path.exists(args.compile_commands):
+    have_db = args.compile_commands and os.path.exists(args.compile_commands)
+    clang_query, _ = resolve_clang_query(args.clang_query)
+    if clang_query and have_db:
         findings += clang_query_findings(root, clang_query,
                                          args.compile_commands)
     elif args.require_clang_query:
-        print("lint: clang-query and/or compile_commands.json unavailable "
-              "but --require-clang-query was passed", file=sys.stderr)
+        reasons = [describe_clang_query_probe(args.clang_query)]
+        if not have_db:
+            reasons.append("compile database unavailable: "
+                           f"{args.compile_commands or '(not specified)'}")
+        print("lint: --require-clang-query was passed but the AST rules "
+              "cannot run:\n  " + "\n  ".join(reasons), file=sys.stderr)
         return 2
     else:
         print("lint: clang-query or compile database unavailable; "
               "AST rules skipped (textual rules still enforced)")
+
+    analyzer = resolve_analyzer(root, args.analyzer or
+                                ("auto" if args.require_analyzer else None))
+    if analyzer and have_db:
+        findings += analyzer_findings(root, analyzer, args.compile_commands)
+    elif args.require_analyzer:
+        reasons = []
+        if not analyzer:
+            reasons.append("rdftx-analyzer not found (searched PATH and "
+                           + ", ".join(ANALYZER_BUILD_PATHS) + ")"
+                           if (args.analyzer in (None, "auto"))
+                           else f"rdftx-analyzer not found at {args.analyzer}")
+        if not have_db:
+            reasons.append("compile database unavailable: "
+                           f"{args.compile_commands or '(not specified)'}")
+        print("lint: --require-analyzer was passed but rdftx-analyzer "
+              "cannot run:\n  " + "\n  ".join(reasons), file=sys.stderr)
+        return 2
+    elif args.analyzer:
+        print("lint: rdftx-analyzer or compile database unavailable; "
+              "analyzer checks skipped")
 
     if findings:
         print(f"lint: {len(findings)} finding(s):")
