@@ -60,6 +60,13 @@ struct ExecStats {
   uint64_t rows_scanned = 0;
   uint64_t join_output_rows = 0;
   uint64_t result_rows = 0;
+  /// Vectorized-mode physical join/sort choices actually taken: joins
+  /// executed as sort-merge over index-sorted runs, joins that fell back
+  /// to the columnar hash join, and explicit run sorts performed to
+  /// establish a merge order.
+  uint64_t merge_join_steps = 0;
+  uint64_t hash_join_steps = 0;
+  uint64_t sort_steps = 0;
   /// Store read-path counters (leaves visited/pruned, entries decoded,
   /// decoded-leaf cache hits/misses/evictions), accumulated over every
   /// pattern scan of the query. Race-free like the rest of ExecStats:

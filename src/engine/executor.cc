@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 
+#include "engine/vectorized.h"
 #include "mvbt/sync_join.h"
 #include "rdf/temporal_graph.h"
 
@@ -49,6 +50,9 @@ void MergeStats(const ExecStats& in, ExecStats* out) {
   out->rows_scanned += in.rows_scanned;
   out->join_output_rows += in.join_output_rows;
   out->result_rows += in.result_rows;
+  out->merge_join_steps += in.merge_join_steps;
+  out->hash_join_steps += in.hash_join_steps;
+  out->sort_steps += in.sort_steps;
   out->scan.MergeFrom(in.scan);
 }
 
@@ -240,7 +244,9 @@ Result<ResultSet> QueryEngine::Run([[maybe_unused]] const sparqlt::Query& query,
   const bool sync_joined =
       options_.join_algorithm == JoinAlgorithm::kSynchronized &&
       TrySynchronizedJoin(cq, &rows, &stats);
-  if (!sync_joined) {
+  if (!sync_joined && options_.exec_mode == ExecMode::kVectorized) {
+    rows = RunVectorized(cq, order, &stats);
+  } else if (!sync_joined) {
     const size_t n = order.size();
     // With a pool, all pattern scans are independent of the join chain
     // and run up front in parallel; the joins below then consume the
@@ -371,6 +377,109 @@ Result<ResultSet> QueryEngine::Run([[maybe_unused]] const sparqlt::Query& query,
     last_stats_ = stats;
   }
   return result;
+}
+
+std::vector<Row> QueryEngine::RunVectorized(const CompiledQuery& cq,
+                                            const std::vector<int>& order,
+                                            ExecStats* stats) const {
+  const size_t n = order.size();
+  const size_t num_vars = cq.vars.size();
+  if (n == 0) return {};
+
+  // Join planning mirror of what the loop below executes: for each step,
+  // the single key slot shared with the previously bound variables (the
+  // merge-join key), or -1 when the join takes the hash path (no shared
+  // slot means cross product; several shared slots need the composite
+  // hash key).
+  std::vector<int> join_slot(n, -1);
+  {
+    std::set<int> bound;
+    for (int s : KeySlots(cq.patterns[static_cast<size_t>(order[0])])) {
+      bound.insert(s);
+    }
+    for (size_t step = 1; step < n; ++step) {
+      const CompiledPattern& cp =
+          cq.patterns[static_cast<size_t>(order[step])];
+      std::vector<int> shared;
+      for (int s : KeySlots(cp)) {
+        if (bound.contains(s)) shared.push_back(s);
+      }
+      if (shared.size() == 1) join_slot[step] = shared[0];
+      for (int s : KeySlots(cp)) bound.insert(s);
+    }
+  }
+  // Scan-output orders to request: each merge join wants its right input
+  // sorted by the join slot, and the first scan wants the first join's
+  // slot so the merge chain can start without an explicit sort. The
+  // grouping sort inside VectorizedScan makes the requested order free.
+  std::vector<int> sort_req(n, -1);
+  for (size_t step = 1; step < n; ++step) sort_req[step] = join_slot[step];
+  if (n > 1) sort_req[0] = join_slot[1];
+
+  // Same prescan policy as the tuple pipeline: with a pool, all pattern
+  // scans run up front in parallel and the joins consume them in plan
+  // order; serially, scanning stays lazy so an empty intermediate result
+  // skips the remaining scans.
+  std::vector<BlockRun> scanned(n);
+  std::vector<ExecStats> scan_stats(n);
+  const bool prescanned = pool_ != nullptr && n > 1;
+  if (prescanned) {
+    util::ParallelFor(pool_.get(), n, [&](size_t step) {
+      VectorizedScan(*store_, cq.patterns[static_cast<size_t>(order[step])],
+                     num_vars, cq.vars, sort_req[step], &block_pool_,
+                     &scanned[step], &scan_stats[step]);
+    });
+    for (const ExecStats& s : scan_stats) MergeStats(s, stats);
+  }
+
+  // Re-sorting the accumulated side to enable a merge join pays off only
+  // while it is small; past this row count the hash join wins.
+  constexpr size_t kAccSortMax = size_t{1} << 15;
+
+  BlockRun acc;
+  std::set<int> bound_keys;
+  for (size_t step = 0; step < n; ++step) {
+    const CompiledPattern& cp = cq.patterns[static_cast<size_t>(order[step])];
+    if (!prescanned) {
+      VectorizedScan(*store_, cp, num_vars, cq.vars, sort_req[step],
+                     &block_pool_, &scanned[step], stats);
+    }
+    if (step == 0) {
+      acc = std::move(scanned[step]);
+    } else {
+      std::vector<int> shared;
+      for (int slot : KeySlots(cp)) {
+        if (bound_keys.contains(slot)) shared.push_back(slot);
+      }
+      bool merged = false;
+      if (shared.size() == 1) {
+        const int s = shared[0];
+        BlockRun& right = scanned[step];
+        if (right.sorted_by != s) {  // defensive; scans honor sort_req
+          right = SortRun(right, s, cq.vars, &block_pool_);
+          ++stats->sort_steps;
+        }
+        if (acc.sorted_by != s && acc.size() <= kAccSortMax) {
+          acc = SortRun(acc, s, cq.vars, &block_pool_);
+          ++stats->sort_steps;
+        }
+        if (acc.sorted_by == s) {
+          acc = MergeJoinRuns(acc, right, s, cq.vars, &block_pool_);
+          ++stats->merge_join_steps;
+          merged = true;
+        }
+      }
+      if (!merged) {
+        acc = HashJoinRuns(acc, scanned[step], shared, cq.vars,
+                           &block_pool_);
+        ++stats->hash_join_steps;
+      }
+      stats->join_output_rows += acc.size();
+    }
+    for (int slot : KeySlots(cp)) bound_keys.insert(slot);
+    if (acc.empty() && !prescanned) break;
+  }
+  return RunToRows(acc, cq.vars);
 }
 
 std::vector<Row> QueryEngine::EvalOptionalGroup(const CompiledOptional& opt,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/binding.h"
+#include "engine/block.h"
 #include "engine/operators.h"
 #include "engine/translate.h"
 #include "rdf/store_interface.h"
@@ -31,11 +32,22 @@ enum class JoinAlgorithm {
   kSynchronized,
 };
 
+/// How the pattern-scan/join pipeline moves bindings between operators.
+enum class ExecMode {
+  /// Batch-at-a-time: operators exchange columnar BindingBlocks, leaf
+  /// filtering runs over whole columns with util/simd.h masks, and joins
+  /// over index-sorted runs use sort-merge when the order is free.
+  kVectorized,
+  /// The original row-at-a-time pipeline (ScanToRows + HashJoinRows).
+  kTupleAtATime,
+};
+
 /// Engine configuration.
 struct EngineOptions {
   /// "now" for measuring live runs; 0 means "use store->last_time()".
   Chronon now = 0;
   JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+  ExecMode exec_mode = ExecMode::kVectorized;
   /// Worker threads for intra-query parallelism: independent pattern
   /// scans, UNION branches, OPTIONAL groups, and synchronized-join
   /// partitions. <= 1 keeps the serial pipeline (no pool is created).
@@ -103,6 +115,14 @@ class QueryEngine {
   bool TrySynchronizedJoin(const CompiledQuery& cq, std::vector<Row>* rows,
                            ExecStats* stats) const;
 
+  /// Vectorized scan + join chain (ExecMode::kVectorized): patterns scan
+  /// into sorted BlockRuns, single-shared-variable joins run as
+  /// sort-merge, the rest as columnar hash joins. Returns the joined
+  /// solutions as rows for the shared OPTIONAL/FILTER/projection tail.
+  std::vector<Row> RunVectorized(const CompiledQuery& cq,
+                                 const std::vector<int>& order,
+                                 ExecStats* stats) const;
+
   /// Evaluates one OPTIONAL group (scans + inner joins + group-local
   /// filters) independently of the main solutions.
   std::vector<Row> EvalOptionalGroup(const CompiledOptional& opt,
@@ -116,6 +136,9 @@ class QueryEngine {
   JoinOrderProvider join_order_provider_;
   /// Intra-query worker pool; null when options_.num_threads <= 1.
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Recycles vectorized-mode binding blocks across queries (internally
+  /// synchronized, so concurrent Execute calls share it safely).
+  mutable BlockPool block_pool_;
   mutable util::Mutex last_stats_mutex_ LEAF_MUTEX{
       "QueryEngine::last_stats_mutex_"};
   mutable ExecStats last_stats_ GUARDED_BY(last_stats_mutex_);

@@ -332,6 +332,14 @@ std::vector<Entry> LeafBlock::Decode() const {
   return entries;
 }
 
+void LeafBlock::DecodeColumnar(ColumnarEntries* out) const {
+  out->Reserve(out->size() + count_);
+  VisitWith([out](const Entry& e) {
+    out->PushBack(e);
+    return true;
+  });
+}
+
 namespace {
 
 void AccumulateZone(const Entry& e, LeafZoneMap* zm, bool* first) {

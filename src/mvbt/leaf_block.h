@@ -46,6 +46,58 @@ struct Entry {
   bool operator==(const Entry&) const = default;
 };
 
+/// Column-major image of a block's entries: one array per Key3
+/// component plus parallel start/end version arrays, all index-aligned.
+/// This is what the vectorized scan filters with util/simd.h masks and
+/// what the decoded-leaf cache stores, so repeated scans of a hot leaf
+/// stream straight out of columns with no per-entry reconstruction.
+struct ColumnarEntries {
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+  std::vector<uint64_t> c;
+  std::vector<Chronon> start;
+  std::vector<Chronon> end;
+
+  size_t size() const { return a.size(); }
+  bool empty() const { return a.empty(); }
+
+  void Clear() {
+    a.clear();
+    b.clear();
+    c.clear();
+    start.clear();
+    end.clear();
+  }
+
+  void Reserve(size_t n) {
+    a.reserve(n);
+    b.reserve(n);
+    c.reserve(n);
+    start.reserve(n);
+    end.reserve(n);
+  }
+
+  void PushBack(const Entry& e) {
+    a.push_back(e.key.a);
+    b.push_back(e.key.b);
+    c.push_back(e.key.c);
+    start.push_back(e.start);
+    end.push_back(e.end);
+  }
+
+  /// Row i reassembled; for boundary code, not the filter hot path.
+  Entry At(size_t i) const {
+    return Entry{Key3{a[i], b[i], c[i]}, start[i], end[i]};
+  }
+
+  /// True heap footprint (capacity, not size — vectors over-allocate),
+  /// the quantity the decoded-leaf LRU charges per cached leaf.
+  size_t MemoryBytes() const {
+    return (a.capacity() + b.capacity() + c.capacity()) * sizeof(uint64_t) +
+           (start.capacity() + end.capacity()) * sizeof(Chronon);
+  }
+};
+
 /// Statistics about a compressed block's encoding decisions, used by the
 /// compression ablation bench.
 struct CompressionStats {
@@ -227,6 +279,10 @@ class LeafBlock {
 
   /// Copies all entries out in append order.
   std::vector<Entry> Decode() const;
+
+  /// Appends all entries to `out` in append order, column-major. One
+  /// streaming pass for compressed blocks, a transpose for plain ones.
+  void DecodeColumnar(ColumnarEntries* out) const;
 
   /// Builds the per-leaf summary of the current entries. Meant to be
   /// taken when the owning leaf dies (the block is immutable after).

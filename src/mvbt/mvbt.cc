@@ -561,22 +561,42 @@ void Mvbt::CollectRegionLeaves(const KeyRange& range, const Interval& time,
   }
 }
 
-std::shared_ptr<const std::vector<Entry>> Mvbt::CachedEntries(
+std::shared_ptr<const ColumnarEntries> Mvbt::CachedEntries(
     const Node* n, ScanStats* stats) const {
   if (auto hit = leaf_cache_->Get(n)) {
     if (stats != nullptr) ++stats->cache_hits;
     return hit;
   }
-  std::vector<Entry> entries = n->block.Decode();
-  const size_t bytes = entries.size() * sizeof(Entry) + kCacheEntryOverhead;
+  ColumnarEntries cols;
+  n->block.DecodeColumnar(&cols);
+  // Charge the columnar image's true heap footprint (capacities, not a
+  // row-form size estimate) so the LRU budget is honest.
+  const size_t bytes = cols.MemoryBytes() + kCacheEntryOverhead;
   uint64_t evicted = 0;
-  auto inserted = leaf_cache_->Insert(n, std::move(entries), bytes, &evicted);
+  auto inserted = leaf_cache_->Insert(n, std::move(cols), bytes, &evicted);
   if (stats != nullptr) {
     ++stats->cache_misses;
     stats->entries_decoded += inserted->size();
     stats->cache_evictions += evicted;
   }
   return inserted;
+}
+
+const ColumnarEntries* Mvbt::LeafColumns(
+    const Node& n, ColumnarEntries* scratch,
+    std::shared_ptr<const ColumnarEntries>* keepalive,
+    ScanStats* stats) const {
+  if (stats != nullptr) ++stats->leaves_visited;
+  if (leaf_cache_ != nullptr && !n.alive() && n.block.compressed()) {
+    *keepalive = CachedEntries(&n, stats);
+    return keepalive->get();
+  }
+  scratch->Clear();
+  n.block.DecodeColumnar(scratch);
+  if (stats != nullptr && n.block.compressed()) {
+    stats->entries_decoded += scratch->size();
+  }
+  return scratch;
 }
 
 void Mvbt::QueryRange(

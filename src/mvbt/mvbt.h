@@ -236,6 +236,18 @@ class Mvbt {
                            std::vector<const Node*>* out, ScanStats* stats,
                            bool prune) const;
 
+  /// Columnar image of a leaf's entries for the vectorized scan
+  /// (engine/vectorized.cc). Dead compressed leaves come from the
+  /// decoded-leaf cache — `*keepalive` pins the cache entry and the
+  /// returned pointer aliases it; everything else is decoded into
+  /// `*scratch` (cleared first) and the pointer aliases that. Counters
+  /// (leaves_visited, entries_decoded, cache hits/misses) accumulate
+  /// into `stats` exactly as ScanLeaf would.
+  const ColumnarEntries* LeafColumns(
+      const Node& n, ColumnarEntries* scratch,
+      std::shared_ptr<const ColumnarEntries>* keepalive,
+      ScanStats* stats) const;
+
   // --- snapshot persistence hooks (storage/snapshot.cc) ---
 
   /// Stable node ids for snapshots: a node's id is its position in
@@ -333,10 +345,11 @@ class Mvbt {
   /// crafted snapshot; organic trees are acyclic by construction).
   Status CheckChildGraphAcyclic() const;
 
-  using LeafCache = util::ShardedLruCache<const Node*, std::vector<Entry>>;
+  using LeafCache = util::ShardedLruCache<const Node*, ColumnarEntries>;
 
-  /// Decoded entries of a dead compressed leaf, through the cache.
-  std::shared_ptr<const std::vector<Entry>> CachedEntries(
+  /// Decoded entries of a dead compressed leaf, through the cache, in
+  /// the columnar form the vectorized scan consumes directly.
+  std::shared_ptr<const ColumnarEntries> CachedEntries(
       const Node* n, ScanStats* stats) const;
 
   /// Feeds a leaf's entries to `fn` (stopping when it returns false),
@@ -347,9 +360,9 @@ class Mvbt {
   void ScanLeaf(const Node& n, ScanStats* stats, Fn&& fn) const {
     if (stats != nullptr) ++stats->leaves_visited;
     if (leaf_cache_ != nullptr && !n.alive() && n.block.compressed()) {
-      const auto entries = CachedEntries(&n, stats);
-      for (const Entry& e : *entries) {
-        if (!fn(e)) return;
+      const auto cols = CachedEntries(&n, stats);
+      for (size_t i = 0, sz = cols->size(); i < sz; ++i) {
+        if (!fn(cols->At(i))) return;
       }
       return;
     }

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/simd.h"
+
 namespace rdftx::mvbt {
 namespace {
 
@@ -13,25 +15,72 @@ using Node = Mvbt::Node;
 // Decoded-record cache: one decode per node regardless of how many node
 // pairs it participates in. Under a pool each worker owns its own cache
 // (a node spanning two partitions is decoded once per partition — the
-// price of lock-free caching).
+// price of lock-free caching). Records are kept columnar so the
+// per-pair region filters run as SIMD masks over whole columns.
 class RecordCache {
  public:
   explicit RecordCache(SyncJoinStats* stats) : stats_(stats) {}
 
-  const std::vector<Entry>& Get(const Node* node) {
+  const ColumnarEntries& Get(const Node* node) {
     auto it = cache_.find(node);
     if (it != cache_.end()) {
       if (stats_ != nullptr) ++stats_->cache_hits;
       return it->second;
     }
     if (stats_ != nullptr) ++stats_->cache_misses;
-    return cache_.emplace(node, node->block.Decode()).first->second;
+    ColumnarEntries cols;
+    node->block.DecodeColumnar(&cols);
+    return cache_.emplace(node, std::move(cols)).first->second;
   }
 
  private:
-  std::unordered_map<const Node*, std::vector<Entry>> cache_;
+  std::unordered_map<const Node*, ColumnarEntries> cache_;
   SyncJoinStats* stats_;
 };
+
+/// Reused per-worker buffers of the SIMD prefilter.
+struct JoinScratch {
+  std::vector<uint64_t> mask;
+  std::vector<uint32_t> sel_a, sel_b;
+};
+
+/// Writes into `sel` the indices of entries whose interval overlaps
+/// `time` and whose key lies in `range` (the checks the scalar join did
+/// per entry), filtering whole columns at a time; returns the count.
+size_t FilterEntries(const ColumnarEntries& cols, const KeyRange& range,
+                     const Interval& time, std::vector<uint64_t>* mask,
+                     std::vector<uint32_t>* sel) {
+  const size_t n = cols.size();
+  if (n == 0) return 0;
+  mask->resize(simd::MaskWords(n));
+  simd::OverlapMask(cols.start.data(), cols.end.data(), n, time.start,
+                    time.end, mask->data());
+  // Pattern ranges constrain each key component either to one exact id
+  // or not at all, so containment is a conjunction of per-column
+  // equalities; any other shape falls back to the lexicographic check.
+  bool prefix = true;
+  auto refine = [&](const std::vector<uint64_t>& col, uint64_t lo,
+                    uint64_t hi) {
+    if (lo == 0 && hi == UINT64_MAX) return;
+    if (lo == hi) {
+      simd::AndEqMask64(col.data(), n, lo, mask->data());
+      return;
+    }
+    prefix = false;
+  };
+  refine(cols.a, range.lo.a, range.hi.a);
+  refine(cols.b, range.lo.b, range.hi.b);
+  refine(cols.c, range.lo.c, range.hi.c);
+  if (!prefix) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!range.Contains(Key3{cols.a[i], cols.b[i], cols.c[i]})) {
+        (*mask)[i / 64] &= ~(1ull << (i % 64));
+      }
+    }
+  }
+  sel->resize(n);
+  return simd::MaskToSelection(mask->data(), n, sel->data());
+}
 
 struct SweepEvent {
   Chronon time;
@@ -134,37 +183,42 @@ void SynchronizedJoin(
   // under a pool it is the worker's buffer (flushed below in pair
   // order, so emission order matches the serial join exactly).
   auto join_pair = [&](const NodePair& pair, RecordCache* cache,
-                       SyncJoinStats* pair_stats,
+                       JoinScratch* scratch, SyncJoinStats* pair_stats,
                        const std::function<void(const Entry&, const Entry&,
                                                 const Interval&)>& sink) {
     if (pair_stats != nullptr) ++pair_stats->node_pairs;
-    const std::vector<Entry>& ea = cache->Get(pair.na);
-    const std::vector<Entry>& eb = cache->Get(pair.nb);
+    const ColumnarEntries& ca = cache->Get(pair.na);
+    const ColumnarEntries& cb = cache->Get(pair.nb);
+    // SIMD prefilter: region-qualifying entries of each side, as
+    // selection vectors over the columnar records.
+    const size_t ka =
+        FilterEntries(ca, ra, ta, &scratch->mask, &scratch->sel_a);
+    const size_t kb =
+        FilterEntries(cb, rb, tb, &scratch->mask, &scratch->sel_b);
+    if (ka == 0 || kb == 0) return;
     // Per-pair hash join on the join keys (build on the smaller side).
-    const bool build_a = ea.size() <= eb.size();
-    const std::vector<Entry>& build = build_a ? ea : eb;
-    const std::vector<Entry>& probe = build_a ? eb : ea;
-    const KeyRange& build_range = build_a ? ra : rb;
-    const Interval& build_time = build_a ? ta : tb;
-    const KeyRange& probe_range = build_a ? rb : ra;
-    const Interval& probe_time = build_a ? tb : ta;
+    const bool build_a = ka <= kb;
+    const ColumnarEntries& build = build_a ? ca : cb;
+    const ColumnarEntries& probe = build_a ? cb : ca;
+    const std::vector<uint32_t>& build_sel =
+        build_a ? scratch->sel_a : scratch->sel_b;
+    const std::vector<uint32_t>& probe_sel =
+        build_a ? scratch->sel_b : scratch->sel_a;
+    const size_t nb_ = build_a ? ka : kb;
+    const size_t np_ = build_a ? kb : ka;
     const auto& build_key = build_a ? spec.key_a : spec.key_b;
     const auto& probe_key = build_a ? spec.key_b : spec.key_a;
 
-    std::unordered_multimap<uint64_t, const Entry*> table;
-    table.reserve(build.size());
-    for (const Entry& e : build) {
-      if (build_range.Contains(e.key) && e.interval().Overlaps(build_time)) {
-        table.emplace(build_key(e), &e);
-      }
+    std::unordered_multimap<uint64_t, uint32_t> table;
+    table.reserve(nb_);
+    for (size_t i = 0; i < nb_; ++i) {
+      table.emplace(build_key(build.At(build_sel[i])), build_sel[i]);
     }
-    for (const Entry& e : probe) {
-      if (!probe_range.Contains(e.key) || !e.interval().Overlaps(probe_time)) {
-        continue;
-      }
+    for (size_t j = 0; j < np_; ++j) {
+      const Entry e = probe.At(probe_sel[j]);
       auto [lo, hi] = table.equal_range(probe_key(e));
       for (auto it = lo; it != hi; ++it) {
-        const Entry& other = *it->second;
+        const Entry other = build.At(it->second);
         // Each fragment lives in exactly one leaf, and fragment intervals
         // are contained in their leaf's lifespan, so every matching
         // fragment pair is produced by exactly one node pair: no dedup
@@ -185,8 +239,9 @@ void SynchronizedJoin(
   const size_t workers = pool == nullptr ? 0 : pool->num_threads();
   if (workers == 0 || pairs.size() <= 1) {
     RecordCache cache(stats);
+    JoinScratch scratch;
     for (const NodePair& pair : pairs) {
-      join_pair(pair, &cache, stats, emit);
+      join_pair(pair, &cache, &scratch, stats, emit);
     }
     return;
   }
@@ -203,13 +258,14 @@ void SynchronizedJoin(
     const size_t begin = p * per + std::min(p, extra);
     const size_t end = begin + per + (p < extra ? 1 : 0);
     RecordCache cache(&partition_stats[p]);
+    JoinScratch scratch;
     std::vector<Emission>& buffer = buffers[p];
     auto sink = [&buffer](const Entry& x, const Entry& y,
                           const Interval& iv) {
       buffer.push_back({x, y, iv});
     };
     for (size_t i = begin; i < end; ++i) {
-      join_pair(pairs[i], &cache, &partition_stats[p], sink);
+      join_pair(pairs[i], &cache, &scratch, &partition_stats[p], sink);
     }
   });
   for (size_t p = 0; p < partitions; ++p) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 
 namespace rdftx::optimizer {
 namespace {
@@ -33,6 +34,55 @@ bool Shares(const CompiledPattern& a, const CompiledPattern& b) {
 }
 
 }  // namespace
+
+std::vector<JoinStepAlgo> PlanJoinAlgos(const CompiledQuery& cq,
+                                        const std::vector<int>& order) {
+  const size_t n = order.size();
+  std::vector<JoinStepAlgo> algos(n, JoinStepAlgo::kScan);
+  if (n <= 1) return algos;
+
+  // The executor's merge keys: per step, the single key slot shared with
+  // the previously bound variables, or -1 for the hash path.
+  std::vector<int> join_slot(n, -1);
+  std::set<int> bound;
+  for (int s : KeySlots(cq.patterns[static_cast<size_t>(order[0])])) {
+    bound.insert(s);
+  }
+  for (size_t step = 1; step < n; ++step) {
+    const CompiledPattern& cp = cq.patterns[static_cast<size_t>(order[step])];
+    std::vector<int> shared;
+    for (int s : KeySlots(cp)) {
+      if (bound.contains(s)) shared.push_back(s);
+    }
+    if (shared.size() == 1) join_slot[step] = shared[0];
+    for (int s : KeySlots(cp)) bound.insert(s);
+  }
+
+  // Track the accumulated side's ordering through the chain. The first
+  // scan honors the first join's slot when it binds it; otherwise the
+  // scan hash-groups and its output carries no order.
+  auto scan_order = [](const CompiledPattern& cp, int req) {
+    if (req >= 0 &&
+        (cp.var_s == req || cp.var_p == req || cp.var_o == req)) {
+      return req;
+    }
+    return -1;
+  };
+  int acc_sorted =
+      scan_order(cq.patterns[static_cast<size_t>(order[0])], join_slot[1]);
+  for (size_t step = 1; step < n; ++step) {
+    if (join_slot[step] >= 0) {
+      const int s = join_slot[step];
+      algos[step] = acc_sorted == s ? JoinStepAlgo::kMerge
+                                    : JoinStepAlgo::kSortMerge;
+      acc_sorted = s;  // merge output stays sorted by the join slot
+    } else {
+      algos[step] = JoinStepAlgo::kHash;
+      acc_sorted = -1;  // hash output carries no order
+    }
+  }
+  return algos;
+}
 
 QueryOptimizer::QueryOptimizer(const CharSetCatalog* catalog,
                                const TemporalHistogram* histogram,

@@ -24,6 +24,25 @@ struct OptimizerOptions {
   size_t max_dp_patterns = 14;
 };
 
+/// Physical algorithm of one step of a left-deep vectorized plan.
+enum class JoinStepAlgo {
+  kScan,       // step 0: the driving pattern scan, no join
+  kMerge,      // sort-merge join; both input orders come for free
+  kSortMerge,  // merge join after an explicit sort of the accumulated side
+  kHash,       // columnar hash join (no single shared key variable)
+};
+
+/// Predicts, per step of `order`, the physical join the vectorized
+/// executor takes — mirroring QueryEngine::RunVectorized: a single
+/// shared key variable joins by sort-merge (kMerge when the accumulated
+/// side is already sorted by it, because the previous step's scan or
+/// join established that order for free; kSortMerge when it must be
+/// re-sorted first), anything else by hash. Step 0 is always kScan.
+/// The executor may still demote a kSortMerge to hash at runtime when
+/// the accumulated side turns out too large to re-sort profitably.
+std::vector<JoinStepAlgo> PlanJoinAlgos(const engine::CompiledQuery& cq,
+                                        const std::vector<int>& order);
+
 /// Cost-based join-order optimizer over a loaded graph's statistics.
 class QueryOptimizer {
  public:

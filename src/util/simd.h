@@ -1,0 +1,454 @@
+// Portable SIMD primitives of the vectorized execution layer: dense
+// bitmask filters over columnar data, selection-vector compaction, and
+// gathers. One backend is chosen at compile time —
+//
+//   AVX2   8 x u32 / 4 x u64 lanes (x86 with -mavx2 or -march=native)
+//   SSE2   4 x u32 lanes; u64 comparisons use the 32-bit-pair tricks
+//          that need nothing past the x86-64 baseline
+//   NEON   4 x u32 / 2 x u64 lanes (aarch64)
+//   scalar everywhere else
+//
+// — and every operation also exists as a scalar reference under
+// simd::scalar, which the unit tests compare the active backend against
+// on randomized inputs (including the non-multiple-of-lane-width tails).
+//
+// All filters produce little-endian bitmasks: bit (i % 64) of word
+// mask[i / 64] corresponds to row i. Masks compose with plain bitwise
+// AND, which is what the And* variants do in place, so a scan builds one
+// mask from several predicates and pays a single compaction pass at the
+// end (MaskToSelection). Tail bits at positions >= n are always written
+// as zero and never set by And* refinements.
+#ifndef RDFTX_UTIL_SIMD_H_
+#define RDFTX_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#define RDFTX_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define RDFTX_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define RDFTX_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace rdftx::simd {
+
+/// Active backend, for bench/report labelling.
+#if defined(RDFTX_SIMD_AVX2)
+inline constexpr const char* kBackend = "avx2";
+#elif defined(RDFTX_SIMD_SSE2)
+inline constexpr const char* kBackend = "sse2";
+#elif defined(RDFTX_SIMD_NEON)
+inline constexpr const char* kBackend = "neon";
+#else
+inline constexpr const char* kBackend = "scalar";
+#endif
+
+/// Number of 64-bit words a mask over `n` rows occupies.
+inline constexpr size_t MaskWords(size_t n) { return (n + 63) / 64; }
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations. Always compiled; the active backend
+// falls back to these for operations its ISA cannot express, and the
+// unit tests use them as the ground truth.
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+/// mask[i] = start[i] < qe && end[i] > qs && start[i] < end[i].
+/// The query interval [qs, qe) must be non-empty (callers check once);
+/// per-row empty intervals never match, mirroring Interval::Overlaps.
+inline void OverlapMask(const uint32_t* start, const uint32_t* end, size_t n,
+                        uint32_t qs, uint32_t qe, uint64_t* mask) {
+  for (size_t w = 0; w < MaskWords(n); ++w) mask[w] = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool hit = start[i] < qe && end[i] > qs && start[i] < end[i];
+    mask[i / 64] |= static_cast<uint64_t>(hit) << (i % 64);
+  }
+}
+
+/// mask &= (col[i] == c).
+inline void AndEqMask64(const uint64_t* col, size_t n, uint64_t c,
+                        uint64_t* mask) {
+  for (size_t i = 0; i < n; ++i) {
+    if (col[i] != c) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+/// mask &= (x[i] == y[i]) — repeated-variable consistency.
+inline void AndColEqMask64(const uint64_t* x, const uint64_t* y, size_t n,
+                           uint64_t* mask) {
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] != y[i]) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+/// mask &= (lo <= col[i] && col[i] <= hi), unsigned.
+inline void AndRangeMask64(const uint64_t* col, size_t n, uint64_t lo,
+                           uint64_t hi, uint64_t* mask) {
+  for (size_t i = 0; i < n; ++i) {
+    if (col[i] < lo || col[i] > hi) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+/// Compacts a bitmask into a selection vector of row indices; returns
+/// the number of selected rows. `sel` must have room for n entries.
+inline size_t MaskToSelection(const uint64_t* mask, size_t n, uint32_t* sel) {
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i / 64] & (1ull << (i % 64))) {
+      sel[out++] = static_cast<uint32_t>(i);
+    }
+  }
+  return out;
+}
+
+/// dst[i] = src[sel[i]].
+inline void Gather64(const uint64_t* src, const uint32_t* sel, size_t n,
+                     uint64_t* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = src[sel[i]];
+}
+
+inline void Gather32(const uint32_t* src, const uint32_t* sel, size_t n,
+                     uint32_t* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = src[sel[i]];
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Active backend.
+// ---------------------------------------------------------------------------
+
+#if defined(RDFTX_SIMD_AVX2)
+
+namespace detail {
+/// Unsigned 32-bit a < b per lane: flip the sign bit, signed compare.
+inline __m256i CmpLtU32(__m256i a, __m256i b) {
+  const __m256i flip = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm256_cmpgt_epi32(_mm256_xor_si256(b, flip),
+                            _mm256_xor_si256(a, flip));
+}
+/// Unsigned 64-bit a < b per lane.
+inline __m256i CmpLtU64(__m256i a, __m256i b) {
+  const __m256i flip = _mm256_set1_epi64x(static_cast<int64_t>(1) << 63);
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, flip),
+                            _mm256_xor_si256(a, flip));
+}
+}  // namespace detail
+
+inline void OverlapMask(const uint32_t* start, const uint32_t* end, size_t n,
+                        uint32_t qs, uint32_t qe, uint64_t* mask) {
+  for (size_t w = 0; w < MaskWords(n); ++w) mask[w] = 0;
+  const __m256i vqs = _mm256_set1_epi32(static_cast<int>(qs));
+  const __m256i vqe = _mm256_set1_epi32(static_cast<int>(qe));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i s = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(start + i));
+    const __m256i e =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(end + i));
+    __m256i hit = _mm256_and_si256(detail::CmpLtU32(s, vqe),
+                                   detail::CmpLtU32(vqs, e));
+    hit = _mm256_and_si256(hit, detail::CmpLtU32(s, e));
+    // One bit per 32-bit lane: movemask over the lane sign bits.
+    const uint32_t bits = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(hit)));
+    mask[i / 64] |= static_cast<uint64_t>(bits) << (i % 64);
+  }
+  for (; i < n; ++i) {
+    const bool hit = start[i] < qe && end[i] > qs && start[i] < end[i];
+    mask[i / 64] |= static_cast<uint64_t>(hit) << (i % 64);
+  }
+}
+
+inline void AndEqMask64(const uint64_t* col, size_t n, uint64_t c,
+                        uint64_t* mask) {
+  const __m256i vc = _mm256_set1_epi64x(static_cast<int64_t>(c));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+    const __m256i eq = _mm256_cmpeq_epi64(v, vc);
+    const uint32_t bits = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+    mask[i / 64] &= ~(static_cast<uint64_t>(0xF ^ bits) << (i % 64));
+  }
+  for (; i < n; ++i) {
+    if (col[i] != c) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+inline void AndColEqMask64(const uint64_t* x, const uint64_t* y, size_t n,
+                           uint64_t* mask) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vy =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i eq = _mm256_cmpeq_epi64(vx, vy);
+    const uint32_t bits = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+    mask[i / 64] &= ~(static_cast<uint64_t>(0xF ^ bits) << (i % 64));
+  }
+  for (; i < n; ++i) {
+    if (x[i] != y[i]) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+inline void AndRangeMask64(const uint64_t* col, size_t n, uint64_t lo,
+                           uint64_t hi, uint64_t* mask) {
+  const __m256i vlo = _mm256_set1_epi64x(static_cast<int64_t>(lo));
+  const __m256i vhi = _mm256_set1_epi64x(static_cast<int64_t>(hi));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+    // in = !(v < lo) && !(hi < v)
+    const __m256i below = detail::CmpLtU64(v, vlo);
+    const __m256i above = detail::CmpLtU64(vhi, v);
+    const __m256i out = _mm256_or_si256(below, above);
+    const uint32_t bits = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(out)));
+    mask[i / 64] &= ~(static_cast<uint64_t>(bits) << (i % 64));
+  }
+  for (; i < n; ++i) {
+    if (col[i] < lo || col[i] > hi) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+inline void Gather64(const uint64_t* src, const uint32_t* sel, size_t n,
+                     uint64_t* dst) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    const __m256i v = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(src), idx, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = src[sel[i]];
+}
+
+inline void Gather32(const uint32_t* src, const uint32_t* sel, size_t n,
+                     uint32_t* dst) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const __m256i v = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(src), idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = src[sel[i]];
+}
+
+#elif defined(RDFTX_SIMD_SSE2)
+
+namespace detail {
+inline __m128i CmpLtU32(__m128i a, __m128i b) {
+  const __m128i flip = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm_cmpgt_epi32(_mm_xor_si128(b, flip), _mm_xor_si128(a, flip));
+}
+/// 64-bit lane equality out of 32-bit compares: both halves must match.
+inline __m128i CmpEq64(__m128i a, __m128i b) {
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(eq32,
+                       _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+}  // namespace detail
+
+inline void OverlapMask(const uint32_t* start, const uint32_t* end, size_t n,
+                        uint32_t qs, uint32_t qe, uint64_t* mask) {
+  for (size_t w = 0; w < MaskWords(n); ++w) mask[w] = 0;
+  const __m128i vqs = _mm_set1_epi32(static_cast<int>(qs));
+  const __m128i vqe = _mm_set1_epi32(static_cast<int>(qe));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(start + i));
+    const __m128i e =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(end + i));
+    __m128i hit =
+        _mm_and_si128(detail::CmpLtU32(s, vqe), detail::CmpLtU32(vqs, e));
+    hit = _mm_and_si128(hit, detail::CmpLtU32(s, e));
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(hit)));
+    mask[i / 64] |= static_cast<uint64_t>(bits) << (i % 64);
+  }
+  for (; i < n; ++i) {
+    const bool hit = start[i] < qe && end[i] > qs && start[i] < end[i];
+    mask[i / 64] |= static_cast<uint64_t>(hit) << (i % 64);
+  }
+}
+
+inline void AndEqMask64(const uint64_t* col, size_t n, uint64_t c,
+                        uint64_t* mask) {
+  const __m128i vc = _mm_set1_epi64x(static_cast<int64_t>(c));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + i));
+    const __m128i eq = detail::CmpEq64(v, vc);
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(eq)));
+    mask[i / 64] &= ~(static_cast<uint64_t>(0x3 ^ bits) << (i % 64));
+  }
+  for (; i < n; ++i) {
+    if (col[i] != c) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+inline void AndColEqMask64(const uint64_t* x, const uint64_t* y, size_t n,
+                           uint64_t* mask) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i vx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m128i vy =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + i));
+    const __m128i eq = detail::CmpEq64(vx, vy);
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(eq)));
+    mask[i / 64] &= ~(static_cast<uint64_t>(0x3 ^ bits) << (i % 64));
+  }
+  for (; i < n; ++i) {
+    if (x[i] != y[i]) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+/// SSE2 has no 64-bit unsigned compare; the scalar loop is already fast
+/// for the boundary-leaf columns this is used on.
+inline void AndRangeMask64(const uint64_t* col, size_t n, uint64_t lo,
+                           uint64_t hi, uint64_t* mask) {
+  scalar::AndRangeMask64(col, n, lo, hi, mask);
+}
+
+inline void Gather64(const uint64_t* src, const uint32_t* sel, size_t n,
+                     uint64_t* dst) {
+  scalar::Gather64(src, sel, n, dst);
+}
+
+inline void Gather32(const uint32_t* src, const uint32_t* sel, size_t n,
+                     uint32_t* dst) {
+  scalar::Gather32(src, sel, n, dst);
+}
+
+#elif defined(RDFTX_SIMD_NEON)
+
+inline void OverlapMask(const uint32_t* start, const uint32_t* end, size_t n,
+                        uint32_t qs, uint32_t qe, uint64_t* mask) {
+  for (size_t w = 0; w < MaskWords(n); ++w) mask[w] = 0;
+  const uint32x4_t vqs = vdupq_n_u32(qs);
+  const uint32x4_t vqe = vdupq_n_u32(qe);
+  // Per-lane bit weights turn a lane mask into a movemask.
+  const uint32x4_t weights = {1u, 2u, 4u, 8u};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t s = vld1q_u32(start + i);
+    const uint32x4_t e = vld1q_u32(end + i);
+    uint32x4_t hit = vandq_u32(vcltq_u32(s, vqe), vcltq_u32(vqs, e));
+    hit = vandq_u32(hit, vcltq_u32(s, e));
+    const uint32_t bits = vaddvq_u32(vandq_u32(hit, weights));
+    mask[i / 64] |= static_cast<uint64_t>(bits) << (i % 64);
+  }
+  for (; i < n; ++i) {
+    const bool hit = start[i] < qe && end[i] > qs && start[i] < end[i];
+    mask[i / 64] |= static_cast<uint64_t>(hit) << (i % 64);
+  }
+}
+
+inline void AndEqMask64(const uint64_t* col, size_t n, uint64_t c,
+                        uint64_t* mask) {
+  const uint64x2_t vc = vdupq_n_u64(c);
+  const uint64x2_t weights = {1u, 2u};
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(col + i);
+    const uint64x2_t eq = vceqq_u64(v, vc);
+    const uint64_t bits = vaddvq_u64(vandq_u64(eq, weights));
+    mask[i / 64] &= ~((0x3ull ^ bits) << (i % 64));
+  }
+  for (; i < n; ++i) {
+    if (col[i] != c) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+inline void AndColEqMask64(const uint64_t* x, const uint64_t* y, size_t n,
+                           uint64_t* mask) {
+  const uint64x2_t weights = {1u, 2u};
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(x + i), vld1q_u64(y + i));
+    const uint64_t bits = vaddvq_u64(vandq_u64(eq, weights));
+    mask[i / 64] &= ~((0x3ull ^ bits) << (i % 64));
+  }
+  for (; i < n; ++i) {
+    if (x[i] != y[i]) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+inline void AndRangeMask64(const uint64_t* col, size_t n, uint64_t lo,
+                           uint64_t hi, uint64_t* mask) {
+  const uint64x2_t vlo = vdupq_n_u64(lo);
+  const uint64x2_t vhi = vdupq_n_u64(hi);
+  const uint64x2_t weights = {1u, 2u};
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(col + i);
+    const uint64x2_t in = vandq_u64(vcgeq_u64(v, vlo), vcleq_u64(v, vhi));
+    const uint64_t bits = vaddvq_u64(vandq_u64(in, weights));
+    mask[i / 64] &= ~((0x3ull ^ bits) << (i % 64));
+  }
+  for (; i < n; ++i) {
+    if (col[i] < lo || col[i] > hi) mask[i / 64] &= ~(1ull << (i % 64));
+  }
+}
+
+inline void Gather64(const uint64_t* src, const uint32_t* sel, size_t n,
+                     uint64_t* dst) {
+  scalar::Gather64(src, sel, n, dst);
+}
+
+inline void Gather32(const uint32_t* src, const uint32_t* sel, size_t n,
+                     uint32_t* dst) {
+  scalar::Gather32(src, sel, n, dst);
+}
+
+#else
+
+using scalar::AndColEqMask64;
+using scalar::AndEqMask64;
+using scalar::AndRangeMask64;
+using scalar::Gather32;
+using scalar::Gather64;
+using scalar::OverlapMask;
+
+#endif
+
+/// Selection-vector compaction from a bitmask. Word-at-a-time bit
+/// iteration (ctz) beats a per-row branch on every backend, so the one
+/// implementation serves them all.
+inline size_t MaskToSelection(const uint64_t* mask, size_t n, uint32_t* sel) {
+  size_t out = 0;
+  const size_t words = MaskWords(n);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t m = mask[w];
+    const uint32_t base = static_cast<uint32_t>(w * 64);
+    while (m != 0) {
+      const uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(m));
+      sel[out++] = base + bit;
+      m &= m - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace rdftx::simd
+
+#endif  // RDFTX_UTIL_SIMD_H_

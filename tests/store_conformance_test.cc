@@ -143,24 +143,37 @@ class StoreConformanceTest
 };
 
 TEST_P(StoreConformanceTest, EngineAgreesWithNaiveOracle) {
-  engine::QueryEngine oracle(&naive_, &dict_);
+  // The reference answers come from the tuple-at-a-time oracle; every
+  // other (store, exec mode) combination must match it, so the
+  // vectorized pipeline is conformance-checked against the row pipeline
+  // on the same workloads.
+  engine::EngineOptions tuple_opts;
+  tuple_opts.exec_mode = engine::ExecMode::kTupleAtATime;
+  engine::QueryEngine oracle(&naive_, &dict_, tuple_opts);
+  engine::QueryEngine oracle_vec(&naive_, &dict_);
   engine::QueryEngine mvbt(graph_.get(), &dict_);
+  engine::QueryEngine mvbt_tuple(graph_.get(), &dict_, tuple_opts);
   engine::QueryEngine restored(loaded_.get(), &loaded_dict_);
   int nonempty = 0;
   for (const std::string& q : Workload(/*seed=*/101)) {
     auto want = oracle.Execute(q);
     ASSERT_TRUE(want.ok()) << q << "\n" << want.status().ToString();
-    auto got = mvbt.Execute(q);
-    ASSERT_TRUE(got.ok()) << q << "\n" << got.status().ToString();
-    auto after_load = restored.Execute(q);
-    ASSERT_TRUE(after_load.ok()) << q << "\n"
-                                 << after_load.status().ToString();
     const std::string expect = SortedFingerprint(*want);
-    EXPECT_EQ(SortedFingerprint(*got), expect) << "pre-save divergence on\n"
-                                               << q;
-    EXPECT_EQ(SortedFingerprint(*after_load), expect)
-        << "post-load divergence on\n"
-        << q;
+    struct Check {
+      const char* what;
+      engine::QueryEngine* eng;
+    };
+    for (const Check& c :
+         {Check{"vectorized oracle", &oracle_vec},
+          Check{"vectorized mvbt", &mvbt},
+          Check{"tuple mvbt", &mvbt_tuple},
+          Check{"post-load vectorized mvbt", &restored}}) {
+      auto got = c.eng->Execute(q);
+      ASSERT_TRUE(got.ok()) << q << "\n" << got.status().ToString();
+      EXPECT_EQ(SortedFingerprint(*got), expect)
+          << c.what << " divergence on\n"
+          << q;
+    }
     if (!want->rows.empty()) ++nonempty;
   }
   // Queries are sampled from dataset facts; if most come back empty the

@@ -1,0 +1,489 @@
+// Unit tests of the vectorized execution layer: BindingBlock time
+// encoding, BlockPool/BlockHandle RAII, columnar leaf decode, the
+// sorted-run operators (sort, merge join, hash join) against the tuple
+// operators on randomized inputs, VectorizedScan against ScanToRows on
+// random graphs, and the executor's exec-mode switch with the
+// optimizer's join-algorithm predictions.
+#include "engine/vectorized.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/block.h"
+#include "engine/executor.h"
+#include "engine/operators.h"
+#include "mvbt/leaf_block.h"
+#include "optimizer/optimizer.h"
+#include "rdf/temporal_graph.h"
+#include "util/rng.h"
+
+namespace rdftx::engine {
+namespace {
+
+// --- BindingBlock encoding ---
+
+TEST(BindingBlockTest, TimeEncodingRoundTrips) {
+  BlockPool pool;
+  BlockHandle h = pool.Acquire(2);
+  const size_t r0 = h->AppendRow();
+  const size_t r1 = h->AppendRow();
+  const size_t r2 = h->AppendRow();
+
+  // Single run: inline, no side table.
+  h->SetTimeRun(1, r0, 10, 20);
+  EXPECT_TRUE(h->TimeIsSingleRun(1, r0));
+  EXPECT_FALSE(h->TimeEmpty(1, r0));
+  EXPECT_EQ(h->TimeAt(1, r0), TemporalSet(Interval(10, 20)));
+
+  // Multi-run: spills, inline columns keep the hull.
+  TemporalSet multi = TemporalSet::FromIntervals({{5, 8}, {12, 30}});
+  h->SetTime(1, r1, multi);
+  EXPECT_FALSE(h->TimeIsSingleRun(1, r1));
+  EXPECT_EQ(h->TimeAt(1, r1), multi);
+  EXPECT_EQ(h->start_col(1)[r1], 5u);
+  EXPECT_EQ(h->end_col(1)[r1], 30u);
+
+  // Empty set and untouched rows read as unbound.
+  h->SetTime(1, r2, TemporalSet());
+  EXPECT_TRUE(h->TimeEmpty(1, r2));
+  EXPECT_TRUE(h->TimeAt(1, r2).empty());
+
+  // A single-run set routed through SetTime stays inline.
+  const size_t r3 = h->AppendRow();
+  h->SetTime(1, r3, TemporalSet(Interval(3, 4)));
+  EXPECT_TRUE(h->TimeIsSingleRun(1, r3));
+  EXPECT_EQ(h->TimeAt(1, r3), TemporalSet(Interval(3, 4)));
+}
+
+TEST(BindingBlockTest, PoolRecyclesThroughHandles) {
+  BlockPool pool;
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  {
+    BlockHandle a = pool.Acquire(3);
+    BlockHandle b = pool.Acquire(1);
+    EXPECT_EQ(a->num_vars(), 3u);
+    EXPECT_EQ(b->num_vars(), 1u);
+    // Moving transfers ownership; the source releases nothing twice.
+    BlockHandle c = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(c));
+    EXPECT_EQ(pool.free_blocks(), 0u);
+  }
+  EXPECT_EQ(pool.free_blocks(), 2u);
+  // Reacquiring reuses a pooled block, reset to the new column count.
+  BlockHandle d = pool.Acquire(5);
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  EXPECT_EQ(d->num_vars(), 5u);
+  EXPECT_EQ(d->size(), 0u);
+  EXPECT_EQ(d->term_col(4)[BindingBlock::kCapacity - 1], kInvalidTerm);
+}
+
+TEST(BindingBlockTest, RunAppendSpansBlocks) {
+  BlockPool pool;
+  BlockRun run;
+  const size_t total = BindingBlock::kCapacity + 5;
+  for (size_t i = 0; i < total; ++i) {
+    auto [blk, r] = run.Append(&pool, 1);
+    blk->term_col(0)[r] = i + 1;
+  }
+  EXPECT_EQ(run.blocks.size(), 2u);
+  EXPECT_EQ(run.size(), total);
+  for (size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(run.term(i, 0), i + 1);
+  }
+}
+
+// --- columnar leaf decode ---
+
+TEST(ColumnarEntriesTest, DecodeColumnarMatchesDecode) {
+  Rng rng(77);
+  for (bool compress : {false, true}) {
+    mvbt::LeafBlock block;
+    std::vector<mvbt::Entry> entries;
+    for (int i = 0; i < 200; ++i) {
+      const Chronon s = static_cast<Chronon>(rng.Uniform(1000));
+      mvbt::Entry e{{rng.Uniform(50) + 1, rng.Uniform(20) + 1,
+                     rng.Uniform(100) + 1},
+                    s, s + 1 + static_cast<Chronon>(rng.Uniform(500))};
+      block.Append(e);
+      entries.push_back(e);
+    }
+    if (compress) block.Compress();
+    mvbt::ColumnarEntries cols;
+    block.DecodeColumnar(&cols);
+    ASSERT_EQ(cols.size(), entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(cols.At(i), entries[i]) << "entry " << i;
+    }
+    EXPECT_GE(cols.MemoryBytes(), entries.size() * (3 * 8 + 2 * 4));
+  }
+}
+
+// --- run operators vs tuple operators ---
+
+std::vector<VarInfo> MakeVars(int keys, bool with_time) {
+  std::vector<VarInfo> vars;
+  for (int i = 0; i < keys; ++i) {
+    vars.push_back({"v" + std::to_string(i), false, false});
+  }
+  if (with_time) vars.push_back({"t", true, false});
+  return vars;
+}
+
+Row RandomRow(size_t num_vars, const std::vector<VarInfo>& vars, Rng* rng) {
+  Row row(num_vars);
+  for (size_t v = 0; v < num_vars; ++v) {
+    if (vars[v].is_time) {
+      if (rng->Uniform(4) == 0) continue;  // sometimes unbound
+      std::vector<Interval> ivs;
+      const int runs = 1 + static_cast<int>(rng->Uniform(3));
+      for (int k = 0; k < runs; ++k) {
+        const Chronon s = static_cast<Chronon>(rng->Uniform(300));
+        ivs.push_back({s, s + 1 + static_cast<Chronon>(rng->Uniform(60))});
+      }
+      row.times[v] = TemporalSet::FromIntervals(std::move(ivs));
+    } else {
+      // Small domain so join keys collide often.
+      row.terms[v] = rng->Uniform(8) + 1;
+    }
+  }
+  return row;
+}
+
+std::string RowKey(const Row& row, const std::vector<VarInfo>& vars) {
+  std::string key;
+  for (size_t v = 0; v < vars.size(); ++v) {
+    if (vars[v].is_time) {
+      key += 'T';
+      for (const Interval& run : row.times[v].runs()) {
+        key += std::to_string(run.start) + "," + std::to_string(run.end) + ";";
+      }
+    } else {
+      key += 'K' + std::to_string(row.terms[v]);
+    }
+    key += '\x1F';
+  }
+  return key;
+}
+
+std::vector<std::string> SortedKeys(const std::vector<Row>& rows,
+                                    const std::vector<VarInfo>& vars) {
+  std::vector<std::string> keys;
+  keys.reserve(rows.size());
+  for (const Row& row : rows) keys.push_back(RowKey(row, vars));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(RunOperatorsTest, SortRunOrdersBySlotAndKeepsRows) {
+  Rng rng(91);
+  const std::vector<VarInfo> vars = MakeVars(2, true);
+  BlockPool pool;
+  std::vector<Row> rows;
+  for (int i = 0; i < 2500; ++i) rows.push_back(RandomRow(3, vars, &rng));
+  BlockRun run;
+  AppendRowsToRun(rows, vars, &pool, &run);
+  ASSERT_EQ(run.size(), rows.size());
+
+  BlockRun sorted = SortRun(run, 1, vars, &pool);
+  EXPECT_EQ(sorted.sorted_by, 1);
+  ASSERT_EQ(sorted.size(), rows.size());
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted.term(i - 1, 1), sorted.term(i, 1));
+  }
+  EXPECT_EQ(SortedKeys(RunToRows(sorted, vars), vars),
+            SortedKeys(rows, vars));
+}
+
+TEST(RunOperatorsTest, MergeAndHashJoinsMatchTupleHashJoin) {
+  const std::vector<VarInfo> vars = MakeVars(3, true);
+  BlockPool pool;
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    Rng rng(seed);
+    // Left binds slots {0,1,t}, right binds {1,2,t}: shared key slot 1,
+    // shared temporal slot 3.
+    std::vector<Row> left, right;
+    for (int i = 0; i < 400; ++i) {
+      Row row = RandomRow(4, vars, &rng);
+      row.terms[2] = kInvalidTerm;
+      left.push_back(std::move(row));
+    }
+    for (int i = 0; i < 300; ++i) {
+      Row row = RandomRow(4, vars, &rng);
+      row.terms[0] = kInvalidTerm;
+      right.push_back(std::move(row));
+    }
+    const std::vector<int> shared = {1};
+    const std::vector<std::string> want =
+        SortedKeys(HashJoinRows(left, right, shared), vars);
+
+    BlockRun lrun, rrun;
+    AppendRowsToRun(left, vars, &pool, &lrun);
+    AppendRowsToRun(right, vars, &pool, &rrun);
+
+    BlockRun lsorted = SortRun(lrun, 1, vars, &pool);
+    BlockRun rsorted = SortRun(rrun, 1, vars, &pool);
+    BlockRun merged = MergeJoinRuns(lsorted, rsorted, 1, vars, &pool);
+    EXPECT_EQ(merged.sorted_by, 1);
+    EXPECT_EQ(SortedKeys(RunToRows(merged, vars), vars), want)
+        << "merge join, seed " << seed;
+    for (size_t i = 1; i < merged.size(); ++i) {
+      EXPECT_LE(merged.term(i - 1, 1), merged.term(i, 1));
+    }
+
+    BlockRun hashed = HashJoinRuns(lrun, rrun, shared, vars, &pool);
+    EXPECT_EQ(SortedKeys(RunToRows(hashed, vars), vars), want)
+        << "hash join, seed " << seed;
+  }
+}
+
+TEST(RunOperatorsTest, HashJoinRunsCrossProductOnNoSharedSlots) {
+  const std::vector<VarInfo> vars = MakeVars(2, true);
+  BlockPool pool;
+  Rng rng(31);
+  std::vector<Row> left, right;
+  for (int i = 0; i < 40; ++i) {
+    Row row = RandomRow(3, vars, &rng);
+    row.terms[1] = kInvalidTerm;
+    left.push_back(std::move(row));
+  }
+  for (int i = 0; i < 30; ++i) {
+    Row row = RandomRow(3, vars, &rng);
+    row.terms[0] = kInvalidTerm;
+    right.push_back(std::move(row));
+  }
+  const std::vector<int> none;
+  BlockRun lrun, rrun;
+  AppendRowsToRun(left, vars, &pool, &lrun);
+  AppendRowsToRun(right, vars, &pool, &rrun);
+  BlockRun out = HashJoinRuns(lrun, rrun, none, vars, &pool);
+  EXPECT_EQ(SortedKeys(RunToRows(out, vars), vars),
+            SortedKeys(HashJoinRows(left, right, none), vars));
+}
+
+// --- vectorized scan vs tuple scan ---
+
+class VectorizedScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(555);
+    // Small domains force repeated triples (multi-fragment histories)
+    // and every pattern shape to match something; small blocks force a
+    // deep compressed forest, so the scan runs through the SIMD path
+    // over many leaves.
+    std::vector<TemporalTriple> data;
+    for (int i = 0; i < 3000; ++i) {
+      Triple t{rng.Uniform(40) + 1, rng.Uniform(8) + 1, rng.Uniform(60) + 1};
+      const Chronon s = static_cast<Chronon>(rng.Uniform(2000));
+      data.push_back({t, {s, s + 1 + static_cast<Chronon>(rng.Uniform(400))}});
+    }
+    ASSERT_TRUE(graph_
+                    .Load(data)
+                    .ok());
+    data_ = std::move(data);
+  }
+
+  TemporalGraph graph_{TemporalGraphOptions{.block_capacity = 64,
+                                            .compress_leaves = true}};
+  std::vector<TemporalTriple> data_;
+};
+
+TEST_F(VectorizedScanTest, MatchesScanToRowsOnAllPatternShapes) {
+  Rng rng(556);
+  BlockPool pool;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t mask = 0; mask < 8; ++mask) {
+      const TemporalTriple& tt = data_[rng.Uniform(data_.size())];
+      CompiledPattern cp;
+      int slot = 0;
+      if (mask & 1) {
+        cp.spec.s = tt.triple.s;
+      } else {
+        cp.var_s = slot++;
+      }
+      if (mask & 2) {
+        cp.spec.p = tt.triple.p;
+      } else {
+        cp.var_p = slot++;
+      }
+      if (mask & 4) {
+        cp.spec.o = tt.triple.o;
+      } else {
+        cp.var_o = slot++;
+      }
+      cp.var_t = slot++;
+      const Chronon qs = static_cast<Chronon>(rng.Uniform(2000));
+      cp.spec.time = {qs, qs + 1 + static_cast<Chronon>(rng.Uniform(600))};
+      const size_t num_vars = static_cast<size_t>(slot);
+      std::vector<VarInfo> vars;
+      for (int v = 0; v + 1 < slot; ++v) {
+        vars.push_back({"k" + std::to_string(v), false, false});
+      }
+      vars.push_back({"t", true, false});
+
+      std::vector<Row> want;
+      ScanToRows(graph_, cp, num_vars, vars, &want);
+
+      ExecStats stats;
+      BlockRun run;
+      VectorizedScan(graph_, cp, num_vars, vars, /*sort_slot=*/-1, &pool,
+                     &run, &stats);
+      EXPECT_EQ(SortedKeys(RunToRows(run, vars), vars),
+                SortedKeys(want, vars))
+          << "mask " << mask;
+      EXPECT_EQ(stats.rows_scanned, want.size());
+      EXPECT_EQ(stats.patterns_scanned, 1u);
+
+      // A requested ordering on a bound key slot is honored.
+      if (cp.var_o >= 0) {
+        BlockRun sorted_run;
+        VectorizedScan(graph_, cp, num_vars, vars, cp.var_o, &pool,
+                       &sorted_run, nullptr);
+        EXPECT_EQ(sorted_run.sorted_by, cp.var_o);
+        for (size_t i = 1; i < sorted_run.size(); ++i) {
+          EXPECT_LE(sorted_run.term(i - 1, cp.var_o),
+                    sorted_run.term(i, cp.var_o));
+        }
+        EXPECT_EQ(sorted_run.size(), want.size());
+      }
+    }
+  }
+}
+
+TEST_F(VectorizedScanTest, RepeatedVariableSlotsFilterEquality) {
+  // {?x ?p ?x}: subject must equal object.
+  CompiledPattern cp;
+  cp.var_s = 0;
+  cp.var_p = 1;
+  cp.var_o = 0;
+  cp.spec.time = Interval::All();
+  const std::vector<VarInfo> vars = {{"x", false, false},
+                                     {"p", false, false}};
+  std::vector<Row> want;
+  ScanToRows(graph_, cp, 2, vars, &want);
+  BlockPool pool;
+  BlockRun run;
+  VectorizedScan(graph_, cp, 2, vars, -1, &pool, &run, nullptr);
+  EXPECT_EQ(SortedKeys(RunToRows(run, vars), vars), SortedKeys(want, vars));
+}
+
+// --- executor mode switch + optimizer prediction ---
+
+TEST(ExecModeTest, ModesAgreeAndMergeJoinIsChosenAndCounted) {
+  Dictionary dict;
+  auto id = [&](const std::string& s) { return dict.Intern(s); };
+  std::vector<TemporalTriple> data;
+  Rng rng(808);
+  const TermId works_at = id("works_at");
+  const TermId lives_in = id("lives_in");
+  for (int i = 0; i < 500; ++i) {
+    const TermId person = id("person" + std::to_string(rng.Uniform(60)));
+    const Chronon s = static_cast<Chronon>(rng.Uniform(1000));
+    const Interval iv{s, s + 1 + static_cast<Chronon>(rng.Uniform(300))};
+    if (rng.Uniform(2) == 0) {
+      data.push_back(
+          {{person, works_at, id("org" + std::to_string(rng.Uniform(10)))},
+           iv});
+    } else {
+      data.push_back(
+          {{person, lives_in, id("city" + std::to_string(rng.Uniform(10)))},
+           iv});
+    }
+  }
+  TemporalGraph graph(
+      TemporalGraphOptions{.block_capacity = 64, .compress_leaves = true});
+  ASSERT_TRUE(graph.Load(data).ok());
+
+  const std::string q = R"(
+    SELECT ?person ?org ?city
+    { ?person works_at ?org ?t .
+      ?person lives_in ?city ?t . }
+  )";
+  QueryEngine vec(&graph, &dict);  // kVectorized default
+  EngineOptions tuple_opts;
+  tuple_opts.exec_mode = ExecMode::kTupleAtATime;
+  QueryEngine tup(&graph, &dict, tuple_opts);
+
+  auto rv = vec.Execute(q);
+  auto rt = tup.Execute(q);
+  ASSERT_TRUE(rv.ok()) << rv.status().ToString();
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+
+  auto fingerprints = [](const ResultSet& rs) {
+    std::vector<std::string> keys;
+    for (const auto& row : rs.rows) {
+      std::string fp;
+      for (const Cell& cell : row) cell.AppendFingerprint(&fp);
+      keys.push_back(std::move(fp));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(fingerprints(*rv), fingerprints(*rt));
+  EXPECT_FALSE(rv->rows.empty());
+
+  // The join shares exactly ?person in key position: the vectorized
+  // executor merge-joins without any explicit sort (both scan orders are
+  // free), and the tuple executor records no such steps.
+  EXPECT_EQ(rv->stats.merge_join_steps, 1u);
+  EXPECT_EQ(rv->stats.hash_join_steps, 0u);
+  EXPECT_EQ(rv->stats.sort_steps, 0u);
+  EXPECT_EQ(rt->stats.merge_join_steps, 0u);
+
+  // The optimizer's plan-level prediction mirrors that choice.
+  auto parsed = sparqlt::Parse(q);
+  ASSERT_TRUE(parsed.ok());
+  auto cq = Compile(*parsed, dict);
+  ASSERT_TRUE(cq.ok());
+  const std::vector<int> order = {0, 1};
+  const auto algos = optimizer::PlanJoinAlgos(*cq, order);
+  ASSERT_EQ(algos.size(), 2u);
+  EXPECT_EQ(algos[0], optimizer::JoinStepAlgo::kScan);
+  EXPECT_EQ(algos[1], optimizer::JoinStepAlgo::kMerge);
+}
+
+TEST(ExecModeTest, PlanJoinAlgosPredictsHashAndSortMerge) {
+  // ?a p1 ?b . ?c p2 ?d: no shared variable -> hash (cross product).
+  CompiledQuery cq;
+  cq.vars = MakeVars(4, false);
+  CompiledPattern p0;
+  p0.spec.p = 1;
+  p0.var_s = 0;
+  p0.var_o = 1;
+  CompiledPattern p1;
+  p1.spec.p = 2;
+  p1.var_s = 2;
+  p1.var_o = 3;
+  cq.patterns = {p0, p1};
+  auto algos = optimizer::PlanJoinAlgos(cq, {0, 1});
+  EXPECT_EQ(algos[1], optimizer::JoinStepAlgo::kHash);
+
+  // ?a p1 ?b . ?b p2 ?c . ?c p3 ?d: step 1 merges on ?b for free; step
+  // 2 joins on ?c, but the accumulated side is sorted by ?b -> re-sort.
+  CompiledQuery chain;
+  chain.vars = MakeVars(4, false);
+  CompiledPattern c0;
+  c0.spec.p = 1;
+  c0.var_s = 0;
+  c0.var_o = 1;
+  CompiledPattern c1;
+  c1.spec.p = 2;
+  c1.var_s = 1;
+  c1.var_o = 2;
+  CompiledPattern c2;
+  c2.spec.p = 3;
+  c2.var_s = 2;
+  c2.var_o = 3;
+  chain.patterns = {c0, c1, c2};
+  algos = optimizer::PlanJoinAlgos(chain, {0, 1, 2});
+  ASSERT_EQ(algos.size(), 3u);
+  EXPECT_EQ(algos[0], optimizer::JoinStepAlgo::kScan);
+  EXPECT_EQ(algos[1], optimizer::JoinStepAlgo::kMerge);
+  EXPECT_EQ(algos[2], optimizer::JoinStepAlgo::kSortMerge);
+}
+
+}  // namespace
+}  // namespace rdftx::engine

@@ -5,8 +5,8 @@
 //
 //   <file>:<line>:<col>: [<check>] <message>
 //
-// Exit status: 0 clean, 1 findings, 2 tool/parse error. The four checks
-// (DESIGN.md section 12):
+// Exit status: 0 clean, 1 findings, 2 tool/parse error. The five checks
+// (DESIGN.md sections 12 and 13):
 //
 //   lock-order       every util::Mutex in src/ carries an acquisition
 //                    annotation (LEAF_MUTEX, INTERIOR_MUTEX,
@@ -28,6 +28,12 @@
 //   status           rdftx::Status / rdftx::Result discarded through a
 //                    cast-to-void or a bare expression statement — the
 //                    holes [[nodiscard]] + -Werror cannot see through.
+//   block-handle     engine::BindingBlock ownership is RAII through
+//                    BlockHandle: no `new BindingBlock` (acquire from the
+//                    BlockPool instead), no BlockHandle discarded as an
+//                    unused prvalue (the block bounces straight back to
+//                    the pool), no .get() on a temporary handle (the raw
+//                    pointer dangles once the statement ends).
 //
 // Suppression: `// rdftx-analyzer: allow(<check>)` on the finding's
 // line or the line above. The status check additionally honours the
@@ -202,6 +208,17 @@ class Checker : public RecursiveASTVisitor<Checker> {
   bool VisitCallExpr(CallExpr* call) {
     HandleBannedFileOps(call);
     HandleEpochEscape(call);
+    HandleBlockHandleTemporary(call);
+    return true;
+  }
+
+  bool VisitCXXNewExpr(CXXNewExpr* ne) {
+    if (!InScope(ne->getBeginLoc())) return true;
+    if (IsBindingBlockRecord(RecordOf(ne->getAllocatedType()))) {
+      Emit(ne->getBeginLoc(), "block-handle",
+           "BindingBlock allocated with new; acquire it from the BlockPool "
+           "so a BlockHandle owns it on every path");
+    }
     return true;
   }
 
@@ -336,6 +353,16 @@ class Checker : public RecursiveASTVisitor<Checker> {
     llvm::StringRef n = rec->getName();
     if (n == "Epoch" || n == "DeltaChunk") return true;
     return !fieldRule && n == "TemporalGraph";
+  }
+
+  static bool IsBlockHandleRecord(const CXXRecordDecl* rec) {
+    return rec != nullptr && rec->getName() == "BlockHandle" &&
+           InNamespace(rec, "engine");
+  }
+
+  static bool IsBindingBlockRecord(const CXXRecordDecl* rec) {
+    return rec != nullptr && rec->getName() == "BindingBlock" &&
+           InNamespace(rec, "engine");
   }
 
   static bool IsStatusOrResult(QualType t) {
@@ -618,6 +645,31 @@ class Checker : public RecursiveASTVisitor<Checker> {
     }
   }
 
+  // ---- block-handle RAII ---------------------------------------------------
+
+  // `pool.Acquire(n).get()`: the temporary handle releases the block at
+  // the end of the full expression, so the raw pointer dangles. Bound
+  // handles may hand out their pointer freely.
+  void HandleBlockHandleTemporary(CallExpr* call) {
+    const auto* mc = dyn_cast<CXXMemberCallExpr>(call);
+    if (mc == nullptr) return;
+    const CXXMethodDecl* md = mc->getMethodDecl();
+    if (md == nullptr || !md->getDeclName().isIdentifier() ||
+        md->getName() != "get" || !IsBlockHandleRecord(md->getParent())) {
+      return;
+    }
+    if (!InScope(mc->getExprLoc())) return;
+    const Expr* obj = mc->getImplicitObjectArgument();
+    if (obj == nullptr) return;
+    obj = obj->IgnoreParenImpCasts();
+    if (isa<MaterializeTemporaryExpr>(obj) || obj->isPRValue()) {
+      Emit(mc->getExprLoc(), "block-handle",
+           "get() on a temporary BlockHandle; the block returns to the "
+           "pool when this statement ends — bind the handle to a variable "
+           "first");
+    }
+  }
+
   // ---- durability: banned file mutation primitives ------------------------
 
   void HandleBannedFileOps(CallExpr* call) {
@@ -823,15 +875,24 @@ class Checker : public RecursiveASTVisitor<Checker> {
           Emit(e->getExprLoc(), "status",
                "Status/Result discarded with a cast to void; call "
                "IgnoreError() or propagate it");
+        } else if (IsBlockHandleRecord(RecordOf(sub->getType()))) {
+          Emit(e->getExprLoc(), "block-handle",
+               "BlockHandle discarded; the block returns to the pool "
+               "immediately — hold the handle while the block is in use");
         }
         return;
       }
     }
-    if (inner->getValueKind() == VK_PRValue &&
-        IsStatusOrResult(inner->getType())) {
-      Emit(e->getExprLoc(), "status",
-           "expression result of type Status/Result is discarded; check "
-           "it, propagate it, or call IgnoreError()");
+    if (inner->getValueKind() == VK_PRValue) {
+      if (IsStatusOrResult(inner->getType())) {
+        Emit(e->getExprLoc(), "status",
+             "expression result of type Status/Result is discarded; check "
+             "it, propagate it, or call IgnoreError()");
+      } else if (IsBlockHandleRecord(RecordOf(inner->getType()))) {
+        Emit(e->getExprLoc(), "block-handle",
+             "BlockHandle discarded; the block returns to the pool "
+             "immediately — hold the handle while the block is in use");
+      }
     }
   }
 

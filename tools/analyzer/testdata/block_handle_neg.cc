@@ -1,0 +1,42 @@
+// block-handle negatives: the RAII protocol followed — handles bound to
+// variables (alone or in containers), pointers taken from bound handles,
+// arrow access through a temporary inside one full expression (the
+// temporary outlives the use), and an audited suppression.
+namespace rdftx {
+namespace engine {
+
+class BindingBlock {
+ public:
+  explicit BindingBlock(unsigned num_vars);
+  unsigned size() const;
+};
+
+class BlockPool;
+
+class BlockHandle {
+ public:
+  BlockHandle();
+  BlockHandle(BindingBlock* block, BlockPool* pool);
+  BlockHandle(BlockHandle&&);
+  ~BlockHandle();
+  BindingBlock* get() const;
+  BindingBlock* operator->() const;
+};
+
+class BlockPool {
+ public:
+  BlockHandle Acquire(unsigned num_vars);
+};
+
+unsigned Owned(BlockPool* pool) {
+  BlockHandle h = pool->Acquire(2);
+  BindingBlock* b = h.get();        // bound handle: pointer is covered
+  const unsigned direct = pool->Acquire(2)->size();  // dies after the use
+  BlockHandle moved = static_cast<BlockHandle&&>(h);
+  // rdftx-analyzer: allow(block-handle)
+  pool->Acquire(2);
+  return b->size() + moved->size() + direct;
+}
+
+}  // namespace engine
+}  // namespace rdftx

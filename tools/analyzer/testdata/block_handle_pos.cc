@@ -1,0 +1,45 @@
+// block-handle true positives: BindingBlock ownership escaping the
+// BlockPool/BlockHandle RAII protocol — a direct allocation, a handle
+// discarded as an unused prvalue (the block bounces straight back to
+// the pool), and get() on a temporary handle (the pointer dangles once
+// the statement ends).
+namespace rdftx {
+namespace engine {
+
+class BindingBlock {
+ public:
+  explicit BindingBlock(unsigned num_vars);
+  unsigned size() const;
+};
+
+class BlockPool;
+
+class BlockHandle {
+ public:
+  BlockHandle();
+  BlockHandle(BindingBlock* block, BlockPool* pool);
+  BlockHandle(BlockHandle&&);
+  ~BlockHandle();
+  BindingBlock* get() const;
+  BindingBlock* operator->() const;
+};
+
+class BlockPool {
+ public:
+  BlockHandle Acquire(unsigned num_vars);
+};
+
+#define LAUNDER(expr) expr
+
+void Holes(BlockPool* pool) {
+  BindingBlock* leaked = new BindingBlock(2);  // expect: [block-handle] BindingBlock allocated with new
+  pool->Acquire(2);  // expect: [block-handle] BlockHandle discarded
+  static_cast<void>(pool->Acquire(2));  // expect: [block-handle] BlockHandle discarded
+  LAUNDER(pool->Acquire(2));  // expect: [block-handle] BlockHandle discarded
+  BindingBlock* dangling = pool->Acquire(2).get();  // expect: [block-handle] get() on a temporary BlockHandle
+  leaked->size();
+  dangling->size();
+}
+
+}  // namespace engine
+}  // namespace rdftx
