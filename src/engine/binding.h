@@ -21,6 +21,10 @@ struct VarInfo {
   /// (duration/endpoint built-ins reference it), so scans expand matches
   /// to their complete validity instead of the clipped scan window.
   bool needs_full = false;
+  /// The variable is scoped to a FILTER [NOT] EXISTS group: it shares
+  /// the query's slot space (so shared names join against the outer
+  /// block) but is invisible to SELECT * and cannot be projected.
+  bool local = false;
 };
 
 /// One (partial) solution mapping. Both vectors are indexed by variable
@@ -67,6 +71,14 @@ struct ExecStats {
   uint64_t merge_join_steps = 0;
   uint64_t hash_join_steps = 0;
   uint64_t sort_steps = 0;
+  /// Solution-modifier / EXISTS operator counters: GROUP BY groups
+  /// emitted (including the single implicit group of an ungrouped
+  /// aggregate query), ORDER BY+LIMIT queries that took the top-k
+  /// pushdown (bypassing duplicate elimination and bounding the sort),
+  /// and outer rows probed against an EXISTS / NOT EXISTS group.
+  uint64_t agg_groups = 0;
+  uint64_t topk_pushdowns = 0;
+  uint64_t exists_probes = 0;
   /// Store read-path counters (leaves visited/pruned, entries decoded,
   /// decoded-leaf cache hits/misses/evictions), accumulated over every
   /// pattern scan of the query. Race-free like the rest of ExecStats:

@@ -5,8 +5,10 @@
 #include <optional>
 #include <set>
 
+#include "engine/modifiers.h"
 #include "engine/vectorized.h"
 #include "mvbt/sync_join.h"
+#include "optimizer/optimizer.h"
 #include "rdf/temporal_graph.h"
 
 namespace rdftx::engine {
@@ -53,6 +55,9 @@ void MergeStats(const ExecStats& in, ExecStats* out) {
   out->merge_join_steps += in.merge_join_steps;
   out->hash_join_steps += in.hash_join_steps;
   out->sort_steps += in.sort_steps;
+  out->agg_groups += in.agg_groups;
+  out->topk_pushdowns += in.topk_pushdowns;
+  out->exists_probes += in.exists_probes;
   out->scan.MergeFrom(in.scan);
 }
 
@@ -155,6 +160,10 @@ Result<ResultSet> QueryEngine::Execute(const sparqlt::Query& query) const {
       return Status::InvalidArgument(
           "UNION queries need an explicit SELECT list");
     }
+    if (!query.aggregates.empty() || !query.group_by.empty()) {
+      return Status::InvalidArgument(
+          "aggregates over UNION are not supported");
+    }
     const size_t nb = query.union_branches.size();
     // Compile (and pick join orders) serially: compilation is cheap and
     // any error surfaces deterministically.
@@ -199,6 +208,9 @@ Result<ResultSet> QueryEngine::Execute(const sparqlt::Query& query) const {
         }
       }
     }
+    // Solution modifiers apply to the merged union result.
+    RDFTX_RETURN_IF_ERROR(ApplyOrderAndSlice(query.order_by, query.limit,
+                                             query.offset, &merged));
     merged.stats.result_rows = merged.rows.size();
     {
       util::MutexLock lock(&last_stats_mutex_);
@@ -221,7 +233,7 @@ Result<ResultSet> QueryEngine::ExecutePlan(
   return Run(query, *cq, order);
 }
 
-Result<ResultSet> QueryEngine::Run([[maybe_unused]] const sparqlt::Query& query,
+Result<ResultSet> QueryEngine::Run(const sparqlt::Query& query,
                                    const CompiledQuery& cq,
                                    const std::vector<int>& order) const {
   ExecStats stats;
@@ -335,41 +347,80 @@ Result<ResultSet> QueryEngine::Run([[maybe_unused]] const sparqlt::Query& query,
     if (ok) kept.push_back(std::move(row));
   }
 
-  // Projection + duplicate elimination.
+  // FILTER [NOT] EXISTS groups: evaluate each group like an OPTIONAL
+  // block (independently, so in parallel), then semi/anti-join the
+  // surviving solutions against it in declaration order.
+  if (!cq.exists.empty() && !kept.empty()) {
+    std::set<int> outer_bound;
+    auto note_bound = [&outer_bound](const CompiledPattern& cp) {
+      for (int slot : KeySlots(cp)) outer_bound.insert(slot);
+      if (cp.var_t >= 0) outer_bound.insert(cp.var_t);
+    };
+    for (const CompiledPattern& cp : cq.patterns) note_bound(cp);
+    for (const CompiledOptional& opt : cq.optionals) {
+      for (const CompiledPattern& cp : opt.patterns) note_bound(cp);
+    }
+    const size_t ng = cq.exists.size();
+    std::vector<std::vector<Row>> groups(ng);
+    std::vector<ExecStats> group_stats(ng);
+    util::ParallelFor(pool_.get(), ng, [&](size_t i) {
+      groups[i] =
+          EvalOptionalGroup(cq.exists[i].group, cq, ctx, &group_stats[i]);
+    });
+    for (size_t i = 0; i < ng; ++i) {
+      MergeStats(group_stats[i], &stats);
+      FilterExistsRows(cq.exists[i], outer_bound, groups[i], &kept, &stats);
+      if (kept.empty()) break;
+    }
+  }
+
   ResultSet result;
-  for (int slot : cq.projection) {
-    result.columns.push_back(cq.vars[static_cast<size_t>(slot)].name);
-  }
-  std::set<std::string> seen;
-  // With OPTIONAL groups, projected variables may be legitimately
-  // unbound (rendered as empty cells); otherwise an unbound projection
-  // slot means the row cannot contribute.
-  const bool allow_unbound = !cq.optionals.empty();
-  for (const Row& row : kept) {
-    std::vector<Cell> cells;
-    bool complete = true;
+  if (!cq.aggregates.empty()) {
+    // Grouped aggregation replaces projection + duplicate elimination.
+    result = AggregateRows(cq, kept, *dict_, ctx.now, &stats);
+  } else {
+    // Projection + duplicate elimination. Under the top-k pushdown rule
+    // the scan output provably contains no duplicate projected rows, so
+    // the fingerprint set is skipped and the ORDER BY below bounds its
+    // sort to a heap select of offset+limit rows.
+    const bool topk = optimizer::TopKPushdownEligible(query, cq);
+    if (topk) ++stats.topk_pushdowns;
     for (int slot : cq.projection) {
-      const VarInfo& info = cq.vars[static_cast<size_t>(slot)];
-      Cell cell;
-      if (info.is_time) {
-        cell.is_time = true;
-        cell.time = row.times[static_cast<size_t>(slot)];
-        if (cell.time.empty()) complete = false;
-      } else {
-        TermId id = row.terms[static_cast<size_t>(slot)];
-        if (id == kInvalidTerm) {
-          complete = false;
-        } else {
-          cell.term = dict_->Decode(id);
-        }
-      }
-      cells.push_back(std::move(cell));
+      result.columns.push_back(cq.vars[static_cast<size_t>(slot)].name);
     }
-    if (!complete && !allow_unbound) continue;
-    if (seen.insert(RowFingerprint(cells)).second) {
-      result.rows.push_back(std::move(cells));
+    std::set<std::string> seen;
+    // With OPTIONAL groups, projected variables may be legitimately
+    // unbound (rendered as empty cells); otherwise an unbound projection
+    // slot means the row cannot contribute.
+    const bool allow_unbound = !cq.optionals.empty();
+    for (const Row& row : kept) {
+      std::vector<Cell> cells;
+      bool complete = true;
+      for (int slot : cq.projection) {
+        const VarInfo& info = cq.vars[static_cast<size_t>(slot)];
+        Cell cell;
+        if (info.is_time) {
+          cell.is_time = true;
+          cell.time = row.times[static_cast<size_t>(slot)];
+          if (cell.time.empty()) complete = false;
+        } else {
+          TermId id = row.terms[static_cast<size_t>(slot)];
+          if (id == kInvalidTerm) {
+            complete = false;
+          } else {
+            cell.term = dict_->Decode(id);
+          }
+        }
+        cells.push_back(std::move(cell));
+      }
+      if (!complete && !allow_unbound) continue;
+      if (topk || seen.insert(RowFingerprint(cells)).second) {
+        result.rows.push_back(std::move(cells));
+      }
     }
   }
+  RDFTX_RETURN_IF_ERROR(ApplyOrderAndSlice(query.order_by, query.limit,
+                                           query.offset, &result));
   stats.result_rows = result.rows.size();
   result.stats = stats;
   {

@@ -1,0 +1,390 @@
+#include "engine/modifiers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace rdftx::engine {
+namespace {
+
+/// True when `s` parses in full as a number.
+bool ParseNumeric(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Numeric-aware term comparison: unbound (empty) first, then numbers
+/// in value order, then the rest in byte order.
+int CompareTermStrings(const std::string& a, const std::string& b) {
+  if (a.empty() || b.empty()) {
+    return static_cast<int>(!a.empty()) - static_cast<int>(!b.empty());
+  }
+  double va = 0, vb = 0;
+  const bool na = ParseNumeric(a, &va);
+  const bool nb = ParseNumeric(b, &vb);
+  if (na && nb) return va < vb ? -1 : (va > vb ? 1 : 0);
+  if (na != nb) return na ? -1 : 1;
+  return a.compare(b);
+}
+
+std::string RowFingerprint(const std::vector<Cell>& cells) {
+  std::string fp;
+  for (const Cell& cell : cells) cell.AppendFingerprint(&fp);
+  return fp;
+}
+
+/// Renders an aggregate's numeric result: integral values print without
+/// a fraction, the rest with %g.
+std::string FormatNumeric(double v) {
+  if (std::abs(v) < 9.0e18) {  // guard the cast against overflow UB
+    const auto i = static_cast<int64_t>(v);
+    if (static_cast<double>(i) == v) return std::to_string(i);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Inclusive display of an aggregate chronon boundary ("now" for live).
+std::string FormatBoundary(Chronon c, bool exclusive_end) {
+  if (c == kChrononNow) return "now";
+  return FormatChronon(exclusive_end ? c - 1 : c);
+}
+
+}  // namespace
+
+int CompareCells(const Cell& a, const Cell& b) {
+  if (a.is_time || b.is_time) {
+    const auto& ra = a.time.runs();
+    const auto& rb = b.time.runs();
+    const size_t n = std::min(ra.size(), rb.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (ra[i].start != rb[i].start) {
+        return ra[i].start < rb[i].start ? -1 : 1;
+      }
+      if (ra[i].end != rb[i].end) return ra[i].end < rb[i].end ? -1 : 1;
+    }
+    if (ra.size() != rb.size()) return ra.size() < rb.size() ? -1 : 1;
+    return 0;
+  }
+  return CompareTermStrings(a.term, b.term);
+}
+
+Status ApplyOrderAndSlice(const std::vector<sparqlt::OrderKey>& order_by,
+                          int64_t limit, int64_t offset, ResultSet* rs) {
+  if (order_by.empty() && limit < 0 && offset <= 0) return Status::OK();
+  std::vector<std::pair<size_t, bool>> keys;  // column index, descending
+  for (const sparqlt::OrderKey& k : order_by) {
+    auto it = std::find(rs->columns.begin(), rs->columns.end(), k.var);
+    if (it == rs->columns.end()) {
+      return Status::InvalidArgument("ORDER BY key ?" + k.var +
+                                     " is not a projected column");
+    }
+    keys.emplace_back(static_cast<size_t>(it - rs->columns.begin()),
+                      k.descending);
+  }
+  auto cmp = [&keys](const std::vector<Cell>& a,
+                     const std::vector<Cell>& b) {
+    for (const auto& [col, descending] : keys) {
+      int c = CompareCells(a[col], b[col]);
+      if (c != 0) return descending ? c > 0 : c < 0;
+    }
+    return RowFingerprint(a) < RowFingerprint(b);
+  };
+  auto& rows = rs->rows;
+  const size_t n = rows.size();
+  const size_t skip =
+      offset > 0 ? std::min(n, static_cast<size_t>(offset)) : 0;
+  size_t want = n;
+  if (limit >= 0) want = std::min(n, skip + static_cast<size_t>(limit));
+  if (want < n) {
+    // Heap select: only the first offset+limit positions are ordered.
+    std::partial_sort(rows.begin(),
+                      rows.begin() + static_cast<ptrdiff_t>(want),
+                      rows.end(), cmp);
+    rows.resize(want);
+  } else {
+    std::sort(rows.begin(), rows.end(), cmp);
+  }
+  rows.erase(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(skip));
+  return Status::OK();
+}
+
+void FilterExistsRows(const CompiledExists& ex,
+                      const std::set<int>& outer_bound,
+                      const std::vector<Row>& group, std::vector<Row>* rows,
+                      ExecStats* stats) {
+  std::set<int> group_keys, group_times;
+  for (const CompiledPattern& cp : ex.group.patterns) {
+    for (int s : {cp.var_s, cp.var_p, cp.var_o}) {
+      if (s >= 0) group_keys.insert(s);
+    }
+    if (cp.var_t >= 0) group_times.insert(cp.var_t);
+  }
+  std::vector<int> shared_keys, shared_times;
+  for (int s : group_keys) {
+    if (outer_bound.contains(s)) shared_keys.push_back(s);
+  }
+  for (int s : group_times) {
+    if (outer_bound.contains(s)) shared_times.push_back(s);
+  }
+
+  auto key_of = [&shared_keys](const Row& r) {
+    std::string key;
+    for (int s : shared_keys) {
+      key += std::to_string(r.terms[static_cast<size_t>(s)]);
+      key.push_back('\x1F');
+    }
+    return key;
+  };
+  std::unordered_multimap<std::string, const Row*> index;
+  index.reserve(group.size());
+  for (const Row& g : group) index.emplace(key_of(g), &g);
+
+  auto compatible = [&](const Row& r, const Row& g) {
+    for (int s : shared_keys) {
+      const TermId rt = r.terms[static_cast<size_t>(s)];
+      const TermId gt = g.terms[static_cast<size_t>(s)];
+      // A side left unbound (OPTIONAL) constrains nothing.
+      if (rt != kInvalidTerm && gt != kInvalidTerm && rt != gt) return false;
+    }
+    for (int s : shared_times) {
+      const TemporalSet& rs = r.times[static_cast<size_t>(s)];
+      const TemporalSet& gs = g.times[static_cast<size_t>(s)];
+      if (rs.empty() || gs.empty()) continue;
+      if (rs.Intersect(gs).empty()) return false;
+    }
+    return true;
+  };
+
+  std::vector<Row> kept;
+  kept.reserve(rows->size());
+  for (Row& r : *rows) {
+    ++stats->exists_probes;
+    bool fully_bound = true;
+    for (int s : shared_keys) {
+      if (r.terms[static_cast<size_t>(s)] == kInvalidTerm) {
+        fully_bound = false;
+        break;
+      }
+    }
+    bool match = false;
+    if (fully_bound) {
+      auto [lo, hi] = index.equal_range(key_of(r));
+      for (auto it = lo; it != hi; ++it) {
+        if (compatible(r, *it->second)) {
+          match = true;
+          break;
+        }
+      }
+    } else {
+      // An unbound shared key is a wildcard; probe the whole group.
+      for (const Row& g : group) {
+        if (compatible(r, g)) {
+          match = true;
+          break;
+        }
+      }
+    }
+    if (match != ex.negated) kept.push_back(std::move(r));
+  }
+  *rows = std::move(kept);
+}
+
+ResultSet AggregateRows(const CompiledQuery& cq, const std::vector<Row>& rows,
+                        const Dictionary& dict, Chronon now,
+                        ExecStats* stats) {
+  ResultSet rs;
+  for (int slot : cq.projection) {
+    rs.columns.push_back(cq.vars[static_cast<size_t>(slot)].name);
+  }
+  for (const CompiledAggregate& agg : cq.aggregates) {
+    rs.columns.push_back(agg.alias);
+  }
+
+  // Set semantics: aggregates range over the distinct solutions of the
+  // WHERE block, consistent with the engine's duplicate elimination (and
+  // independent of physical join duplication differences between modes).
+  std::set<std::string> seen;
+  std::vector<const Row*> distinct;
+  distinct.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::string fp;
+    for (size_t i = 0; i < cq.vars.size(); ++i) {
+      if (cq.vars[i].local) continue;
+      fp += std::to_string(r.terms[i]);
+      fp.push_back(',');
+      for (const Interval& run : r.times[i].runs()) {
+        fp += std::to_string(run.start);
+        fp.push_back('-');
+        fp += std::to_string(run.end);
+        fp.push_back(';');
+      }
+      fp.push_back('\x1F');
+    }
+    if (seen.insert(std::move(fp)).second) distinct.push_back(&r);
+  }
+
+  // Per-aggregate running state within one group.
+  struct AggState {
+    int64_t count = 0;        // kCount
+    double sum = 0;           // kSum / kDurSum
+    uint64_t duration = 0;    // kDurCount
+    bool has_value = false;   // kMin / kMax seeded
+    std::string best_term;    // kMin / kMax over key variables
+    Chronon best_chronon = 0; // kMin / kMax over time variables
+  };
+  struct Group {
+    std::vector<Cell> key_cells;  // projected grouping columns
+    std::vector<AggState> aggs;
+  };
+
+  auto cell_of = [&](const Row& r, int slot) {
+    const VarInfo& info = cq.vars[static_cast<size_t>(slot)];
+    Cell cell;
+    if (info.is_time) {
+      cell.is_time = true;
+      cell.time = r.times[static_cast<size_t>(slot)];
+    } else {
+      const TermId id = r.terms[static_cast<size_t>(slot)];
+      if (id != kInvalidTerm) cell.term = dict.Decode(id);
+    }
+    return cell;
+  };
+
+  // Canonical, store-independent group keys (decoded content, not term
+  // ids) keep the emission order deterministic across stores and modes.
+  std::map<std::string, Group> groups;
+  for (const Row* rp : distinct) {
+    const Row& r = *rp;
+    std::string key;
+    for (int slot : cq.group_by) cell_of(r, slot).AppendFingerprint(&key);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    Group& g = it->second;
+    if (inserted) {
+      for (int slot : cq.projection) g.key_cells.push_back(cell_of(r, slot));
+      g.aggs.resize(cq.aggregates.size());
+    }
+    for (size_t a = 0; a < cq.aggregates.size(); ++a) {
+      const CompiledAggregate& agg = cq.aggregates[a];
+      AggState& st = g.aggs[a];
+      const bool arg_is_time =
+          agg.var >= 0 && cq.vars[static_cast<size_t>(agg.var)].is_time;
+      const TermId term = agg.var >= 0 && !arg_is_time
+                              ? r.terms[static_cast<size_t>(agg.var)]
+                              : kInvalidTerm;
+      switch (agg.fn) {
+        case sparqlt::AggregateFn::kCount: {
+          if (agg.star) {
+            ++st.count;
+          } else if (arg_is_time) {
+            if (!r.times[static_cast<size_t>(agg.var)].empty()) ++st.count;
+          } else if (term != kInvalidTerm) {
+            ++st.count;
+          }
+          break;
+        }
+        case sparqlt::AggregateFn::kSum: {
+          if (term == kInvalidTerm) break;
+          double v = 0;
+          if (ParseNumeric(dict.Decode(term), &v)) st.sum += v;
+          break;
+        }
+        case sparqlt::AggregateFn::kMin:
+        case sparqlt::AggregateFn::kMax: {
+          const bool is_min = agg.fn == sparqlt::AggregateFn::kMin;
+          if (arg_is_time) {
+            const TemporalSet& set = r.times[static_cast<size_t>(agg.var)];
+            if (set.empty()) break;
+            const Chronon c = is_min ? set.Start() : set.End();
+            if (!st.has_value || (is_min ? c < st.best_chronon
+                                         : c > st.best_chronon)) {
+              st.best_chronon = c;
+              st.has_value = true;
+            }
+          } else {
+            if (term == kInvalidTerm) break;
+            std::string text = dict.Decode(term);
+            const int c = st.has_value
+                              ? CompareTermStrings(text, st.best_term)
+                              : 0;
+            if (!st.has_value || (is_min ? c < 0 : c > 0)) {
+              st.best_term = std::move(text);
+              st.has_value = true;
+            }
+          }
+          break;
+        }
+        case sparqlt::AggregateFn::kDurCount: {
+          st.duration +=
+              r.times[static_cast<size_t>(agg.var)].TotalLength(now);
+          break;
+        }
+        case sparqlt::AggregateFn::kDurSum: {
+          if (term == kInvalidTerm) break;
+          double v = 0;
+          if (!ParseNumeric(dict.Decode(term), &v)) break;
+          st.sum += v * static_cast<double>(
+              r.times[static_cast<size_t>(agg.time_var)].TotalLength(now));
+          break;
+        }
+      }
+    }
+  }
+
+  // An ungrouped aggregate query over zero solutions still yields one
+  // row (zero counts/sums, unbound MIN/MAX).
+  if (groups.empty() && cq.group_by.empty()) {
+    Group& g = groups[std::string()];
+    g.aggs.resize(cq.aggregates.size());
+  }
+
+  for (auto& [key, g] : groups) {
+    std::vector<Cell> out = std::move(g.key_cells);
+    for (size_t a = 0; a < cq.aggregates.size(); ++a) {
+      const CompiledAggregate& agg = cq.aggregates[a];
+      const AggState& st = g.aggs[a];
+      const bool arg_is_time =
+          agg.var >= 0 && cq.vars[static_cast<size_t>(agg.var)].is_time;
+      Cell cell;
+      switch (agg.fn) {
+        case sparqlt::AggregateFn::kCount:
+          cell.term = std::to_string(st.count);
+          break;
+        case sparqlt::AggregateFn::kSum:
+        case sparqlt::AggregateFn::kDurSum:
+          cell.term = FormatNumeric(st.sum);
+          break;
+        case sparqlt::AggregateFn::kDurCount:
+          cell.term = std::to_string(st.duration);
+          break;
+        case sparqlt::AggregateFn::kMin:
+        case sparqlt::AggregateFn::kMax:
+          if (!st.has_value) break;  // unbound cell
+          if (arg_is_time) {
+            cell.term = FormatBoundary(
+                st.best_chronon,
+                /*exclusive_end=*/agg.fn == sparqlt::AggregateFn::kMax);
+          } else {
+            cell.term = st.best_term;
+          }
+          break;
+      }
+      out.push_back(std::move(cell));
+    }
+    rs.rows.push_back(std::move(out));
+  }
+  stats->agg_groups += rs.rows.size();
+  return rs;
+}
+
+}  // namespace rdftx::engine

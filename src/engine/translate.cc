@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <set>
 
 namespace rdftx::engine {
 namespace {
@@ -194,6 +195,56 @@ Result<CompiledQuery> Compile(const sparqlt::Query& query,
     out.optionals.push_back(std::move(block));
   }
 
+  // EXISTS groups compile last so that any variable first seen inside a
+  // group is marked local: it shares the slot space (shared names join
+  // against the outer block) but is invisible to SELECT *.
+  for (const auto& ex : query.exists) {
+    CompiledExists ce;
+    ce.negated = ex.negated;
+    const size_t first_local = out.vars.size();
+    for (const GraphPattern& gp : ex.patterns) {
+      auto cp = compile_pattern(gp);
+      if (!cp.ok()) return cp.status();
+      ce.group.patterns.push_back(*cp);
+    }
+    for (const auto& f : ex.filters) ce.group.filters.push_back(f.get());
+    for (size_t i = first_local; i < out.vars.size(); ++i) {
+      out.vars[i].local = true;
+    }
+    out.exists.push_back(std::move(ce));
+  }
+  // EXISTS groups evaluate independently (outer bindings are joined in,
+  // not substituted), so a group filter may only reference variables the
+  // group's own patterns bind — anything else would silently compare
+  // against an unbound slot. Correlation happens through shared pattern
+  // variables instead.
+  for (const CompiledExists& ce : out.exists) {
+    std::set<int> group_bound;
+    for (const CompiledPattern& cp : ce.group.patterns) {
+      for (int s : {cp.var_s, cp.var_p, cp.var_o, cp.var_t}) {
+        if (s >= 0) group_bound.insert(s);
+      }
+    }
+    std::function<Status(const Expr&)> check = [&](const Expr& e) -> Status {
+      if (e.kind == Expr::Kind::kVariable) {
+        auto it = slots.find(e.text);
+        if (it != slots.end() && !group_bound.contains(it->second)) {
+          return Status::InvalidArgument(
+              "EXISTS filter references ?" + e.text +
+              ", which the group's patterns do not bind; correlate "
+              "through shared pattern variables");
+        }
+      }
+      for (const auto& child : e.children) {
+        RDFTX_RETURN_IF_ERROR(check(*child));
+      }
+      return Status::OK();
+    };
+    for (const Expr* f : ce.group.filters) {
+      RDFTX_RETURN_IF_ERROR(check(*f));
+    }
+  }
+
   for (const auto& f : query.filters) out.filters.push_back(f.get());
 
   // Mark time variables whose full temporal element is needed: any use
@@ -219,6 +270,9 @@ Result<CompiledQuery> Compile(const sparqlt::Query& query,
   for (const Expr* f : out.filters) mark(*f);
   for (const CompiledOptional& opt : out.optionals) {
     for (const Expr* f : opt.filters) mark(*f);
+  }
+  for (const CompiledExists& ex : out.exists) {
+    for (const Expr* f : ex.group.filters) mark(*f);
   }
 
   // Scan windows: intersect the windows implied by every FILTER clause
@@ -246,20 +300,164 @@ Result<CompiledQuery> Compile(const sparqlt::Query& query,
       if (cp.var_t >= 0) cp.spec.time = window_for(cp.var_t, &opt.filters);
     }
   }
-
-  // Projection: SELECT * projects every variable in appearance order.
-  if (query.select.empty()) {
-    for (size_t i = 0; i < out.vars.size(); ++i) {
-      out.projection.push_back(static_cast<int>(i));
+  // EXISTS scan windows come from the group's own filters only: the main
+  // block's filters do not clip the temporal sets of outer rows, so the
+  // semi-join may legitimately match group rows outside any main-filter
+  // window.
+  for (CompiledExists& ex : out.exists) {
+    for (CompiledPattern& cp : ex.group.patterns) {
+      if (cp.var_t < 0) continue;
+      const std::string& name = out.vars[static_cast<size_t>(cp.var_t)].name;
+      Interval window = Interval::All();
+      for (const Expr* f : ex.group.filters) {
+        window = window.Intersect(FilterWindow(*f, name));
+      }
+      cp.spec.time = window;
     }
-  } else {
+  }
+
+  auto lookup = [&](const std::string& name) -> int {
+    auto it = slots.find(name);
+    return it == slots.end() ? -1 : it->second;
+  };
+
+  // Semantic analysis of the aggregate projection (when present):
+  // non-aggregate SELECT variables must be grouped, argument slots must
+  // exist with the right kind, aliases must be unique.
+  if (!query.aggregates.empty() || !query.group_by.empty()) {
+    if (query.aggregates.empty()) {
+      return Status::InvalidArgument(
+          "GROUP BY requires aggregates in the SELECT list");
+    }
+    for (const std::string& name : query.group_by) {
+      int slot = lookup(name);
+      if (slot < 0) {
+        return Status::InvalidArgument("GROUP BY variable ?" + name +
+                                       " does not occur in any pattern");
+      }
+      auto& info = out.vars[static_cast<size_t>(slot)];
+      if (info.local) {
+        return Status::InvalidArgument("GROUP BY variable ?" + name +
+                                       " is scoped to a FILTER EXISTS group");
+      }
+      // Grouping by a time variable groups by the full validity set.
+      if (info.is_time) info.needs_full = true;
+      out.group_by.push_back(slot);
+    }
     for (const std::string& name : query.select) {
-      auto it = slots.find(name);
-      if (it == slots.end()) {
+      int slot = lookup(name);
+      if (slot < 0) {
         return Status::InvalidArgument("projected variable ?" + name +
                                        " does not occur in any pattern");
       }
-      out.projection.push_back(it->second);
+      if (std::find(query.group_by.begin(), query.group_by.end(), name) ==
+          query.group_by.end()) {
+        return Status::InvalidArgument(
+            "variable ?" + name +
+            " in SELECT is neither grouped nor aggregated");
+      }
+      out.projection.push_back(slot);
+    }
+    std::set<std::string> out_names(query.select.begin(), query.select.end());
+    for (const sparqlt::Aggregate& agg : query.aggregates) {
+      if (!out_names.insert(agg.alias).second) {
+        return Status::InvalidArgument("duplicate output column ?" +
+                                       agg.alias);
+      }
+      CompiledAggregate ca;
+      ca.fn = agg.fn;
+      ca.star = agg.star;
+      ca.alias = agg.alias;
+      if (!agg.star) {
+        ca.var = lookup(agg.var);
+        if (ca.var < 0) {
+          return Status::InvalidArgument("aggregate argument ?" + agg.var +
+                                         " does not occur in any pattern");
+        }
+        auto& info = out.vars[static_cast<size_t>(ca.var)];
+        if (info.local) {
+          return Status::InvalidArgument(
+              "aggregate argument ?" + agg.var +
+              " is scoped to a FILTER EXISTS group");
+        }
+        switch (agg.fn) {
+          case sparqlt::AggregateFn::kSum:
+            if (info.is_time) {
+              return Status::InvalidArgument(
+                  "SUM argument must be a key variable (use DCOUNT/DSUM "
+                  "for durations)");
+            }
+            break;
+          case sparqlt::AggregateFn::kDurCount:
+            if (!info.is_time) {
+              return Status::InvalidArgument(
+                  "DCOUNT argument must be a time variable");
+            }
+            info.needs_full = true;
+            break;
+          case sparqlt::AggregateFn::kDurSum: {
+            if (info.is_time) {
+              return Status::InvalidArgument(
+                  "DSUM value argument must be a key variable");
+            }
+            ca.time_var = lookup(agg.time_var);
+            if (ca.time_var < 0) {
+              return Status::InvalidArgument(
+                  "DSUM time argument ?" + agg.time_var +
+                  " does not occur in any pattern");
+            }
+            auto& tinfo = out.vars[static_cast<size_t>(ca.time_var)];
+            if (!tinfo.is_time || tinfo.local) {
+              return Status::InvalidArgument(
+                  "DSUM time argument ?" + agg.time_var +
+                  " must be an outer time variable");
+            }
+            tinfo.needs_full = true;
+            break;
+          }
+          case sparqlt::AggregateFn::kMin:
+          case sparqlt::AggregateFn::kMax:
+            // MIN/MAX over a time variable reduce to the earliest start /
+            // latest end of the full validity set.
+            if (info.is_time) info.needs_full = true;
+            break;
+          case sparqlt::AggregateFn::kCount:
+            break;
+        }
+      }
+      out.aggregates.push_back(std::move(ca));
+    }
+  } else {
+    // Projection: SELECT * projects every non-local variable in
+    // appearance order.
+    if (query.select.empty()) {
+      for (size_t i = 0; i < out.vars.size(); ++i) {
+        if (!out.vars[i].local) out.projection.push_back(static_cast<int>(i));
+      }
+    } else {
+      for (const std::string& name : query.select) {
+        int slot = lookup(name);
+        if (slot < 0) {
+          return Status::InvalidArgument("projected variable ?" + name +
+                                         " does not occur in any pattern");
+        }
+        if (out.vars[static_cast<size_t>(slot)].local) {
+          return Status::InvalidArgument(
+              "projected variable ?" + name +
+              " is scoped to a FILTER EXISTS group");
+        }
+        out.projection.push_back(slot);
+      }
+    }
+  }
+
+  // ORDER BY over a time column compares full validity sets, so the
+  // scans must not clip them. Name resolution of the sort keys happens
+  // against the output columns at execution time.
+  for (const sparqlt::OrderKey& key : query.order_by) {
+    int slot = lookup(key.var);
+    if (slot >= 0 && out.vars[static_cast<size_t>(slot)].is_time) {
+      out.vars[static_cast<size_t>(slot)].needs_full = true;
     }
   }
   return out;

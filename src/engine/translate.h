@@ -34,6 +34,23 @@ struct CompiledOptional {
   std::vector<const sparqlt::Expr*> filters;  // evaluated on the group
 };
 
+/// A compiled FILTER [NOT] EXISTS group: the group evaluates like an
+/// OPTIONAL block (scans + inner joins + group-local filters) and then
+/// semi-joins (anti-joins when negated) the main block's solutions.
+struct CompiledExists {
+  bool negated = false;
+  CompiledOptional group;
+};
+
+/// One aggregate projection item with its argument slots resolved.
+struct CompiledAggregate {
+  sparqlt::AggregateFn fn = sparqlt::AggregateFn::kCount;
+  bool star = false;   // COUNT(*)
+  int var = -1;        // argument slot (-1 for COUNT(*))
+  int time_var = -1;   // DSUM's time slot
+  std::string alias;   // output column name
+};
+
 /// A compiled query. Holds non-owning pointers into the parsed Query's
 /// filter expressions; the Query must outlive it.
 struct CompiledQuery {
@@ -41,7 +58,14 @@ struct CompiledQuery {
   std::vector<CompiledPattern> patterns;
   std::vector<const sparqlt::Expr*> filters;
   std::vector<CompiledOptional> optionals;
+  std::vector<CompiledExists> exists;
   std::vector<int> projection;  // variable slots to output
+  /// Aggregation (empty when the query has no aggregates): grouping
+  /// slots and the aggregate items. When aggregates are present,
+  /// `projection` holds the projected grouping slots instead of the
+  /// full SELECT output.
+  std::vector<int> group_by;
+  std::vector<CompiledAggregate> aggregates;
 };
 
 /// Compiles `query` against `dict` (lookup only; constants absent from

@@ -35,6 +35,28 @@ bool Shares(const CompiledPattern& a, const CompiledPattern& b) {
 
 }  // namespace
 
+bool TopKPushdownEligible(const sparqlt::Query& query,
+                          const engine::CompiledQuery& cq) {
+  if (query.limit < 0 || query.order_by.empty()) return false;
+  if (!query.union_branches.empty()) return false;
+  if (cq.patterns.size() != 1 || !cq.filters.empty() ||
+      !cq.optionals.empty() || !cq.exists.empty() ||
+      !cq.aggregates.empty()) {
+    return false;
+  }
+  const engine::CompiledPattern& cp = cq.patterns[0];
+  // A bound time variable makes scan rows pairwise distinct (one row per
+  // validity group); without it two triples can collapse to one row.
+  if (cp.var_t < 0) return false;
+  // The projection must cover every bound slot, or duplicate elimination
+  // could still shrink the output below the pruned k rows.
+  std::set<int> projected(cq.projection.begin(), cq.projection.end());
+  for (int s : {cp.var_s, cp.var_p, cp.var_o, cp.var_t}) {
+    if (s >= 0 && !projected.contains(s)) return false;
+  }
+  return true;
+}
+
 std::vector<JoinStepAlgo> PlanJoinAlgos(const CompiledQuery& cq,
                                         const std::vector<int>& order) {
   const size_t n = order.size();

@@ -43,6 +43,18 @@ enum class JoinStepAlgo {
 std::vector<JoinStepAlgo> PlanJoinAlgos(const engine::CompiledQuery& cq,
                                         const std::vector<int>& order);
 
+/// Top-k pushdown rule (DESIGN.md §14.2): an ORDER BY + LIMIT query may
+/// bypass duplicate elimination and bound its sort to a heap select of
+/// offset+limit rows when the scan output provably contains no
+/// duplicate projected rows and no later operator can reorder or drop
+/// rows. Conditions: a single pattern (no joins, no synchronized-join
+/// shape), no FILTER / OPTIONAL / EXISTS / aggregation, a bound time
+/// variable (so scan rows are distinct), and a projection covering
+/// every variable the pattern binds (so projection cannot collapse
+/// rows). The executor consults this and counts topk_pushdowns.
+bool TopKPushdownEligible(const sparqlt::Query& query,
+                          const engine::CompiledQuery& cq);
+
 /// Cost-based join-order optimizer over a loaded graph's statistics.
 class QueryOptimizer {
  public:

@@ -42,6 +42,24 @@ const char* FuncName(Expr::Kind kind) {
   }
 }
 
+const char* AggName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+    case AggregateFn::kDurCount:
+      return "DCOUNT";
+    case AggregateFn::kDurSum:
+      return "DSUM";
+  }
+  return "?";
+}
+
 }  // namespace
 
 std::string Term::ToString() const {
@@ -92,12 +110,62 @@ std::string Expr::ToString() const {
   }
 }
 
+std::string Aggregate::ToString() const {
+  std::string out = "(";
+  out += AggName(fn);
+  out += "(";
+  if (star) {
+    out += "*";
+  } else {
+    out += "?" + var;
+    if (fn == AggregateFn::kDurSum) out += ", ?" + time_var;
+  }
+  out += ") AS ?" + alias + ")";
+  return out;
+}
+
+namespace {
+
+std::string ExistsToString(const ExistsBlock& ex) {
+  std::string out = " FILTER ";
+  if (ex.negated) out += "NOT ";
+  out += "EXISTS {";
+  for (const auto& p : ex.patterns) out += " " + p.ToString() + " .";
+  for (const auto& f : ex.filters) out += " FILTER" + f->ToString() + " .";
+  out += " } .";
+  return out;
+}
+
+std::string ModifiersToString(const Query& q) {
+  std::string out;
+  if (!q.group_by.empty()) {
+    out += " GROUP BY";
+    for (const auto& v : q.group_by) out += " ?" + v;
+  }
+  if (!q.order_by.empty()) {
+    out += " ORDER BY";
+    for (const auto& k : q.order_by) {
+      if (k.descending) {
+        out += " DESC(?" + k.var + ")";
+      } else {
+        out += " ?" + k.var;
+      }
+    }
+  }
+  if (q.limit >= 0) out += " LIMIT " + std::to_string(q.limit);
+  if (q.offset > 0) out += " OFFSET " + std::to_string(q.offset);
+  return out;
+}
+
+}  // namespace
+
 std::string Query::ToString() const {
   std::string out = "SELECT";
-  if (select.empty()) {
+  if (select.empty() && aggregates.empty()) {
     out += " *";
   } else {
     for (const auto& v : select) out += " ?" + v;
+    for (const auto& a : aggregates) out += " " + a.ToString();
   }
   out += " {";
   if (!union_branches.empty()) {
@@ -110,13 +178,18 @@ std::string Query::ToString() const {
       for (const auto& f : union_branches[i].filters) {
         out += " FILTER" + f->ToString() + " .";
       }
+      for (const auto& ex : union_branches[i].exists) {
+        out += ExistsToString(ex);
+      }
       out += " }";
     }
     out += " }";
+    out += ModifiersToString(*this);
     return out;
   }
   for (const auto& p : patterns) out += " " + p.ToString() + " .";
   for (const auto& f : filters) out += " FILTER" + f->ToString() + " .";
+  for (const auto& ex : exists) out += ExistsToString(ex);
   for (const auto& opt : optionals) {
     out += " OPTIONAL {";
     for (const auto& p : opt.patterns) out += " " + p.ToString() + " .";
@@ -124,6 +197,7 @@ std::string Query::ToString() const {
     out += " } .";
   }
   out += " }";
+  out += ModifiersToString(*this);
   return out;
 }
 

@@ -84,6 +84,47 @@ struct Expr {
 
 using ExprPtr = std::unique_ptr<Expr>;
 
+/// Aggregate functions usable in SELECT projections. The duration-
+/// weighted variants weigh each row by the total length in days of a
+/// temporal variable's validity set (paper §3.2-style interval-aware
+/// aggregation): DCOUNT(?t) sums TOTAL_LENGTH(?t); DSUM(?v, ?t) sums
+/// value(?v) * TOTAL_LENGTH(?t).
+enum class AggregateFn {
+  kCount,     // COUNT(?v) / COUNT(*)
+  kSum,       // SUM(?v)
+  kMin,       // MIN(?v)
+  kMax,       // MAX(?v)
+  kDurCount,  // DCOUNT(?t)
+  kDurSum,    // DSUM(?v, ?t)
+};
+
+/// One `(AGG(...) AS ?alias)` item in a SELECT clause.
+struct Aggregate {
+  AggregateFn fn = AggregateFn::kCount;
+  bool star = false;      // COUNT(*) — no argument variable
+  std::string var;        // argument variable (value for DSUM)
+  std::string time_var;   // the time variable for DCOUNT / DSUM
+  std::string alias;      // output column name (without '?')
+
+  std::string ToString() const;
+};
+
+/// One ORDER BY sort key; `descending` via DESC(?v).
+struct OrderKey {
+  std::string var;
+  bool descending = false;
+};
+
+/// A FILTER [NOT] EXISTS { ... } group: solutions of the enclosing
+/// block are kept iff the group has (resp. has no) compatible match —
+/// a semi-join (anti-join when negated).
+struct ExistsBlock {
+  bool negated = false;
+  std::vector<GraphPattern> patterns;
+  /// Filters referencing this block's (and shared outer) variables.
+  std::vector<ExprPtr> filters;
+};
+
 /// A group of patterns made optional: results keep solutions of the
 /// enclosing block even when the group has no match (left join). This
 /// and UNION extend the paper's SPARQLt, which lists both as future
@@ -98,13 +139,23 @@ struct OptionalBlock {
 /// A parsed SPARQLt query: SELECT projection + either conjunctive
 /// patterns (+ FILTERs + OPTIONAL groups), or top-level UNION branches.
 struct Query {
-  std::vector<std::string> select;  // empty => SELECT *
+  std::vector<std::string> select;  // empty => SELECT * (when no aggregates)
+  /// Aggregate projection items; when non-empty the query is grouped
+  /// (by `group_by`, or into one global group when that is empty).
+  std::vector<Aggregate> aggregates;
   std::vector<GraphPattern> patterns;
   std::vector<ExprPtr> filters;
   std::vector<OptionalBlock> optionals;
+  std::vector<ExistsBlock> exists;
   /// When non-empty, the query is `{ branch } UNION { branch } ...` and
   /// patterns/filters/optionals above are unused.
   std::vector<Query> union_branches;
+
+  // Solution modifiers (apply after the pattern block / UNION).
+  std::vector<std::string> group_by;  // GROUP BY ?v ...
+  std::vector<OrderKey> order_by;     // ORDER BY ?v DESC(?w) ...
+  int64_t limit = -1;                 // LIMIT n (-1 => none)
+  int64_t offset = 0;                 // OFFSET n
 
   std::string ToString() const;
 };

@@ -31,12 +31,57 @@ bool LooksLikeDate(std::string_view s) {
   return dashes == 2 || slashes == 2;
 }
 
+// Incrementally maps byte offsets to 1-based line:column. Offsets are
+// queried in nondecreasing order (tokens are emitted left to right), so
+// the whole input is walked once.
+class LineTracker {
+ public:
+  explicit LineTracker(std::string_view input) : input_(input) {}
+
+  std::pair<uint32_t, uint32_t> At(size_t offset) {
+    while (pos_ < offset && pos_ < input_.size()) {
+      if (input_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++pos_;
+    }
+    return {line_, column_};
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
 }  // namespace
+
+std::string PositionOf(const Token& token) {
+  return std::to_string(token.line) + ":" + std::to_string(token.column);
+}
 
 Result<std::vector<Token>> Tokenize(std::string_view input) {
   std::vector<Token> out;
   size_t i = 0;
   const size_t n = input.size();
+  LineTracker lines(input);
+
+  auto push = [&](Token t) {
+    auto [line, column] = lines.At(t.offset);
+    t.line = line;
+    t.column = column;
+    out.push_back(std::move(t));
+  };
+  // Lexer diagnostics carry the same line:column positions as tokens.
+  auto error = [&](const std::string& msg, size_t offset) {
+    auto [line, column] = lines.At(offset);
+    return Status::ParseError(msg + " at " + std::to_string(line) + ":" +
+                              std::to_string(column));
+  };
 
   auto peek_nonspace = [&](size_t from) -> char {
     while (from < n &&
@@ -59,81 +104,79 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
     const size_t start = i;
     switch (c) {
       case '{':
-        out.push_back({TokenKind::kLBrace, "{", 0, 0, start});
+        push({TokenKind::kLBrace, "{", 0, 0, start});
         ++i;
         continue;
       case '}':
-        out.push_back({TokenKind::kRBrace, "}", 0, 0, start});
+        push({TokenKind::kRBrace, "}", 0, 0, start});
         ++i;
         continue;
       case '(':
-        out.push_back({TokenKind::kLParen, "(", 0, 0, start});
+        push({TokenKind::kLParen, "(", 0, 0, start});
         ++i;
         continue;
       case ')':
-        out.push_back({TokenKind::kRParen, ")", 0, 0, start});
+        push({TokenKind::kRParen, ")", 0, 0, start});
         ++i;
         continue;
       case '.':
-        out.push_back({TokenKind::kDot, ".", 0, 0, start});
+        push({TokenKind::kDot, ".", 0, 0, start});
         ++i;
         continue;
       case ',':
-        out.push_back({TokenKind::kComma, ",", 0, 0, start});
+        push({TokenKind::kComma, ",", 0, 0, start});
         ++i;
         continue;
       case '*':
-        out.push_back({TokenKind::kStar, "*", 0, 0, start});
+        push({TokenKind::kStar, "*", 0, 0, start});
         ++i;
         continue;
       case '=':
         ++i;
         if (i < n && input[i] == '=') ++i;
-        out.push_back({TokenKind::kEq, "=", 0, 0, start});
+        push({TokenKind::kEq, "=", 0, 0, start});
         continue;
       case '!':
         ++i;
         if (i < n && input[i] == '=') {
           ++i;
-          out.push_back({TokenKind::kNe, "!=", 0, 0, start});
+          push({TokenKind::kNe, "!=", 0, 0, start});
         } else {
-          out.push_back({TokenKind::kBang, "!", 0, 0, start});
+          push({TokenKind::kBang, "!", 0, 0, start});
         }
         continue;
       case '<':
         ++i;
         if (i < n && input[i] == '=') {
           ++i;
-          out.push_back({TokenKind::kLe, "<=", 0, 0, start});
+          push({TokenKind::kLe, "<=", 0, 0, start});
         } else {
-          out.push_back({TokenKind::kLt, "<", 0, 0, start});
+          push({TokenKind::kLt, "<", 0, 0, start});
         }
         continue;
       case '>':
         ++i;
         if (i < n && input[i] == '=') {
           ++i;
-          out.push_back({TokenKind::kGe, ">=", 0, 0, start});
+          push({TokenKind::kGe, ">=", 0, 0, start});
         } else {
-          out.push_back({TokenKind::kGt, ">", 0, 0, start});
+          push({TokenKind::kGt, ">", 0, 0, start});
         }
         continue;
       case '&':
         if (i + 1 < n && input[i + 1] == '&') {
           i += 2;
-          out.push_back({TokenKind::kAnd, "&&", 0, 0, start});
+          push({TokenKind::kAnd, "&&", 0, 0, start});
           continue;
         }
-        return Status::ParseError("stray '&' at offset " +
-                                  std::to_string(start));
+        return error("stray '&'", start);
       case '|':
         if (i + 1 < n && input[i + 1] == '|') {
           i += 2;
-          out.push_back({TokenKind::kOr, "||", 0, 0, start});
+          push({TokenKind::kOr, "||", 0, 0, start});
           continue;
         }
-        return Status::ParseError("stray '|' at offset " +
-                                  std::to_string(start));
+        return error("stray '|'", start);
       case '"': {
         ++i;
         std::string text;
@@ -143,11 +186,10 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
           ++i;
         }
         if (i >= n) {
-          return Status::ParseError("unterminated string at offset " +
-                                    std::to_string(start));
+          return error("unterminated string", start);
         }
         ++i;  // closing quote
-        out.push_back({TokenKind::kString, std::move(text), 0, 0, start});
+        push({TokenKind::kString, std::move(text), 0, 0, start});
         continue;
       }
       case '?': {
@@ -159,10 +201,9 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
           ++i;
         }
         if (name.empty()) {
-          return Status::ParseError("empty variable name at offset " +
-                                    std::to_string(start));
+          return error("empty variable name", start);
         }
-        out.push_back({TokenKind::kVariable, std::move(name), 0, 0, start});
+        push({TokenKind::kVariable, std::move(name), 0, 0, start});
         continue;
       }
       default:
@@ -186,10 +227,9 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       if (LooksLikeDate(text)) {
         auto parsed = ParseChronon(text);
         if (!parsed.ok()) {
-          return Status::ParseError("bad date '" + text + "' at offset " +
-                                    std::to_string(start));
+          return error("bad date '" + text + "'", start);
         }
-        out.push_back({TokenKind::kDate, text, 0, *parsed, start});
+        push({TokenKind::kDate, text, 0, *parsed, start});
       } else if (text.find('.') == std::string::npos &&
                  text.find('/') == std::string::npos &&
                  text.find('-') == std::string::npos) {
@@ -199,16 +239,14 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
         int64_t value = 0;
         for (char d : text) {
           if (value > (INT64_MAX - (d - '0')) / 10) {
-            return Status::ParseError("number '" + text +
-                                      "' too large at offset " +
-                                      std::to_string(start));
+            return error("number '" + text + "' too large", start);
           }
           value = value * 10 + (d - '0');
         }
-        out.push_back({TokenKind::kNumber, text, value, 0, start});
+        push({TokenKind::kNumber, text, value, 0, start});
       } else {
         // e.g. "22.7": a literal, not a number we do arithmetic on.
-        out.push_back({TokenKind::kIdent, std::move(text), 0, 0, start});
+        push({TokenKind::kIdent, std::move(text), 0, 0, start});
       }
       continue;
     }
@@ -229,48 +267,82 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       }
       const std::string upper = AsciiUpper(text);
       const bool call_follows = peek_nonspace(i) == '(';
+      const bool block_follows = peek_nonspace(i) == '{';
       if (upper == "SELECT") {
-        out.push_back({TokenKind::kSelect, text, 0, 0, start});
+        push({TokenKind::kSelect, text, 0, 0, start});
       } else if (upper == "WHERE") {
-        out.push_back({TokenKind::kWhere, text, 0, 0, start});
+        push({TokenKind::kWhere, text, 0, 0, start});
       } else if (upper == "FILTER") {
-        out.push_back({TokenKind::kFilter, text, 0, 0, start});
+        push({TokenKind::kFilter, text, 0, 0, start});
       } else if (upper == "OPTIONAL" || upper == "OPT") {
-        out.push_back({TokenKind::kOptional, text, 0, 0, start});
+        push({TokenKind::kOptional, text, 0, 0, start});
       } else if (upper == "UNION") {
-        out.push_back({TokenKind::kUnion, text, 0, 0, start});
+        push({TokenKind::kUnion, text, 0, 0, start});
+      } else if (upper == "GROUP") {
+        push({TokenKind::kGroup, text, 0, 0, start});
+      } else if (upper == "ORDER") {
+        push({TokenKind::kOrder, text, 0, 0, start});
+      } else if (upper == "BY") {
+        push({TokenKind::kBy, text, 0, 0, start});
+      } else if (upper == "LIMIT") {
+        push({TokenKind::kLimit, text, 0, 0, start});
+      } else if (upper == "OFFSET") {
+        push({TokenKind::kOffset, text, 0, 0, start});
+      } else if (upper == "AS") {
+        push({TokenKind::kAs, text, 0, 0, start});
+      } else if (upper == "NOT") {
+        push({TokenKind::kNot, text, 0, 0, start});
+      } else if (upper == "EXISTS" && block_follows) {
+        // EXISTS is a keyword only when its group block follows, so an
+        // IRI-ish term spelled "exists" elsewhere stays an identifier.
+        push({TokenKind::kExists, text, 0, 0, start});
+      } else if (upper == "ASC" && call_follows) {
+        push({TokenKind::kAsc, text, 0, 0, start});
+      } else if (upper == "DESC" && call_follows) {
+        push({TokenKind::kDesc, text, 0, 0, start});
+      } else if (upper == "COUNT" && call_follows) {
+        push({TokenKind::kAggCount, text, 0, 0, start});
+      } else if (upper == "SUM" && call_follows) {
+        push({TokenKind::kAggSum, text, 0, 0, start});
+      } else if (upper == "MIN" && call_follows) {
+        push({TokenKind::kAggMin, text, 0, 0, start});
+      } else if (upper == "MAX" && call_follows) {
+        push({TokenKind::kAggMax, text, 0, 0, start});
+      } else if (upper == "DCOUNT" && call_follows) {
+        push({TokenKind::kAggDurCount, text, 0, 0, start});
+      } else if (upper == "DSUM" && call_follows) {
+        push({TokenKind::kAggDurSum, text, 0, 0, start});
       } else if (upper == "YEAR" && call_follows) {
-        out.push_back({TokenKind::kFuncYear, text, 0, 0, start});
+        push({TokenKind::kFuncYear, text, 0, 0, start});
       } else if (upper == "MONTH" && call_follows) {
-        out.push_back({TokenKind::kFuncMonth, text, 0, 0, start});
+        push({TokenKind::kFuncMonth, text, 0, 0, start});
       } else if (upper == "DAY" && call_follows) {
-        out.push_back({TokenKind::kFuncDay, text, 0, 0, start});
+        push({TokenKind::kFuncDay, text, 0, 0, start});
       } else if (upper == "TSTART" && call_follows) {
-        out.push_back({TokenKind::kFuncTStart, text, 0, 0, start});
+        push({TokenKind::kFuncTStart, text, 0, 0, start});
       } else if (upper == "TEND" && call_follows) {
-        out.push_back({TokenKind::kFuncTEnd, text, 0, 0, start});
+        push({TokenKind::kFuncTEnd, text, 0, 0, start});
       } else if (upper == "LENGTH" && call_follows) {
-        out.push_back({TokenKind::kFuncLength, text, 0, 0, start});
+        push({TokenKind::kFuncLength, text, 0, 0, start});
       } else if (upper == "TOTAL_LENGTH" && call_follows) {
-        out.push_back({TokenKind::kFuncTotalLength, text, 0, 0, start});
+        push({TokenKind::kFuncTotalLength, text, 0, 0, start});
       } else if (upper == "DAY" || upper == "DAYS") {
-        out.push_back({TokenKind::kUnitDay, text, 0, 0, start});
+        push({TokenKind::kUnitDay, text, 0, 0, start});
       } else if (upper == "MONTH" || upper == "MONTHS") {
-        out.push_back({TokenKind::kUnitMonth, text, 0, 0, start});
+        push({TokenKind::kUnitMonth, text, 0, 0, start});
       } else if (upper == "YEAR" || upper == "YEARS") {
-        out.push_back({TokenKind::kUnitYear, text, 0, 0, start});
+        push({TokenKind::kUnitYear, text, 0, 0, start});
       } else if (upper == "NOW") {
-        out.push_back({TokenKind::kDate, text, 0, kChrononNow, start});
+        push({TokenKind::kDate, text, 0, kChrononNow, start});
       } else {
-        out.push_back({TokenKind::kIdent, std::move(text), 0, 0, start});
+        push({TokenKind::kIdent, std::move(text), 0, 0, start});
       }
       continue;
     }
 
-    return Status::ParseError("unexpected character '" + std::string(1, c) +
-                              "' at offset " + std::to_string(start));
+    return error("unexpected character '" + std::string(1, c) + "'", start);
   }
-  out.push_back({TokenKind::kEof, "", 0, 0, n});
+  push({TokenKind::kEof, "", 0, 0, n});
   return out;
 }
 

@@ -19,6 +19,16 @@ enum class TokenKind {
   kFilter,
   kOptional,
   kUnion,
+  kGroup,      // GROUP (solution modifier keyword)
+  kOrder,      // ORDER
+  kBy,         // BY
+  kLimit,      // LIMIT
+  kOffset,     // OFFSET
+  kAsc,        // ASC (only when a '(' follows)
+  kDesc,       // DESC (only when a '(' follows)
+  kAs,         // AS (inside aggregate projections)
+  kNot,        // NOT (only before EXISTS)
+  kExists,     // EXISTS (only when a '{' follows)
   kStar,       // *
   kVariable,   // ?name
   kIdent,      // bare IRI / literal / keywordless word
@@ -47,6 +57,12 @@ enum class TokenKind {
   kFuncTEnd,
   kFuncLength,
   kFuncTotalLength,
+  kAggCount,   // COUNT( — aggregate function heads
+  kAggSum,     // SUM(
+  kAggMin,     // MIN(
+  kAggMax,     // MAX(
+  kAggDurCount,  // DCOUNT( — duration-weighted COUNT
+  kAggDurSum,    // DSUM(   — duration-weighted SUM
   kUnitDay,    // DAY / DAYS used as a duration unit
   kUnitMonth,
   kUnitYear,
@@ -59,7 +75,12 @@ struct Token {
   int64_t number = 0;   // for kNumber
   Chronon date = 0;     // for kDate
   size_t offset = 0;    // byte offset in the input, for error messages
+  uint32_t line = 1;    // 1-based source line of the first byte
+  uint32_t column = 1;  // 1-based byte column within that line
 };
+
+/// Renders a source position as "line:column" for diagnostics.
+std::string PositionOf(const Token& token);
 
 /// Tokenizes `input`. On success the vector ends with a kEof token.
 Result<std::vector<Token>> Tokenize(std::string_view input);

@@ -17,10 +17,18 @@ class Parser {
     if (Peek().kind == TokenKind::kStar) {
       Advance();
     } else {
-      while (Peek().kind == TokenKind::kVariable) {
-        q.select.push_back(Advance().text);
+      while (true) {
+        if (Peek().kind == TokenKind::kVariable) {
+          q.select.push_back(Advance().text);
+        } else if (Peek().kind == TokenKind::kLParen) {
+          auto agg = ParseAggregateItem();
+          if (!agg.ok()) return agg.status();
+          q.aggregates.push_back(std::move(agg).value());
+        } else {
+          break;
+        }
       }
-      if (q.select.empty()) {
+      if (q.select.empty() && q.aggregates.empty()) {
         return Error("expected projection variables or '*' after SELECT");
       }
     }
@@ -31,7 +39,8 @@ class Parser {
       while (true) {
         RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
         Query branch;
-        RDFTX_RETURN_IF_ERROR(ParseBlock(&branch, /*allow_optional=*/true));
+        RDFTX_RETURN_IF_ERROR(ParseBlock(&branch, /*allow_optional=*/true,
+                                         /*allow_exists=*/true));
         if (branch.patterns.empty()) {
           return Error("empty UNION branch");
         }
@@ -47,31 +56,43 @@ class Parser {
         return Error("UNION needs at least two branches");
       }
     } else {
-      RDFTX_RETURN_IF_ERROR(ParseBlock(&q, /*allow_optional=*/true));
+      RDFTX_RETURN_IF_ERROR(ParseBlock(&q, /*allow_optional=*/true,
+                                       /*allow_exists=*/true));
       if (q.patterns.empty()) {
         return Error("query needs at least one graph pattern");
       }
     }
+    RDFTX_RETURN_IF_ERROR(ParseModifiers(&q));
     if (Peek().kind != TokenKind::kEof) {
       return Error("trailing tokens after query");
     }
     return q;
   }
 
-  /// Parses pattern/filter/OPTIONAL items up to (and consuming) the
-  /// closing '}'.
-  Status ParseBlock(Query* out, bool allow_optional) {
+  /// Parses pattern/filter/OPTIONAL/FILTER-EXISTS items up to (and
+  /// consuming) the closing '}'.
+  Status ParseBlock(Query* out, bool allow_optional, bool allow_exists) {
     while (Peek().kind != TokenKind::kRBrace) {
       if (Peek().kind == TokenKind::kEof) {
         return Error("unterminated query block");
       }
       if (Peek().kind == TokenKind::kFilter) {
         Advance();
-        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
-        auto expr = ParseExpr();
-        if (!expr.ok()) return expr.status();
-        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
-        out->filters.push_back(std::move(expr).value());
+        if (Peek().kind == TokenKind::kNot ||
+            Peek().kind == TokenKind::kExists) {
+          if (!allow_exists) {
+            return Error("FILTER EXISTS cannot nest inside this group");
+          }
+          auto ex = ParseExistsBlock();
+          if (!ex.ok()) return ex.status();
+          out->exists.push_back(std::move(ex).value());
+        } else {
+          RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+          auto expr = ParseExpr();
+          if (!expr.ok()) return expr.status();
+          RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+          out->filters.push_back(std::move(expr).value());
+        }
       } else if (Peek().kind == TokenKind::kOptional) {
         if (!allow_optional) {
           return Error("OPTIONAL cannot nest inside OPTIONAL");
@@ -79,7 +100,8 @@ class Parser {
         Advance();
         RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
         Query group;
-        RDFTX_RETURN_IF_ERROR(ParseBlock(&group, /*allow_optional=*/false));
+        RDFTX_RETURN_IF_ERROR(ParseBlock(&group, /*allow_optional=*/false,
+                                         /*allow_exists=*/false));
         if (group.patterns.empty()) {
           return Error("empty OPTIONAL group");
         }
@@ -112,13 +134,162 @@ class Parser {
     return t;
   }
 
+  // Diagnostics carry the source position (line:column) and the
+  // offending token so a failing query in a large file is findable.
   Status Error(const std::string& msg) const {
-    return Status::ParseError(msg + " (at offset " +
-                              std::to_string(Peek().offset) + ")");
+    const Token& tok = Peek();
+    std::string where = " at " + PositionOf(tok);
+    if (tok.kind == TokenKind::kEof) {
+      where += " near end of input";
+    } else {
+      where += " near '" + tok.text + "'";
+    }
+    return Status::ParseError(msg + where);
   }
   Status Expect(TokenKind kind, const std::string& what) {
     if (Peek().kind != kind) return Error("expected " + what);
     Advance();
+    return Status::OK();
+  }
+
+  /// Parses one `(AGG(...) AS ?alias)` SELECT item; the leading '(' is
+  /// still unconsumed.
+  Result<Aggregate> ParseAggregateItem() {
+    RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    Aggregate agg;
+    switch (Peek().kind) {
+      case TokenKind::kAggCount:
+        agg.fn = AggregateFn::kCount;
+        break;
+      case TokenKind::kAggSum:
+        agg.fn = AggregateFn::kSum;
+        break;
+      case TokenKind::kAggMin:
+        agg.fn = AggregateFn::kMin;
+        break;
+      case TokenKind::kAggMax:
+        agg.fn = AggregateFn::kMax;
+        break;
+      case TokenKind::kAggDurCount:
+        agg.fn = AggregateFn::kDurCount;
+        break;
+      case TokenKind::kAggDurSum:
+        agg.fn = AggregateFn::kDurSum;
+        break;
+      default:
+        return Error(
+            "expected an aggregate (COUNT/SUM/MIN/MAX/DCOUNT/DSUM)");
+    }
+    Advance();
+    RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    if (Peek().kind == TokenKind::kStar) {
+      if (agg.fn != AggregateFn::kCount) {
+        return Error("'*' is only valid in COUNT(*)");
+      }
+      Advance();
+      agg.star = true;
+    } else {
+      if (Peek().kind != TokenKind::kVariable) {
+        return Error("expected a variable as aggregate argument");
+      }
+      agg.var = Advance().text;
+      if (agg.fn == AggregateFn::kDurSum) {
+        RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+        if (Peek().kind != TokenKind::kVariable) {
+          return Error("expected a time variable after ',' in DSUM");
+        }
+        agg.time_var = Advance().text;
+      }
+    }
+    RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kAs, "AS"));
+    if (Peek().kind != TokenKind::kVariable) {
+      return Error("expected an alias variable after AS");
+    }
+    agg.alias = Advance().text;
+    RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return agg;
+  }
+
+  /// Parses `[NOT] EXISTS { ... }`; FILTER is already consumed.
+  Result<ExistsBlock> ParseExistsBlock() {
+    ExistsBlock ex;
+    if (Peek().kind == TokenKind::kNot) {
+      Advance();
+      ex.negated = true;
+    }
+    if (Peek().kind != TokenKind::kExists) {
+      return Error("expected EXISTS { ... } after NOT");
+    }
+    Advance();
+    RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+    Query group;
+    RDFTX_RETURN_IF_ERROR(ParseBlock(&group, /*allow_optional=*/false,
+                                     /*allow_exists=*/false));
+    if (group.patterns.empty()) {
+      return Error("empty EXISTS group");
+    }
+    ex.patterns = std::move(group.patterns);
+    ex.filters = std::move(group.filters);
+    return ex;
+  }
+
+  /// Parses the solution-modifier tail: GROUP BY, ORDER BY, and
+  /// LIMIT/OFFSET (the latter two in either order).
+  Status ParseModifiers(Query* out) {
+    if (Peek().kind == TokenKind::kGroup) {
+      Advance();
+      RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kBy, "BY after GROUP"));
+      while (Peek().kind == TokenKind::kVariable) {
+        out->group_by.push_back(Advance().text);
+      }
+      if (out->group_by.empty()) {
+        return Error("expected grouping variables after GROUP BY");
+      }
+    }
+    if (Peek().kind == TokenKind::kOrder) {
+      Advance();
+      RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kBy, "BY after ORDER"));
+      while (true) {
+        if (Peek().kind == TokenKind::kVariable) {
+          out->order_by.push_back({Advance().text, false});
+        } else if (Peek().kind == TokenKind::kAsc ||
+                   Peek().kind == TokenKind::kDesc) {
+          const bool descending = Advance().kind == TokenKind::kDesc;
+          RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+          if (Peek().kind != TokenKind::kVariable) {
+            return Error("expected a variable inside ASC()/DESC()");
+          }
+          out->order_by.push_back({Advance().text, descending});
+          RDFTX_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        } else {
+          break;
+        }
+      }
+      if (out->order_by.empty()) {
+        return Error("expected sort keys after ORDER BY");
+      }
+    }
+    bool saw_limit = false, saw_offset = false;
+    while (Peek().kind == TokenKind::kLimit ||
+           Peek().kind == TokenKind::kOffset) {
+      const bool is_limit = Advance().kind == TokenKind::kLimit;
+      if (is_limit ? saw_limit : saw_offset) {
+        return Error(is_limit ? "duplicate LIMIT" : "duplicate OFFSET");
+      }
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error(is_limit ? "expected a number after LIMIT"
+                              : "expected a number after OFFSET");
+      }
+      const int64_t v = Advance().number;
+      if (is_limit) {
+        out->limit = v;
+        saw_limit = true;
+      } else {
+        out->offset = v;
+        saw_offset = true;
+      }
+    }
     return Status::OK();
   }
 

@@ -1,0 +1,148 @@
+// ExecStats coverage for the solution-modifier / EXISTS operators:
+// agg_groups, topk_pushdowns, and exists_probes must be populated the
+// same way under both exec modes (the operators run in the shared
+// row-level tail), and the results must agree cell for cell.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "engine/executor.h"
+#include "rdf/temporal_graph.h"
+#include "util/date.h"
+
+namespace rdftx {
+namespace {
+
+Chronon day(int y, unsigned m, unsigned d) { return ChrononFromYmd(y, m, d); }
+
+class ModifierStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto id = [&](const std::string& s) { return dict_.Intern(s); };
+    const TermId uc = id("UC"), ut = id("UT");
+    const TermId president = id("president"), budget = id("budget");
+    std::vector<TemporalTriple> triples = {
+        {{uc, president, id("Dynes")}, {day(2003, 10, 2), day(2008, 6, 16)}},
+        {{uc, president, id("Yudof")}, {day(2008, 6, 16), day(2013, 9, 30)}},
+        {{uc, president, id("Napolitano")}, {day(2013, 9, 30), kChrononNow}},
+        {{uc, budget, id("22.7")}, {day(2013, 1, 30), day(2015, 1, 30)}},
+        {{uc, budget, id("25.46")}, {day(2015, 1, 30), kChrononNow}},
+        {{ut, president, id("Powers")}, {day(2006, 2, 1), day(2015, 6, 2)}},
+    };
+    ASSERT_TRUE(graph_.Load(triples).ok());
+  }
+
+  engine::ResultSet Run(const std::string& query, engine::ExecMode mode) {
+    engine::EngineOptions options;
+    options.now = day(2016, 3, 15);
+    options.exec_mode = mode;
+    engine::QueryEngine eng(&graph_, &dict_, options);
+    auto r = eng.Execute(query);
+    EXPECT_TRUE(r.ok()) << query << "\n" << r.status().ToString();
+    return r.ok() ? *r : engine::ResultSet{};
+  }
+
+  // Runs under both modes, checks the rows agree (as a set — insertion
+  // order may differ between modes without ORDER BY), and returns the
+  // two stats for counter assertions.
+  std::pair<engine::ExecStats, engine::ExecStats> RunBoth(
+      const std::string& query) {
+    engine::ResultSet tuple = Run(query, engine::ExecMode::kTupleAtATime);
+    engine::ResultSet vec = Run(query, engine::ExecMode::kVectorized);
+    EXPECT_EQ(tuple.columns, vec.columns) << query;
+    auto sorted_rows = [](const engine::ResultSet& rs) {
+      std::vector<std::string> out;
+      for (const auto& row : rs.rows) {
+        std::string line;
+        for (const engine::Cell& cell : row) line += cell.ToString() + "\t";
+        out.push_back(std::move(line));
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(sorted_rows(tuple), sorted_rows(vec)) << query;
+    return {tuple.stats, vec.stats};
+  }
+
+  Dictionary dict_;
+  TemporalGraph graph_;
+};
+
+TEST_F(ModifierStatsTest, AggGroupsCountsEmittedGroups) {
+  auto [tuple, vec] =
+      RunBoth("SELECT ?u (COUNT(?p) AS ?n) { ?u president ?p ?t } "
+              "GROUP BY ?u");
+  EXPECT_EQ(tuple.agg_groups, 2u);  // UC and UT
+  EXPECT_EQ(vec.agg_groups, 2u);
+  EXPECT_EQ(tuple.topk_pushdowns, 0u);
+  EXPECT_EQ(tuple.exists_probes, 0u);
+}
+
+TEST_F(ModifierStatsTest, AggGroupsCountsTheGlobalGroup) {
+  // Ungrouped aggregation over empty input still emits its zero row.
+  auto [tuple, vec] =
+      RunBoth("SELECT (COUNT(*) AS ?n) { ?u chancellor ?p ?t }");
+  EXPECT_EQ(tuple.agg_groups, 1u);
+  EXPECT_EQ(vec.agg_groups, 1u);
+}
+
+TEST_F(ModifierStatsTest, TopKPushdownFiresOnEligibleShape) {
+  // Single pattern, full projection, bound time variable: the executor
+  // skips duplicate elimination and bounds the sort.
+  auto [tuple, vec] =
+      RunBoth("SELECT ?p ?t { UC president ?p ?t } ORDER BY ?t LIMIT 2");
+  EXPECT_EQ(tuple.topk_pushdowns, 1u);
+  EXPECT_EQ(vec.topk_pushdowns, 1u);
+}
+
+TEST_F(ModifierStatsTest, TopKPushdownDeclinesJoinsAndPartialProjections) {
+  // A join can produce duplicate projected rows: no pushdown.
+  auto [t1, v1] = RunBoth(
+      "SELECT ?p ?t { ?u president ?p ?t . ?u budget ?b ?t } "
+      "ORDER BY ?t LIMIT 2");
+  EXPECT_EQ(t1.topk_pushdowns, 0u);
+  EXPECT_EQ(v1.topk_pushdowns, 0u);
+  // Projection that drops a bound variable can collapse rows: no
+  // pushdown either.
+  auto [t2, v2] =
+      RunBoth("SELECT ?p { UC president ?p ?t } ORDER BY ?p LIMIT 2");
+  EXPECT_EQ(t2.topk_pushdowns, 0u);
+  EXPECT_EQ(v2.topk_pushdowns, 0u);
+}
+
+TEST_F(ModifierStatsTest, ExistsProbesCountOuterRows) {
+  // Three UC president rows reach the EXISTS probe in either mode.
+  auto [tuple, vec] = RunBoth(
+      "SELECT ?p { UC president ?p ?t . "
+      "FILTER EXISTS { UC budget ?b ?t } }");
+  EXPECT_EQ(tuple.exists_probes, 3u);
+  EXPECT_EQ(vec.exists_probes, 3u);
+}
+
+TEST_F(ModifierStatsTest, NotExistsProbesEveryRowOfEveryBlock) {
+  // Two stacked EXISTS blocks: 4 president rows probe the first block;
+  // the survivors probe the second.
+  auto [tuple, vec] = RunBoth(
+      "SELECT ?u ?p { ?u president ?p ?t . "
+      "FILTER EXISTS { ?u budget ?b ?t2 } . "
+      "FILTER NOT EXISTS { ?u budget ?b2 ?t } }");
+  EXPECT_EQ(tuple.exists_probes, vec.exists_probes);
+  EXPECT_GE(tuple.exists_probes, 4u);
+}
+
+TEST_F(ModifierStatsTest, CountersSurviveIntoLastStatsShim) {
+  engine::EngineOptions options;
+  options.now = day(2016, 3, 15);
+  engine::QueryEngine eng(&graph_, &dict_, options);
+  auto r = eng.Execute(
+      "SELECT ?u (COUNT(*) AS ?n) { ?u president ?p ?t } GROUP BY ?u");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(eng.last_stats().agg_groups, r->stats.agg_groups);
+}
+
+}  // namespace
+}  // namespace rdftx

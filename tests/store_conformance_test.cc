@@ -134,6 +134,39 @@ class StoreConformanceTest
     return queries;
   }
 
+  // Queries over the new language surface — aggregates, GROUP BY,
+  // ORDER BY/LIMIT (including the top-k pushdown shape), and FILTER
+  // [NOT] EXISTS — parameterized by predicates sampled from the data.
+  std::vector<std::string> ModifierWorkload(uint64_t seed) const {
+    Rng rng(seed);
+    auto pred = [&]() {
+      const TemporalTriple& tt =
+          data_.triples[rng.Uniform(data_.triples.size())];
+      return dict_.Decode(tt.triple.p);
+    };
+    std::vector<std::string> queries;
+    for (int i = 0; i < 4; ++i) {
+      const std::string p1 = pred(), p2 = pred();
+      queries.push_back("SELECT ?s (COUNT(?o) AS ?n) { ?s " + p1 +
+                        " ?o ?t } GROUP BY ?s");
+      queries.push_back("SELECT (COUNT(*) AS ?n) (MIN(?o) AS ?lo) "
+                        "(MAX(?t) AS ?hi) { ?s " + p1 + " ?o ?t }");
+      queries.push_back("SELECT ?s (DCOUNT(?t) AS ?d) { ?s " + p1 +
+                        " ?o ?t } GROUP BY ?s ORDER BY DESC(?d) ?s "
+                        "LIMIT 10");
+      // Top-k pushdown shape: single pattern, full projection, bound ?t.
+      queries.push_back("SELECT ?s ?o ?t { ?s " + p1 +
+                        " ?o ?t } ORDER BY DESC(?t) ?s ?o LIMIT 8");
+      queries.push_back("SELECT ?s ?o { ?s " + p1 +
+                        " ?o ?t . FILTER EXISTS { ?s " + p2 +
+                        " ?o2 ?t } } LIMIT 40");
+      queries.push_back("SELECT ?s { ?s " + p1 +
+                        " ?o ?t . FILTER NOT EXISTS { ?s " + p2 +
+                        " ?o2 ?t2 } }");
+    }
+    return queries;
+  }
+
   Dictionary dict_;
   Dictionary loaded_dict_;
   workload::Dataset data_;
@@ -179,6 +212,51 @@ TEST_P(StoreConformanceTest, EngineAgreesWithNaiveOracle) {
   // Queries are sampled from dataset facts; if most come back empty the
   // comparison is vacuous.
   EXPECT_GE(nonempty, 20);
+}
+
+TEST_P(StoreConformanceTest, ModifierQueriesAgreeAcrossModesAndStores) {
+  // Aggregates, ORDER BY/LIMIT, and EXISTS run in the shared row-level
+  // tail, so both exec modes must produce identical rows AND identical
+  // operator counters (agg_groups, topk_pushdowns, exists_probes) on
+  // every store; the NaiveStore tuple run is the oracle for the rows.
+  engine::EngineOptions tuple_opts;
+  tuple_opts.exec_mode = engine::ExecMode::kTupleAtATime;
+  engine::QueryEngine oracle(&naive_, &dict_, tuple_opts);
+  engine::QueryEngine oracle_vec(&naive_, &dict_);
+  engine::QueryEngine mvbt(graph_.get(), &dict_);
+  engine::QueryEngine mvbt_tuple(graph_.get(), &dict_, tuple_opts);
+  uint64_t agg_groups = 0, topk = 0, exists_probes = 0;
+  for (const std::string& q : ModifierWorkload(GetParam().seed * 31 + 7)) {
+    auto want = oracle.Execute(q);
+    ASSERT_TRUE(want.ok()) << q << "\n" << want.status().ToString();
+    const std::string expect = SortedFingerprint(*want);
+    struct Check {
+      const char* what;
+      engine::QueryEngine* eng;
+    };
+    for (const Check& c : {Check{"vectorized oracle", &oracle_vec},
+                           Check{"vectorized mvbt", &mvbt},
+                           Check{"tuple mvbt", &mvbt_tuple}}) {
+      auto got = c.eng->Execute(q);
+      ASSERT_TRUE(got.ok()) << q << "\n" << got.status().ToString();
+      EXPECT_EQ(SortedFingerprint(*got), expect)
+          << c.what << " divergence on\n"
+          << q;
+      EXPECT_EQ(got->stats.agg_groups, want->stats.agg_groups)
+          << c.what << " agg_groups parity on\n" << q;
+      EXPECT_EQ(got->stats.topk_pushdowns, want->stats.topk_pushdowns)
+          << c.what << " topk_pushdowns parity on\n" << q;
+      EXPECT_EQ(got->stats.exists_probes, want->stats.exists_probes)
+          << c.what << " exists_probes parity on\n" << q;
+    }
+    agg_groups += want->stats.agg_groups;
+    topk += want->stats.topk_pushdowns;
+    exists_probes += want->stats.exists_probes;
+  }
+  // The workload must actually exercise each new operator.
+  EXPECT_GT(agg_groups, 0u);
+  EXPECT_GT(topk, 0u);
+  EXPECT_GT(exists_probes, 0u);
 }
 
 TEST_P(StoreConformanceTest, ScansAgreeOnAllSixteenPatternTypes) {

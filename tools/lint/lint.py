@@ -30,6 +30,11 @@ Rules (see DESIGN.md "Static analysis & lock discipline"):
                   comment — `// status-ignored: <why>` on the same line
                   or the line above. rdftx-analyzer's status-propagation
                   check recognizes the same convention.
+  conformance-pairing
+                  Every tests/conformance/cases/*.rq query ships with
+                  exactly one paired .expected or .error file (and no
+                  expectation file is an orphan), so the conformance
+                  suite can never silently skip a query.
 
 The textual layer always runs and needs only Python. When clang-query
 and a compile_commands.json are available (the CI lint job; any local
@@ -207,6 +212,41 @@ def nodiscard_meta_findings(root):
     return findings
 
 
+def conformance_pairing_findings(root):
+    """Every tests/conformance/cases/<name>.rq must pair with exactly one
+    of <name>.expected or <name>.error, and no expectation file may be an
+    orphan. The conformance runner enforces the same rule at runtime;
+    lint catches it before a test run."""
+    findings = []
+    cases = os.path.join(root, "tests", "conformance", "cases")
+    if not os.path.isdir(cases):
+        return findings
+    names = sorted(os.listdir(cases))
+    stems = {}
+    for name in names:
+        stem, ext = os.path.splitext(name)
+        if ext in (".rq", ".expected", ".error"):
+            stems.setdefault(stem, set()).add(ext)
+        else:
+            findings.append(
+                f"tests/conformance/cases/{name}: [conformance-pairing] "
+                "unexpected file; only .rq/.expected/.error belong here")
+    for stem, exts in sorted(stems.items()):
+        if ".rq" not in exts:
+            findings.append(
+                f"tests/conformance/cases/{stem}: [conformance-pairing] "
+                "expectation file without a .rq query")
+        elif ".expected" in exts and ".error" in exts:
+            findings.append(
+                f"tests/conformance/cases/{stem}.rq: [conformance-pairing] "
+                "has both .expected and .error; keep exactly one")
+        elif ".expected" not in exts and ".error" not in exts:
+            findings.append(
+                f"tests/conformance/cases/{stem}.rq: [conformance-pairing] "
+                "query without a paired .expected or .error file")
+    return findings
+
+
 # ---------------------------------------------------------------------------
 # clang-query AST rules
 # ---------------------------------------------------------------------------
@@ -375,6 +415,7 @@ def main():
     findings = textual_findings(root)
     findings += nodiscard_meta_findings(root)
     findings += ignore_error_findings(root)
+    findings += conformance_pairing_findings(root)
 
     have_db = args.compile_commands and os.path.exists(args.compile_commands)
     clang_query, _ = resolve_clang_query(args.clang_query)
