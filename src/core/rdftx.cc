@@ -20,6 +20,9 @@ Status RdfTx::Add(std::string_view subject, std::string_view predicate,
   if (!s.ok()) return s.status();
   auto e = ParseChronon(end);
   if (!e.ok()) return e.status();
+  if (*e < *s) {
+    return Status::InvalidArgument("validity end precedes start");
+  }
   return Add(subject, predicate, object, Interval(*s, *e));
 }
 

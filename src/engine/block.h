@@ -129,7 +129,11 @@ class BindingBlock {
     if (code != 0) return extra_[code - 1];
     const Chronon s = start_col(v)[row];
     const Chronon e = end_col(v)[row];
-    if (s == e) return TemporalSet();
+    // >= (not ==): an inverted pair could only come from a bug in an
+    // operator writing the columns, but it must degrade to the empty
+    // set rather than construct an inverted Interval — and the widened
+    // guard lets rdftx-analyzer prove s < e for the construction below.
+    if (s >= e) return TemporalSet();
     return TemporalSet(Interval(s, e));
   }
 

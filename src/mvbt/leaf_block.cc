@@ -426,6 +426,14 @@ Status LeafBlock::CheckStream(const uint8_t* bytes, size_t size, size_t count,
       if (!get_varint(&ds)) {
         return Status::Corruption("leaf stream truncated in compact ts");
       }
+      // Bound the delta before adding: an unbounded varint could wrap
+      // the 64-bit sum back into the valid domain and smuggle a bogus
+      // start past the range check below (found by fuzzing in PR 2's
+      // bug class; rdftx-analyzer's decode-overflow check enforces the
+      // guard-before-arithmetic order).
+      if (ds > kChrononMax) {
+        return Status::Corruption("leaf entry start delta out of range");
+      }
       const uint64_t start = static_cast<uint64_t>(prev.start) + ds;
       if (start > kChrononMax) {
         return Status::Corruption("leaf entry start outside temporal domain");
@@ -465,6 +473,11 @@ Status LeafBlock::CheckStream(const uint8_t* bytes, size_t size, size_t count,
       if (!get_varint(&ds)) {
         return Status::Corruption("leaf stream truncated in ts");
       }
+      // Guard before the add, as in the compact path above: the sum
+      // must not be able to wrap past the bounds check.
+      if (ds > kChrononMax) {
+        return Status::Corruption("leaf entry start delta out of range");
+      }
       const uint64_t start = static_cast<uint64_t>(prev.start) + ds;
       if (start > kChrononMax) {
         return Status::Corruption("leaf entry start outside temporal domain");
@@ -477,6 +490,12 @@ Status LeafBlock::CheckStream(const uint8_t* bytes, size_t size, size_t count,
         if (!get_varint(&len)) {
           return Status::Corruption("leaf stream truncated in te length");
         }
+        // `start + len` with an unbounded length wraps mod 2^64 and can
+        // land back inside [0, kChrononNow] — reject oversized lengths
+        // before the arithmetic, not after.
+        if (len > kChrononNow) {
+          return Status::Corruption("leaf entry te length out of range");
+        }
         const uint64_t end = start + len;
         if (end > kChrononNow) {
           return Status::Corruption("leaf entry end outside temporal domain");
@@ -487,10 +506,20 @@ Status LeafBlock::CheckStream(const uint8_t* bytes, size_t size, size_t count,
         if (!get_varint(&zd)) {
           return Status::Corruption("leaf stream truncated in te delta");
         }
-        const int64_t end =
-            static_cast<int64_t>(ref_te) + ZigZagDecode(zd);
+        // The zigzag delta is a full-range int64; adding it to ref_te
+        // unchecked is signed-overflow UB. Bound it to the temporal
+        // domain first (any wider delta is corrupt anyway).
+        const int64_t d = ZigZagDecode(zd);
+        if (d < -static_cast<int64_t>(kChrononNow) ||
+            d > static_cast<int64_t>(kChrononNow)) {
+          return Status::Corruption("leaf entry te delta out of range");
+        }
+        const int64_t end = static_cast<int64_t>(ref_te) + d;
         if (end < 0 || end > static_cast<int64_t>(kChrononNow)) {
           return Status::Corruption("leaf entry end outside temporal domain");
+        }
+        if (end < static_cast<int64_t>(start)) {
+          return Status::Corruption("leaf entry interval inverted");
         }
         e.end = static_cast<Chronon>(end);
       }

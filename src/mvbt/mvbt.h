@@ -213,6 +213,9 @@ class Mvbt {
     bool strong_exempt = false;
 
     bool alive() const { return dead == kChrononNow; }
+    // created <= dead is a node invariant: a node dies (version split /
+    // merge) at the current version, never before its creation.
+    // rdftx-analyzer: allow(interval-soundness)
     Interval lifespan() const { return Interval(created, dead); }
   };
 

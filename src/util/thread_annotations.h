@@ -96,4 +96,36 @@
 #define NO_THREAD_SAFETY_ANALYSIS \
   RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
 
+// ---------------------------------------------------------------------------
+// rdftx-analyzer summary-export attributes (DESIGN.md §12.2). The
+// interprocedural layer computes a bottom-up summary for every function
+// it can see; these annotations *export* a summary fact on the
+// declaration itself, for bodies the analyzer cannot or should not
+// derive it from (external linkage, audited fast paths). Each use is an
+// audited claim and needs a justification comment, like IgnoreError().
+// ---------------------------------------------------------------------------
+
+/// Durability summary export: every acked path through this function
+/// reaches an fsync (it is "sync-equivalent"). A call to it satisfies a
+/// pending WAL-append obligation in the caller's CFG exactly like a
+/// direct *Sync* call. Use when the sync lives behind a pointer or a
+/// virtual boundary the bottom-up pass cannot see through.
+#define SYNCS_ON_ALL_PATHS \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(annotate("rdftx::syncs_on_all_paths"))
+
+/// result-unwrap summary export: this function unwraps (value() /
+/// operator*) the Result arguments it receives without re-checking
+/// ok(); callers must pass ok()-proven results. Equivalent to the
+/// summary the analyzer derives from a visible body.
+#define UNWRAPS_RESULT_ARGS \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(annotate("rdftx::unwraps_result_args"))
+
+/// decode-overflow opt-out: this function decodes a stream that was
+/// already validated (LeafBlock::CheckStream, WAL frame checksums), so
+/// its unguarded delta arithmetic cannot receive hostile values. The
+/// decode-overflow check skips the whole function instead of requiring
+/// per-line allow() comments on the trusted fast path.
+#define TRUSTED_DECODE \
+  RDFTX_THREAD_ANNOTATION_ATTRIBUTE__(annotate("rdftx::trusted_decode"))
+
 #endif  // RDFTX_UTIL_THREAD_ANNOTATIONS_H_

@@ -171,9 +171,13 @@ Dataset GenerateWikipedia(Dictionary* dict,
           end = t + 1 + static_cast<Chronon>(rng.Uniform(2 * avg_len));
           if (end > history_end) end = history_end;
         }
-        out.triples.push_back(
-            TemporalTriple{{subject, pr.pred, value_of(*pr.tpl, &rng)},
-                           Interval(t, end)});
+        // end is either kChrononNow, or >= t + 1 with the history_end
+        // clamp only ever lowering it back to a value > t (the loop
+        // breaks once t reaches history_end).
+        // rdftx-analyzer: allow(interval-soundness)
+        const Interval validity(t, end);
+        out.triples.push_back(TemporalTriple{
+            {subject, pr.pred, value_of(*pr.tpl, &rng)}, validity});
         if (end == kChrononNow || end >= history_end) break;
         t = end;
       }
@@ -190,8 +194,10 @@ Dataset GenerateWikipedia(Dictionary* dict,
                         : created + 1 +
                               static_cast<Chronon>(rng.Uniform(
                                   std::max<uint64_t>(2, span / 3)));
-      out.triples.push_back(
-          TemporalTriple{{subject, pred, value}, Interval(created, end)});
+      // end is kChrononNow or drawn strictly above created.
+      // rdftx-analyzer: allow(interval-soundness)
+      const Interval validity(created, end);
+      out.triples.push_back(TemporalTriple{{subject, pred, value}, validity});
     }
   }
 

@@ -1,0 +1,17 @@
+#include "tools/analyzer/callgraph.h"
+
+#include "clang/Index/USRGeneration.h"
+#include "llvm/ADT/SmallString.h"
+
+namespace rdftx_analyzer {
+
+std::string UsrOf(const clang::Decl* d) {
+  if (d == nullptr) return "";
+  llvm::SmallString<128> usr;
+  if (clang::index::generateUSRForDecl(d->getCanonicalDecl(), usr)) {
+    return "";
+  }
+  return usr.str().str();
+}
+
+}  // namespace rdftx_analyzer

@@ -1,0 +1,50 @@
+// USR-keyed call graph of the analyzed program, accumulated per
+// translation unit and merged in the global phase (DESIGN.md §12.2).
+//
+// Nodes are Unified Symbol Resolutions (clang/Index USRs), so the same
+// function observed from different TUs — declaration in a header,
+// definition elsewhere, calls from anywhere — lands on one node. Edges
+// are direct calls only: virtual dispatch and calls through function
+// pointers are NOT modelled (the summaries' precision notes in
+// DESIGN.md §12.5 spell out the consequences). Edges survive in the
+// summary cache, so a warm run reassembles the whole-program graph
+// without reparsing anything.
+#ifndef RDFTX_TOOLS_ANALYZER_CALLGRAPH_H_
+#define RDFTX_TOOLS_ANALYZER_CALLGRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "clang/AST/Decl.h"
+
+namespace rdftx_analyzer {
+
+/// USR of `d`'s canonical declaration ("" when none can be generated,
+/// e.g. for builtins).
+std::string UsrOf(const clang::Decl* d);
+
+/// Caller -> callees adjacency, USR-keyed.
+struct CallGraph {
+  std::map<std::string, std::set<std::string>> edges;
+
+  void AddEdge(const std::string& caller, const std::string& callee) {
+    if (caller.empty() || callee.empty()) return;
+    edges[caller].insert(callee);
+  }
+
+  void Merge(const CallGraph& other) {
+    for (const auto& [caller, callees] : other.edges) {
+      edges[caller].insert(callees.begin(), callees.end());
+    }
+  }
+
+  const std::set<std::string>* CalleesOf(const std::string& usr) const {
+    auto it = edges.find(usr);
+    return it == edges.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace rdftx_analyzer
+
+#endif  // RDFTX_TOOLS_ANALYZER_CALLGRAPH_H_

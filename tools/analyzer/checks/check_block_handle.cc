@@ -1,0 +1,237 @@
+// block-handle: engine::BindingBlock ownership is RAII through
+// BlockHandle — no `new BindingBlock`, no BlockHandle discarded as an
+// unused prvalue, no .get() on a temporary handle. Interprocedurally,
+// a helper that returns the raw pointer of a BlockHandle parameter
+// (summary: returns_param_derived) makes `Helper(pool.Acquire(n))`
+// just as dangling as `pool.Acquire(n).get()` — the temporary handle
+// dies at the end of the caller's statement.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/summaries.h"
+
+namespace rdftx_analyzer {
+namespace {
+
+using namespace clang;
+
+bool IsBlockHandleType(QualType t) {
+  return IsBlockHandleRecord(RecordOf(t));
+}
+
+class BlockHandleTu : public RecursiveASTVisitor<BlockHandleTu> {
+ public:
+  explicit BlockHandleTu(TuContext& tu) : tu_(tu) {}
+
+  void Run(ASTContext& ctx) {
+    TraverseDecl(ctx.getTranslationUnitDecl());
+    for (const FunctionDecl* fn : bodies_) {
+      CheckDiscards(fn->getBody());
+      RecordGetOnParam(fn);
+    }
+  }
+
+  bool VisitFunctionDecl(FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
+        tu_.InScope(fn->getBeginLoc())) {
+      bodies_.push_back(fn);
+    }
+    return true;
+  }
+
+  bool VisitCXXNewExpr(CXXNewExpr* ne) {
+    if (!tu_.InScope(ne->getBeginLoc())) return true;
+    if (IsBindingBlockRecord(RecordOf(ne->getAllocatedType()))) {
+      tu_.Emit(ne->getBeginLoc(), "block-handle",
+               "BindingBlock allocated with new; acquire it from the "
+               "BlockPool so a BlockHandle owns it on every path");
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr* call) {
+    HandleTemporaryGet(call);
+    HandleTemporaryThroughHelper(call);
+    return true;
+  }
+
+ private:
+  // `pool.Acquire(n).get()`: the temporary handle releases the block
+  // at the end of the full expression, so the raw pointer dangles.
+  void HandleTemporaryGet(CallExpr* call) {
+    const auto* mc = dyn_cast<CXXMemberCallExpr>(call);
+    if (mc == nullptr) return;
+    const CXXMethodDecl* md = mc->getMethodDecl();
+    if (md == nullptr || !md->getDeclName().isIdentifier() ||
+        md->getName() != "get" || !IsBlockHandleRecord(md->getParent())) {
+      return;
+    }
+    if (!tu_.InScope(mc->getExprLoc())) return;
+    const Expr* obj = mc->getImplicitObjectArgument();
+    if (obj == nullptr) return;
+    obj = obj->IgnoreParenImpCasts();
+    if (isa<MaterializeTemporaryExpr>(obj) || obj->isPRValue()) {
+      tu_.Emit(mc->getExprLoc(), "block-handle",
+               "get() on a temporary BlockHandle; the block returns to the "
+               "pool when this statement ends — bind the handle to a "
+               "variable first");
+    }
+  }
+
+  // `Helper(pool.Acquire(n))` where Helper's summary says the return
+  // derives from that handle parameter.
+  void HandleTemporaryThroughHelper(CallExpr* call) {
+    if (!tu_.InScope(call->getExprLoc())) return;
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return;
+    if (!callee->getReturnType()->isPointerType()) return;
+    const std::string usr = UsrOf(callee);
+    if (usr.empty()) return;
+    for (unsigned i = 0; i < call->getNumArgs(); ++i) {
+      const Expr* arg = StripValuePass(call->getArg(i));
+      if (!IsBlockHandleType(arg->getType())) continue;
+      if (!isa<MaterializeTemporaryExpr>(arg) && !arg->isPRValue()) continue;
+      Obligation ob;
+      ob.check = "block-handle";
+      ob.kind = "temp-through-helper";
+      ob.callee_usr = usr;
+      ob.param = static_cast<int>(i);
+      ob.detail2 = QualifiedName(callee);
+      if (tu_.Describe(call->getExprLoc(), "block-handle", &ob.file,
+                       &ob.line, &ob.col, &ob.suppressed)) {
+        tu_.record().obligations.push_back(std::move(ob));
+      }
+    }
+  }
+
+  // Summary: `return h.get();` (or a pointer derived from it) where
+  // `h` is a BlockHandle parameter.
+  void RecordGetOnParam(const FunctionDecl* fn) {
+    if (!fn->getReturnType()->isPointerType()) return;
+    std::vector<const ReturnStmt*> returns;
+    CollectReturns(fn->getBody(), &returns);
+    for (const ReturnStmt* rs : returns) {
+      const Expr* rv = rs->getRetValue();
+      if (rv == nullptr) continue;
+      const ParmVarDecl* p = FindHandleParamGet(fn, rv);
+      if (p == nullptr) continue;
+      if (FunctionSummary* s = tu_.SummaryFor(fn)) {
+        s->returns_param_derived.insert(
+            static_cast<int>(p->getFunctionScopeIndex()));
+      }
+    }
+  }
+
+  static void CollectReturns(const Stmt* s,
+                             std::vector<const ReturnStmt*>* out) {
+    if (s == nullptr) return;
+    if (isa<LambdaExpr>(s)) return;
+    if (const auto* rs = dyn_cast<ReturnStmt>(s)) out->push_back(rs);
+    for (const Stmt* c : s->children()) CollectReturns(c, out);
+  }
+
+  // A `p.get()` under `e` where p is one of fn's BlockHandle params.
+  const ParmVarDecl* FindHandleParamGet(const FunctionDecl* fn,
+                                        const Expr* e) {
+    if (e == nullptr) return nullptr;
+    if (const auto* mc = dyn_cast<CXXMemberCallExpr>(e->IgnoreParenImpCasts())) {
+      const CXXMethodDecl* md = mc->getMethodDecl();
+      if (md != nullptr && md->getDeclName().isIdentifier() &&
+          md->getName() == "get" && IsBlockHandleRecord(md->getParent())) {
+        const Expr* obj = mc->getImplicitObjectArgument();
+        if (obj != nullptr) {
+          if (const auto* dre =
+                  dyn_cast<DeclRefExpr>(obj->IgnoreParenImpCasts())) {
+            if (const auto* p = dyn_cast<ParmVarDecl>(dre->getDecl())) {
+              if (p->getDeclContext() == fn) return p;
+            }
+          }
+        }
+      }
+    }
+    for (const Stmt* c : e->children()) {
+      if (const auto* sub = dyn_cast_or_null<Expr>(c)) {
+        if (const ParmVarDecl* hit = FindHandleParamGet(fn, sub)) return hit;
+      }
+    }
+    return nullptr;
+  }
+
+  // Discarded BlockHandle prvalues (the PR 8 rule, moved here from the
+  // status walk so --check=block-handle finds them on its own).
+  void CheckDiscards(const Stmt* s) {
+    if (s == nullptr) return;
+    if (const auto* cs = dyn_cast<CompoundStmt>(s)) {
+      for (const Stmt* c : cs->body()) InspectTopLevelExpr(c);
+    }
+    for (const Stmt* c : s->children()) CheckDiscards(c);
+  }
+
+  void InspectTopLevelExpr(const Stmt* c) {
+    const auto* e = dyn_cast_or_null<Expr>(c);
+    if (e == nullptr || !tu_.InScope(e->getExprLoc())) return;
+    const Expr* inner = e->IgnoreParens();
+    if (const auto* ewc = dyn_cast<ExprWithCleanups>(inner)) {
+      inner = ewc->getSubExpr()->IgnoreParens();
+    }
+    if (const auto* cast = dyn_cast<ExplicitCastExpr>(inner)) {
+      if (cast->getType()->isVoidType()) {
+        const Expr* sub = cast->getSubExprAsWritten()->IgnoreParenImpCasts();
+        if (IsBlockHandleType(sub->getType())) {
+          tu_.Emit(e->getExprLoc(), "block-handle",
+                   "BlockHandle discarded; the block returns to the pool "
+                   "immediately — hold the handle while the block is in use");
+        }
+        return;
+      }
+    }
+    if (inner->getValueKind() == VK_PRValue &&
+        IsBlockHandleType(inner->getType())) {
+      tu_.Emit(e->getExprLoc(), "block-handle",
+               "BlockHandle discarded; the block returns to the pool "
+               "immediately — hold the handle while the block is in use");
+    }
+  }
+
+  TuContext& tu_;
+  std::vector<const FunctionDecl*> bodies_;
+};
+
+class BlockHandleCheck : public Check {
+ public:
+  llvm::StringRef name() const override { return "block-handle"; }
+
+  void RunOnTu(TuContext& tu) override { BlockHandleTu(tu).Run(tu.ast()); }
+
+  void RunGlobal(GlobalContext& g) override {
+    for (const Obligation& ob : g.Obligations()) {
+      if (ob.check != "block-handle" || ob.kind != "temp-through-helper" ||
+          ob.suppressed) {
+        continue;
+      }
+      const FunctionSummary* s = g.SummaryOf(ob.callee_usr);
+      if (s == nullptr || s->returns_param_derived.count(ob.param) == 0) {
+        continue;
+      }
+      g.EmitGlobal(Finding{
+          ob.file, ob.line, ob.col, "block-handle",
+          "temporary BlockHandle passed to '" + ob.detail2 +
+              "' which returns its raw pointer; the block returns to the "
+              "pool when this statement ends — bind the handle to a "
+              "variable first"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeBlockHandleCheck() {
+  return std::make_unique<BlockHandleCheck>();
+}
+
+}  // namespace rdftx_analyzer

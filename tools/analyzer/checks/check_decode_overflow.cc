@@ -1,0 +1,341 @@
+// decode-overflow: in src/mvbt/, src/util/ and src/storage/, a value
+// produced by the varint/zigzag/fixed-width decoders is attacker- (or
+// corruption-) controlled until it passes a bounds check. Unguarded
+// +, -, *, << on such a value can wrap *before* the check that was
+// supposed to reject it, turning "corrupt stream → Corruption status"
+// into "corrupt stream → wrong interval accepted".
+//
+// Taint seeds: variables initialized or assigned from a call whose
+// name contains varint / zigzag / getfixed / decodefixed (including
+// calls through a lambda variable, e.g. `get_varint(&ds)`), and
+// variables passed by address to such a call. Taint propagates
+// through initializers and assignments that mention a tainted
+// variable (`const uint64_t start = base + ds` taints `start`).
+//
+// A tainted operand is exempt when the GuardFacts must-dataflow
+// carries a constant upper bound for it at the arithmetic site — the
+// decoder idiom `if (ds > kChrononMax) return Corruption;` proves the
+// later `prev.start + ds` cannot wrap. Operands reached through an
+// explicit cast are deliberately out of scope: masked shifts
+// (`(b & 0x7F) << shift`), widening (`static_cast<uint64_t>(p[i])`)
+// and modular zigzag reconstruction (`prev + static_cast<uint64_t>(
+// ZigZagDecode(z))`) wrap by design.
+//
+// Interprocedurally, a function whose uint64_t parameter feeds
+// unguarded flagged arithmetic records it in the summary
+// (decode_arith_params); passing a tainted, unbounded variable into
+// such a parameter is reported at the call site. TRUSTED_DECODE on
+// the enclosing function (or the callee) waives the check — the
+// annotation carries the justification.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/dataflow.h"
+#include "tools/analyzer/summaries.h"
+
+namespace rdftx_analyzer {
+namespace {
+
+using namespace clang;
+
+const std::vector<std::string> kDecodeDirs = {"/src/mvbt/", "/src/util/",
+                                              "/src/storage/"};
+
+bool IsDecodeName(llvm::StringRef name) {
+  const std::string n = Lower(name.str());
+  return n.find("varint") != std::string::npos ||
+         n.find("zigzag") != std::string::npos ||
+         n.find("getfixed") != std::string::npos ||
+         n.find("decodefixed") != std::string::npos;
+}
+
+// Name of the decode routine `call` invokes, or "" if it is not one.
+// A call through a lambda variable (`get_varint(&ds)`) is a
+// CXXOperatorCallExpr whose first argument names the variable.
+std::string DecodeCalleeName(const CallExpr* call) {
+  if (const auto* oc = dyn_cast<CXXOperatorCallExpr>(call)) {
+    if (oc->getOperator() == OO_Call && oc->getNumArgs() >= 1) {
+      const Expr* fn = oc->getArg(0)->IgnoreParenImpCasts();
+      if (const auto* dre = dyn_cast<DeclRefExpr>(fn)) {
+        if (IsDecodeName(dre->getDecl()->getName())) {
+          return dre->getDecl()->getNameAsString();
+        }
+      }
+    }
+    return "";
+  }
+  const FunctionDecl* callee = call->getDirectCallee();
+  if (callee == nullptr || !callee->getDeclName().isIdentifier()) return "";
+  if (IsDecodeName(callee->getName())) return callee->getNameAsString();
+  return "";
+}
+
+bool ContainsDecodeCall(const Stmt* s) {
+  if (s == nullptr || isa<LambdaExpr>(s)) return false;
+  if (const auto* call = dyn_cast<CallExpr>(s)) {
+    if (!DecodeCalleeName(call).empty()) return true;
+  }
+  for (const Stmt* c : s->children()) {
+    if (ContainsDecodeCall(c)) return true;
+  }
+  return false;
+}
+
+bool ContainsTaintedRef(const Stmt* s, const std::set<const VarDecl*>& taint) {
+  if (s == nullptr || isa<LambdaExpr>(s)) return false;
+  if (const auto* dre = dyn_cast<DeclRefExpr>(s)) {
+    if (const auto* vd = dyn_cast<VarDecl>(dre->getDecl())) {
+      if (taint.count(vd) != 0) return true;
+    }
+  }
+  for (const Stmt* c : s->children()) {
+    if (ContainsTaintedRef(c, taint)) return true;
+  }
+  return false;
+}
+
+// The variable a flagged-arithmetic operand names directly, or null.
+// IgnoreParenImpCasts keeps explicit casts in place on purpose: a
+// static_cast operand is a declared widening / modular intent.
+const VarDecl* DirectVarOperand(const Expr* e) {
+  const auto* dre = dyn_cast<DeclRefExpr>(e->IgnoreParenImpCasts());
+  if (dre == nullptr) return nullptr;
+  return dyn_cast<VarDecl>(dre->getDecl());
+}
+
+bool IsFlaggedOp(BinaryOperatorKind op) {
+  switch (op) {
+    case BO_Add:
+    case BO_Sub:
+    case BO_Mul:
+    case BO_Shl:
+    case BO_AddAssign:
+    case BO_SubAssign:
+    case BO_MulAssign:
+    case BO_ShlAssign:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsUint64Param(const ParmVarDecl* p) {
+  return p->getType().getAsString().find("uint64_t") != std::string::npos;
+}
+
+// Everything one function body contributes, lambdas excluded (a
+// lambda body has its own CFG; its internals are out of scope here —
+// the decoder lambdas are pure masked-shift loops).
+class BodyScan : public RecursiveASTVisitor<BodyScan> {
+ public:
+  bool TraverseLambdaExpr(LambdaExpr*) { return true; }
+
+  bool VisitVarDecl(VarDecl* vd) {
+    if (vd->hasInit()) decls.push_back(vd);
+    return true;
+  }
+
+  bool VisitBinaryOperator(BinaryOperator* bo) {
+    if (bo->isAssignmentOp()) assigns.push_back(bo);
+    if (IsFlaggedOp(bo->getOpcode())) flagged.push_back(bo);
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr* call) {
+    calls.push_back(call);
+    return true;
+  }
+
+  std::vector<const VarDecl*> decls;
+  std::vector<const BinaryOperator*> assigns;
+  std::vector<const CallExpr*> calls;
+  std::vector<const BinaryOperator*> flagged;
+};
+
+class DecodeOverflowTu : public RecursiveASTVisitor<DecodeOverflowTu> {
+ public:
+  explicit DecodeOverflowTu(TuContext& tu) : tu_(tu) {}
+
+  void Run(ASTContext& ctx) {
+    TraverseDecl(ctx.getTranslationUnitDecl());
+    for (const FunctionDecl* fn : bodies_) Analyze(fn);
+  }
+
+  bool VisitFunctionDecl(FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
+        tu_.InDirScope(fn->getBeginLoc(), kDecodeDirs)) {
+      bodies_.push_back(fn);
+    }
+    return true;
+  }
+
+ private:
+  static std::set<const VarDecl*> ComputeTaint(const BodyScan& scan) {
+    std::set<const VarDecl*> taint;
+    // Seeds: out-parameters of decode calls (`get_varint(&ds)`).
+    for (const CallExpr* call : scan.calls) {
+      if (DecodeCalleeName(call).empty()) continue;
+      for (const Expr* arg : call->arguments()) {
+        const auto* uo = dyn_cast<UnaryOperator>(arg->IgnoreParenImpCasts());
+        if (uo == nullptr || uo->getOpcode() != UO_AddrOf) continue;
+        if (const auto* dre =
+                dyn_cast<DeclRefExpr>(uo->getSubExpr()->IgnoreParenImpCasts())) {
+          if (const auto* vd = dyn_cast<VarDecl>(dre->getDecl())) {
+            taint.insert(vd);
+          }
+        }
+      }
+    }
+    // Seeds + propagation through initializers and assignments, to a
+    // fixpoint: `const uint64_t start = base + ds;` taints `start`.
+    for (int round = 0; round < 8; ++round) {
+      bool changed = false;
+      for (const VarDecl* vd : scan.decls) {
+        if (taint.count(vd) != 0) continue;
+        const Expr* init = vd->getInit();
+        if (ContainsDecodeCall(init) || ContainsTaintedRef(init, taint)) {
+          taint.insert(vd);
+          changed = true;
+        }
+      }
+      for (const BinaryOperator* bo : scan.assigns) {
+        const VarDecl* lhs = DirectVarOperand(bo->getLHS());
+        if (lhs == nullptr || taint.count(lhs) != 0) continue;
+        if (ContainsDecodeCall(bo->getRHS()) ||
+            ContainsTaintedRef(bo->getRHS(), taint)) {
+          taint.insert(lhs);
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    return taint;
+  }
+
+  // A constant upper bound proven at `bo` (or, if the compound
+  // statement itself is not a CFG element, at the operand's own
+  // program point — under AllAlwaysAdd the DeclRef always is one).
+  static bool Bounded(GuardFacts& facts, const BinaryOperator* bo,
+                      const Expr* operand, const VarDecl* vd) {
+    if (!facts.Usable()) return false;
+    const Subject s{vd, ""};
+    return facts.HasConstUpperBound(bo, s, nullptr) ||
+           facts.HasConstUpperBound(operand->IgnoreParenImpCasts(), s, nullptr);
+  }
+
+  void Analyze(const FunctionDecl* fn) {
+    if (HasAnnotation(fn, "rdftx::trusted_decode")) return;
+    BodyScan scan;
+    scan.TraverseStmt(fn->getBody());
+    if (scan.flagged.empty() && scan.calls.empty()) return;
+    const std::set<const VarDecl*> taint = ComputeTaint(scan);
+    GuardFacts facts(fn, tu_.ast());
+
+    for (const BinaryOperator* bo : scan.flagged) {
+      if (!tu_.InScope(bo->getExprLoc())) continue;
+      for (const Expr* side : {bo->getLHS(), bo->getRHS()}) {
+        const VarDecl* vd = DirectVarOperand(side);
+        if (vd == nullptr) continue;
+        if (taint.count(vd) != 0) {
+          if (Bounded(facts, bo, side, vd)) continue;
+          tu_.Emit(bo->getExprLoc(), "decode-overflow",
+                   "unguarded arithmetic on decoded value '" +
+                       vd->getNameAsString() +
+                       "' can wrap before its bounds check; validate the "
+                       "decoded range first (or mark the function "
+                       "TRUSTED_DECODE)");
+          break;  // one finding per operation
+        }
+        // Parameters are not tainted locally; unguarded arithmetic on
+        // a uint64_t parameter becomes the caller's obligation.
+        if (const auto* p = dyn_cast<ParmVarDecl>(vd)) {
+          if (p->getDeclContext() == fn && IsUint64Param(p) &&
+              !Bounded(facts, bo, side, vd)) {
+            if (FunctionSummary* sum = tu_.SummaryFor(fn)) {
+              sum->decode_arith_params.insert(
+                  static_cast<int>(p->getFunctionScopeIndex()));
+            }
+          }
+        }
+      }
+    }
+
+    // Call sites handing a tainted, unbounded variable to a callee:
+    // resolved against the callee's decode_arith_params globally.
+    if (taint.empty()) return;
+    for (const CallExpr* call : scan.calls) {
+      if (isa<CXXOperatorCallExpr>(call)) continue;
+      if (!tu_.InScope(call->getExprLoc())) continue;
+      const FunctionDecl* callee = call->getDirectCallee();
+      if (callee == nullptr) continue;
+      const std::string usr = UsrOf(callee);
+      if (usr.empty()) continue;
+      const unsigned n = std::min(call->getNumArgs(), callee->getNumParams());
+      for (unsigned i = 0; i < n; ++i) {
+        if (!IsUint64Param(callee->getParamDecl(i))) continue;
+        const VarDecl* vd = DirectVarOperand(call->getArg(i));
+        if (vd == nullptr || taint.count(vd) == 0) continue;
+        if (facts.Usable() &&
+            facts.HasConstUpperBound(call, Subject{vd, ""}, nullptr)) {
+          continue;
+        }
+        Obligation ob;
+        ob.check = "decode-overflow";
+        ob.kind = "tainted-arg";
+        ob.callee_usr = usr;
+        ob.param = static_cast<int>(i);
+        ob.detail = vd->getNameAsString();
+        ob.detail2 = QualifiedName(callee);
+        if (tu_.Describe(call->getExprLoc(), "decode-overflow", &ob.file,
+                         &ob.line, &ob.col, &ob.suppressed)) {
+          tu_.record().obligations.push_back(std::move(ob));
+        }
+      }
+    }
+  }
+
+  TuContext& tu_;
+  std::vector<const FunctionDecl*> bodies_;
+};
+
+class DecodeOverflowCheck : public Check {
+ public:
+  llvm::StringRef name() const override { return "decode-overflow"; }
+
+  void RunOnTu(TuContext& tu) override { DecodeOverflowTu(tu).Run(tu.ast()); }
+
+  void RunGlobal(GlobalContext& g) override {
+    for (const Obligation& ob : g.Obligations()) {
+      if (ob.check != "decode-overflow" || ob.kind != "tainted-arg" ||
+          ob.suppressed) {
+        continue;
+      }
+      const FunctionSummary* s = g.SummaryOf(ob.callee_usr);
+      if (s == nullptr || s->trusted_decode ||
+          s->decode_arith_params.count(ob.param) == 0) {
+        continue;
+      }
+      g.EmitGlobal(Finding{
+          ob.file, ob.line, ob.col, "decode-overflow",
+          "decoded value '" + ob.detail + "' flows into '" + ob.detail2 +
+              "' which performs unguarded arithmetic on that parameter; "
+              "validate the decoded range before the call (or mark the "
+              "callee TRUSTED_DECODE)"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeDecodeOverflowCheck() {
+  return std::make_unique<DecodeOverflowCheck>();
+}
+
+}  // namespace rdftx_analyzer

@@ -1,0 +1,311 @@
+// durability: in src/storage/ + src/core/, every WalWriter append
+// reaches a *Sync* call on every acked path (error branches pruned by
+// their ok() tests; branch conditions naming "sync" are audited
+// opt-outs); rename/link/raw fopen-for-write are banned outside
+// src/util/file_io.cc.
+//
+// The interprocedural engine replaces the per-function CFG walk with a
+// serialized CfgSketch per function (storage/core/util/rdf) whose call
+// events are resolved globally: a call to a function proven — by
+// fixpoint over the sketches or by SYNCS_ON_ALL_PATHS — to sync on
+// every acked path now counts as a sync, so helpers that wrap
+// Sync() no longer need the annotation at every call site. Calls with
+// no summary still count as non-syncing, exactly like PR 7's walk.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ParentMapContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Analysis/CFG.h"
+#include "clang/Lex/Lexer.h"
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/summaries.h"
+
+namespace rdftx_analyzer {
+namespace {
+
+using namespace clang;
+
+const std::vector<std::string> kSketchDirs = {
+    "/src/storage/", "/src/core/", "/src/util/", "/src/rdf/"};
+const std::vector<std::string> kAppendDirs = {"/src/storage/", "/src/core/"};
+
+bool IsWalAppend(const Stmt* s) {
+  const auto* mc = dyn_cast<CXXMemberCallExpr>(s);
+  if (mc == nullptr) return false;
+  const CXXMethodDecl* md = mc->getMethodDecl();
+  if (md == nullptr || !md->getDeclName().isIdentifier() ||
+      md->getName() != "Append") {
+    return false;
+  }
+  const CXXRecordDecl* rec = md->getParent();
+  return rec != nullptr && rec->getName().contains("Wal");
+}
+
+bool IsSyncCall(const Stmt* s) {
+  const auto* call = dyn_cast<CallExpr>(s);
+  if (call == nullptr) return false;
+  const FunctionDecl* callee = call->getDirectCallee();
+  if (callee == nullptr || !callee->getDeclName().isIdentifier()) {
+    return false;
+  }
+  return callee->getName().contains("Sync");
+}
+
+class DurabilityTu : public RecursiveASTVisitor<DurabilityTu> {
+ public:
+  explicit DurabilityTu(TuContext& tu) : tu_(tu) {}
+
+  void Run(ASTContext& ctx) {
+    TraverseDecl(ctx.getTranslationUnitDecl());
+    for (const FunctionDecl* fn : bodies_) BuildSketch(fn);
+  }
+
+  bool VisitFunctionDecl(FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
+        tu_.InDirScope(fn->getBeginLoc(), kSketchDirs)) {
+      bodies_.push_back(fn);
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr* call) {
+    HandleBannedFileOps(call);
+    return true;
+  }
+
+ private:
+  // ---- banned file mutation primitives (local, unchanged) ---------------
+
+  void HandleBannedFileOps(CallExpr* call) {
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr || !callee->getDeclName().isIdentifier()) return;
+    if (isa<CXXMethodDecl>(callee)) return;  // member fns named link etc.
+    if (!tu_.InScope(call->getExprLoc())) return;
+    std::string file;
+    unsigned line, col;
+    if (!tu_.Locate(call->getExprLoc(), &file, &line, &col)) return;
+    constexpr const char* kExempt = "util/file_io.cc";
+    if (file.size() >= std::string(kExempt).size() &&
+        file.compare(file.size() - std::string(kExempt).size(),
+                     std::string::npos, kExempt) == 0) {
+      return;
+    }
+    llvm::StringRef name = callee->getName();
+    if (name == "rename" || name == "link") {
+      tu_.Emit(call->getExprLoc(), "durability",
+               "'" + name.str() +
+                   "' outside src/util/file_io.cc bypasses the audited "
+                   "mutation path; use util::WriteFileAtomic / "
+                   "util::AppendFile");
+      return;
+    }
+    if (name == "fopen" && call->getNumArgs() >= 2) {
+      const Expr* mode = call->getArg(1)->IgnoreParenImpCasts();
+      if (const auto* lit = dyn_cast<StringLiteral>(mode)) {
+        llvm::StringRef m = lit->getString();
+        if (m.contains('w') || m.contains('a') || m.contains('+')) {
+          tu_.Emit(call->getExprLoc(), "durability",
+                   "raw fopen for writing outside src/util/file_io.cc; use "
+                   "util::WriteFileAtomic / util::AppendFile");
+        }
+      }
+    }
+  }
+
+  // ---- sketch construction ----------------------------------------------
+
+  bool IsDirectlyReturned(const Expr* e) {
+    DynTypedNode node = DynTypedNode::create(*e);
+    for (int hop = 0; hop < 8; ++hop) {
+      DynTypedNodeList parents = tu_.ast().getParents(node);
+      if (parents.empty()) return false;
+      DynTypedNode parent = parents[0];
+      if (parent.get<ReturnStmt>() != nullptr) return true;
+      if (parent.get<CompoundStmt>() != nullptr ||
+          parent.get<Decl>() != nullptr) {
+        return false;
+      }
+      node = parent;
+    }
+    return false;
+  }
+
+  // Successors worth following out of `b`. Branches testing a
+  // *sync*-named condition are audited opt-outs (pruned entirely);
+  // the failing side of an ok() test is an error return, not an ack.
+  std::vector<const CFGBlock*> AckSuccessors(const CFGBlock* b) {
+    std::vector<const CFGBlock*> all;
+    for (const CFGBlock::AdjacentBlock& adj : b->succs()) {
+      if (const CFGBlock* s = adj) all.push_back(s);
+    }
+    const Stmt* cond = const_cast<CFGBlock*>(b)->getTerminatorCondition();
+    if (cond == nullptr || all.size() != 2) return all;
+    CharSourceRange range =
+        CharSourceRange::getTokenRange(cond->getSourceRange());
+    std::string text = Lower(
+        Lexer::getSourceText(range, tu_.sm(), tu_.ast().getLangOpts()).str());
+    if (text.find("sync") != std::string::npos) return {};
+    const Expr* ce = dyn_cast<Expr>(cond);
+    if (ce == nullptr) return all;
+    const Expr* stripped = ce->IgnoreParenImpCasts();
+    bool negated = false;
+    if (const auto* uo = dyn_cast<UnaryOperator>(stripped)) {
+      if (uo->getOpcode() == UO_LNot) {
+        negated = true;
+        stripped = uo->getSubExpr()->IgnoreParenImpCasts();
+      }
+    }
+    if (const auto* mc = dyn_cast<CXXMemberCallExpr>(stripped)) {
+      const CXXMethodDecl* md = mc->getMethodDecl();
+      if (md != nullptr && md->getDeclName().isIdentifier() &&
+          md->getName() == "ok") {
+        // succs[0] is the true branch. `!x.ok()` true → error path;
+        // `x.ok()` false → error path. Prune the error side.
+        return {negated ? all[1] : all[0]};
+      }
+    }
+    return all;
+  }
+
+  void BuildSketch(const FunctionDecl* fn) {
+    FunctionSummary* summary = tu_.SummaryFor(fn);
+    if (summary == nullptr) return;
+    std::unique_ptr<CFG> cfg =
+        CFG::buildCFG(fn, fn->getBody(), &tu_.ast(), CFG::BuildOptions());
+    if (cfg == nullptr) return;
+    const bool append_scope =
+        tu_.InDirScope(fn->getBeginLoc(), kAppendDirs);
+    CfgSketch sketch;
+    sketch.blocks.resize(cfg->getNumBlockIDs());
+    sketch.entry = static_cast<int>(cfg->getEntry().getBlockID());
+    sketch.exit = static_cast<int>(cfg->getExit().getBlockID());
+    for (const CFGBlock* b : *cfg) {
+      CfgSketch::Block& blk = sketch.blocks[b->getBlockID()];
+      for (size_t i = 0; i < b->size(); ++i) {
+        auto cs = (*b)[i].getAs<CFGStmt>();
+        if (!cs) continue;
+        const Stmt* s = cs->getStmt();
+        if (IsSyncCall(s)) {
+          SketchEvent ev;
+          ev.kind = SketchEvent::kSync;
+          blk.events.push_back(std::move(ev));
+          continue;
+        }
+        if (IsWalAppend(s)) {
+          if (!append_scope) continue;
+          const auto* mc = cast<CXXMemberCallExpr>(s);
+          SketchEvent ev;
+          ev.kind = SketchEvent::kAppend;
+          ev.tail_return = IsDirectlyReturned(mc);
+          if (tu_.Describe(mc->getExprLoc(), "durability", &ev.file,
+                           &ev.line, &ev.col, &ev.suppressed)) {
+            blk.events.push_back(std::move(ev));
+          }
+          continue;
+        }
+        if (const auto* call = dyn_cast<CallExpr>(s)) {
+          const FunctionDecl* callee = call->getDirectCallee();
+          if (callee == nullptr) continue;
+          SketchEvent ev;
+          // A body-less SYNCS_ON_ALL_PATHS declaration never grows a
+          // summary; honour the annotation at sketch time so the call
+          // satisfies the obligation exactly like PR 7's walk did.
+          if (HasAnnotation(callee, "rdftx::syncs_on_all_paths")) {
+            ev.kind = SketchEvent::kSync;
+            blk.events.push_back(std::move(ev));
+            continue;
+          }
+          const std::string usr = UsrOf(callee);
+          if (usr.empty()) continue;
+          ev.kind = SketchEvent::kCall;
+          ev.usr = usr;
+          blk.events.push_back(std::move(ev));
+        }
+      }
+      for (const CFGBlock* s : AckSuccessors(b)) {
+        blk.succs.push_back(static_cast<int>(s->getBlockID()));
+      }
+    }
+    summary->sketch = std::move(sketch);
+  }
+
+  TuContext& tu_;
+  std::vector<const FunctionDecl*> bodies_;
+};
+
+class DurabilityCheck : public Check {
+ public:
+  llvm::StringRef name() const override { return "durability"; }
+
+  void RunOnTu(TuContext& tu) override { DurabilityTu(tu).Run(tu.ast()); }
+
+  void RunGlobal(GlobalContext& g) override {
+    for (const FunctionSummary* f : g.AllSummaries()) {
+      if (!f->sketch.valid()) continue;
+      const CfgSketch& sk = f->sketch;
+      for (size_t bi = 0; bi < sk.blocks.size(); ++bi) {
+        const CfgSketch::Block& blk = sk.blocks[bi];
+        for (size_t ei = 0; ei < blk.events.size(); ++ei) {
+          const SketchEvent& ev = blk.events[ei];
+          if (ev.kind != SketchEvent::kAppend) continue;
+          // A tail `return wal_.Append(...)` hands the sync obligation
+          // to the caller along with the status.
+          if (ev.tail_return || ev.suppressed) continue;
+          if (UnsyncedPathToExit(g, sk, static_cast<int>(bi), ei + 1)) {
+            g.EmitGlobal(Finding{
+                ev.file, ev.line, ev.col, "durability",
+                "WAL append can reach function exit without a Sync() on an "
+                "acked path; sync before acknowledging, or gate the fast "
+                "path on a *sync* option"});
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  static bool IsSyncEvent(GlobalContext& g, const SketchEvent& ev) {
+    if (ev.kind == SketchEvent::kSync) return true;
+    return ev.kind == SketchEvent::kCall && g.SyncsOnAllPaths(ev.usr);
+  }
+
+  static bool BlockSyncsFrom(GlobalContext& g, const CfgSketch::Block& blk,
+                             size_t start) {
+    for (size_t i = start; i < blk.events.size(); ++i) {
+      if (IsSyncEvent(g, blk.events[i])) return true;
+    }
+    return false;
+  }
+
+  static bool UnsyncedPathToExit(GlobalContext& g, const CfgSketch& sk,
+                                 int home, size_t afterIdx) {
+    if (BlockSyncsFrom(g, sk.blocks[home], afterIdx)) return false;
+    std::set<int> seen;
+    std::vector<int> stack(sk.blocks[home].succs.begin(),
+                           sk.blocks[home].succs.end());
+    while (!stack.empty()) {
+      int b = stack.back();
+      stack.pop_back();
+      if (!seen.insert(b).second) continue;
+      if (b == sk.exit) return true;
+      if (b < 0 || b >= static_cast<int>(sk.blocks.size())) continue;
+      if (BlockSyncsFrom(g, sk.blocks[b], 0)) continue;
+      for (int s : sk.blocks[b].succs) stack.push_back(s);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeDurabilityCheck() {
+  return std::make_unique<DurabilityCheck>();
+}
+
+}  // namespace rdftx_analyzer

@@ -1,0 +1,285 @@
+// epoch-lifetime: no raw Epoch/DeltaChunk pointer stored in a field
+// outside src/rdf/; no pointer/reference derived from a function-local
+// Epoch/DeltaChunk/TemporalGraph returned; no lambda handed to
+// Submit/std::thread capturing epoch state by reference or raw
+// pointer. Interprocedurally, a helper that returns a pointer derived
+// from its epoch-class parameter (summary: returns_param_derived)
+// turns `return Helper(local_epoch)` in a caller into the same escape.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/summaries.h"
+
+namespace rdftx_analyzer {
+namespace {
+
+using namespace clang;
+
+class EpochTu : public RecursiveASTVisitor<EpochTu> {
+ public:
+  explicit EpochTu(TuContext& tu) : tu_(tu) {}
+
+  void Run(ASTContext& ctx) {
+    TraverseDecl(ctx.getTranslationUnitDecl());
+    for (const FunctionDecl* fn : bodies_) CheckEpochReturns(fn);
+  }
+
+  bool VisitFieldDecl(FieldDecl* fd) {
+    HandleEpochField(fd);
+    return true;
+  }
+
+  bool VisitFunctionDecl(FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
+        tu_.InScope(fn->getBeginLoc())) {
+      bodies_.push_back(fn);
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr* call) {
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr || !callee->getDeclName().isIdentifier()) {
+      return true;
+    }
+    llvm::StringRef name = callee->getName();
+    if (name != "Submit" && name != "Enqueue" && name != "Schedule") {
+      return true;
+    }
+    for (const Expr* arg : call->arguments()) {
+      CheckLambdaArg(arg, name.str(), call->getExprLoc());
+    }
+    return true;
+  }
+
+  bool VisitCXXConstructExpr(CXXConstructExpr* ce) {
+    // std::thread(lambda): same escape rule as pool Submit().
+    const CXXConstructorDecl* ctor = ce->getConstructor();
+    if (ctor == nullptr) return true;
+    const CXXRecordDecl* rec = ctor->getParent();
+    if (rec == nullptr || rec->getName() != "thread") return true;
+    for (const Expr* arg : ce->arguments()) {
+      CheckLambdaArg(arg, "std::thread", ce->getBeginLoc());
+    }
+    return true;
+  }
+
+ private:
+  void HandleEpochField(FieldDecl* fd) {
+    if (!tu_.InScope(fd->getLocation())) return;
+    QualType t = fd->getType();
+    const CXXRecordDecl* pointee = nullptr;
+    if (t->isPointerType()) {
+      pointee = RecordOf(t->getPointeeType());
+    } else if (t->isReferenceType()) {
+      pointee = RecordOf(t.getNonReferenceType());
+    }
+    if (!IsEpochClass(pointee, /*fieldRule=*/true)) return;
+    std::string file;
+    unsigned line, col;
+    if (tu_.Locate(fd->getLocation(), &file, &line, &col) &&
+        file.find("/rdf/") != std::string::npos) {
+      return;  // the epoch machinery itself owns its chunk chains
+    }
+    tu_.Emit(fd->getLocation(), "epoch-lifetime",
+             "raw " + pointee->getNameAsString() +
+                 " pointer stored in field '" + fd->getNameAsString() +
+                 "' may outlive its epoch; hold ownership or re-derive it "
+                 "per operation");
+  }
+
+  void CheckEpochReturns(const FunctionDecl* fn) {
+    QualType ret = fn->getReturnType();
+    if (!ret->isPointerType() && !ret->isReferenceType()) return;
+    std::vector<const ReturnStmt*> returns;
+    CollectReturns(fn->getBody(), &returns);
+    for (const ReturnStmt* rs : returns) {
+      const Expr* rv = rs->getRetValue();
+      if (rv == nullptr) continue;
+      // `return Helper(&local)`: dangling iff Helper's summary says the
+      // return derives from that parameter, so record an obligation
+      // instead of assuming the worst (Helper may copy). Member calls
+      // stay on the local rule below — `e.chunk()` on a local epoch is
+      // a direct derivation, not a hand-off.
+      const Expr* inner = rv->IgnoreParenImpCasts();
+      const auto* call = dyn_cast<CallExpr>(inner);
+      if (call != nullptr && !isa<CXXMemberCallExpr>(call) &&
+          !isa<CXXOperatorCallExpr>(call) &&
+          call->getDirectCallee() != nullptr) {
+        const FunctionDecl* callee = call->getDirectCallee();
+        const std::string usr = UsrOf(callee);
+        if (usr.empty()) continue;
+        for (unsigned i = 0; i < call->getNumArgs(); ++i) {
+          const VarDecl* src = FindLocalEpochSource(call->getArg(i));
+          if (src == nullptr) continue;
+          Obligation ob;
+          ob.check = "epoch-lifetime";
+          ob.kind = "ret-through-call";
+          ob.callee_usr = usr;
+          ob.param = static_cast<int>(i);
+          ob.detail = src->getNameAsString();
+          ob.detail2 = QualifiedName(callee);
+          if (tu_.Describe(rs->getBeginLoc(), "epoch-lifetime", &ob.file,
+                           &ob.line, &ob.col, &ob.suppressed)) {
+            tu_.record().obligations.push_back(std::move(ob));
+          }
+        }
+        continue;
+      }
+      const VarDecl* local = FindLocalEpochSource(rv);
+      if (local != nullptr) {
+        tu_.Emit(rs->getBeginLoc(), "epoch-lifetime",
+                 "returns a pointer/reference derived from local '" +
+                     local->getNameAsString() + "' (" +
+                     RecordOf(local->getType())->getNameAsString() +
+                     "), which is destroyed when this scope ends");
+        continue;
+      }
+      // Summary: the return derives from an epoch-class parameter.
+      if (const ParmVarDecl* p = FindParamEpochSource(fn, rv)) {
+        if (FunctionSummary* s = tu_.SummaryFor(fn)) {
+          s->returns_param_derived.insert(
+              static_cast<int>(p->getFunctionScopeIndex()));
+        }
+      }
+    }
+  }
+
+  static void CollectReturns(const Stmt* s,
+                             std::vector<const ReturnStmt*>* out) {
+    if (s == nullptr) return;
+    if (isa<LambdaExpr>(s)) return;  // separate function body
+    if (const auto* rs = dyn_cast<ReturnStmt>(s)) out->push_back(rs);
+    for (const Stmt* c : s->children()) CollectReturns(c, out);
+  }
+
+  // A DeclRefExpr inside `e` naming a function-local, by-value
+  // Epoch/DeltaChunk/TemporalGraph variable (parameters are the
+  // caller's responsibility and stay exempt — the summary +
+  // obligation pair covers them instead).
+  const VarDecl* FindLocalEpochSource(const Expr* e) {
+    if (e == nullptr) return nullptr;
+    if (const auto* dre = dyn_cast<DeclRefExpr>(e->IgnoreParenImpCasts())) {
+      const auto* vd = dyn_cast<VarDecl>(dre->getDecl());
+      if (vd != nullptr && vd->hasLocalStorage() && !isa<ParmVarDecl>(vd) &&
+          !vd->getType()->isReferenceType() &&
+          !vd->getType()->isPointerType() &&
+          IsEpochClass(RecordOf(vd->getType()), /*fieldRule=*/false)) {
+        return vd;
+      }
+    }
+    for (const Stmt* c : e->children()) {
+      if (const auto* sub = dyn_cast_or_null<Expr>(c)) {
+        if (const VarDecl* hit = FindLocalEpochSource(sub)) return hit;
+      }
+    }
+    return nullptr;
+  }
+
+  // A DeclRefExpr inside `e` naming one of `fn`'s parameters whose
+  // (pointee) type is an epoch class.
+  const ParmVarDecl* FindParamEpochSource(const FunctionDecl* fn,
+                                          const Expr* e) {
+    if (e == nullptr) return nullptr;
+    if (const auto* dre = dyn_cast<DeclRefExpr>(e->IgnoreParenImpCasts())) {
+      if (const auto* p = dyn_cast<ParmVarDecl>(dre->getDecl())) {
+        QualType t = p->getType();
+        const CXXRecordDecl* rec = nullptr;
+        if (t->isPointerType()) {
+          rec = RecordOf(t->getPointeeType());
+        } else {
+          rec = RecordOf(t.getNonReferenceType());
+        }
+        if (IsEpochClass(rec, /*fieldRule=*/false) &&
+            p->getDeclContext() == fn) {
+          return p;
+        }
+      }
+    }
+    for (const Stmt* c : e->children()) {
+      if (const auto* sub = dyn_cast_or_null<Expr>(c)) {
+        if (const ParmVarDecl* hit = FindParamEpochSource(fn, sub)) {
+          return hit;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  void CheckLambdaArg(const Expr* arg, const std::string& sink,
+                      SourceLocation loc) {
+    if (arg == nullptr || !tu_.InScope(loc)) return;
+    const Expr* e = arg->IgnoreParenImpCasts();
+    if (const auto* mte = dyn_cast<MaterializeTemporaryExpr>(e)) {
+      e = mte->getSubExpr()->IgnoreParenImpCasts();
+    }
+    if (const auto* bte = dyn_cast<CXXBindTemporaryExpr>(e)) {
+      e = bte->getSubExpr()->IgnoreParenImpCasts();
+    }
+    const auto* lam = dyn_cast<LambdaExpr>(e);
+    if (lam == nullptr) return;
+    for (const LambdaCapture& cap : lam->captures()) {
+      if (!cap.capturesVariable()) continue;
+      const VarDecl* vd = cap.getCapturedVar();
+      if (vd == nullptr) continue;
+      QualType t = vd->getType();
+      bool bad = false;
+      if (cap.getCaptureKind() == LCK_ByRef &&
+          IsEpochClass(RecordOf(t), /*fieldRule=*/true)) {
+        bad = true;  // by-ref capture of an Epoch/DeltaChunk value
+      }
+      if (t->isPointerType() &&
+          IsEpochClass(RecordOf(t->getPointeeType()), /*fieldRule=*/true)) {
+        bad = true;  // raw pointer smuggled in by copy or reference
+      }
+      if (bad) {
+        tu_.Emit(loc, "epoch-lifetime",
+                 "lambda handed to '" + sink + "' captures '" +
+                     vd->getNameAsString() +
+                     "' whose epoch may end before the task runs; copy the "
+                     "data it needs instead");
+      }
+    }
+  }
+
+  TuContext& tu_;
+  std::vector<const FunctionDecl*> bodies_;
+};
+
+class EpochLifetimeCheck : public Check {
+ public:
+  llvm::StringRef name() const override { return "epoch-lifetime"; }
+
+  void RunOnTu(TuContext& tu) override { EpochTu(tu).Run(tu.ast()); }
+
+  void RunGlobal(GlobalContext& g) override {
+    for (const Obligation& ob : g.Obligations()) {
+      if (ob.check != "epoch-lifetime" || ob.kind != "ret-through-call" ||
+          ob.suppressed) {
+        continue;
+      }
+      const FunctionSummary* s = g.SummaryOf(ob.callee_usr);
+      if (s == nullptr || s->returns_param_derived.count(ob.param) == 0) {
+        continue;
+      }
+      g.EmitGlobal(Finding{
+          ob.file, ob.line, ob.col, "epoch-lifetime",
+          "returns a pointer/reference derived from local '" + ob.detail +
+              "' through '" + ob.detail2 +
+              "', which is destroyed when this scope ends"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeEpochLifetimeCheck() {
+  return std::make_unique<EpochLifetimeCheck>();
+}
+
+}  // namespace rdftx_analyzer

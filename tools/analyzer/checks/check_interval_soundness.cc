@@ -1,0 +1,239 @@
+// interval-soundness: every rdftx::Interval(start, end) construction
+// must carry a proof that start <= end — the half-open [start, end)
+// algebra (Overlaps, Intersect, TemporalSet normalization) silently
+// misbehaves on inverted intervals. Accepted proofs, in order:
+//
+//   1. both bounds constant and ordered
+//   2. start == 0 (Chronon is unsigned; 0 is the minimum)
+//   3. end == kChrononNow (0xFFFFFFFF, the maximum)
+//   4. structural: end is `start` itself or `start + k` with k a
+//      non-negative constant (subject paths compare member chains,
+//      so `Interval(gp.t.date, gp.t.date + 1)` proves)
+//   5. a dominating guard: GuardFacts must-dataflow proves
+//      start <= end at the construction
+//   6. both bounds are Chronon parameters of the enclosing function —
+//      recorded in the summary (interval_param_pairs); the proof
+//      obligation moves to every caller, resolved in the global phase
+//
+// Anything else is a finding; a reviewed construction takes
+// `// rdftx-analyzer: allow(interval-soundness)` with a justification.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/dataflow.h"
+#include "tools/analyzer/summaries.h"
+
+namespace rdftx_analyzer {
+namespace {
+
+using namespace clang;
+
+constexpr int64_t kChrononNowValue = 0xFFFFFFFFll;
+
+bool IsIntervalRecord(const CXXRecordDecl* rec) {
+  return rec != nullptr && rec->getName() == "Interval" &&
+         InNamespace(rec, "rdftx");
+}
+
+bool IsChrononParam(const ParmVarDecl* p) {
+  return p->getType().getAsString().find("Chronon") != std::string::npos;
+}
+
+class BodyScan : public RecursiveASTVisitor<BodyScan> {
+ public:
+  bool TraverseLambdaExpr(LambdaExpr*) { return true; }
+
+  bool VisitCXXConstructExpr(CXXConstructExpr* ce) {
+    const CXXConstructorDecl* ctor = ce->getConstructor();
+    if (ctor == nullptr || !IsIntervalRecord(ctor->getParent())) return true;
+    if (ce->getNumArgs() < 2) return true;  // copy/move/default
+    constructs.push_back(ce);
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr* call) {
+    if (isa<CXXOperatorCallExpr>(call)) return true;
+    if (call->getDirectCallee() != nullptr) calls.push_back(call);
+    return true;
+  }
+
+  std::vector<const CXXConstructExpr*> constructs;
+  std::vector<const CallExpr*> calls;
+};
+
+class IntervalTu : public RecursiveASTVisitor<IntervalTu> {
+ public:
+  explicit IntervalTu(TuContext& tu) : tu_(tu) {}
+
+  void Run(ASTContext& ctx) {
+    TraverseDecl(ctx.getTranslationUnitDecl());
+    for (const FunctionDecl* fn : bodies_) Analyze(fn);
+  }
+
+  bool VisitFunctionDecl(FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
+        tu_.InScope(fn->getBeginLoc())) {
+      bodies_.push_back(fn);
+    }
+    return true;
+  }
+
+ private:
+  // Rules 1-5. `at` is the statement whose program point anchors the
+  // guard facts (the construction or the call).
+  bool ProvesOrdered(GuardFacts& facts, const Stmt* at, const Expr* s_expr,
+                     const Expr* e_expr) {
+    ASTContext& ctx = tu_.ast();
+    int64_t sc = 0, ec = 0;
+    const bool s_const = ConstValueOf(s_expr, ctx, &sc);
+    const bool e_const = ConstValueOf(e_expr, ctx, &ec);
+    if (s_const && e_const) return sc <= ec;          // rule 1
+    if (s_const && sc == 0) return true;              // rule 2
+    if (e_const && ec == kChrononNowValue) return true;  // rule 3
+    const Subject ss = SubjectOf(s_expr);
+    if (ss.valid()) {                                 // rule 4
+      if (SubjectOf(e_expr) == ss) return true;
+      const Expr* e = e_expr->IgnoreParenImpCasts();
+      if (const auto* bo = dyn_cast<BinaryOperator>(e)) {
+        if (bo->getOpcode() == BO_Add) {
+          int64_t k = 0;
+          if (SubjectOf(bo->getLHS()) == ss &&
+              ConstValueOf(bo->getRHS(), ctx, &k) && k >= 0) {
+            return true;
+          }
+          if (SubjectOf(bo->getRHS()) == ss &&
+              ConstValueOf(bo->getLHS(), ctx, &k) && k >= 0) {
+            return true;
+          }
+        }
+      }
+    }
+    if (facts.Usable()) {                             // rule 5
+      if (facts.ProvesLe(at, s_expr, e_expr)) return true;
+      // AllAlwaysAdd usually places the construction itself in the
+      // CFG; if not, the argument expressions share its program point.
+      if (facts.ProvesLe(e_expr, s_expr, e_expr)) return true;
+      if (facts.ProvesLe(s_expr, s_expr, e_expr)) return true;
+    }
+    return false;
+  }
+
+  void Analyze(const FunctionDecl* fn) {
+    BodyScan scan;
+    scan.TraverseStmt(fn->getBody());
+    if (scan.constructs.empty() && scan.calls.empty()) return;
+    GuardFacts facts(fn, tu_.ast());
+
+    for (const CXXConstructExpr* ce : scan.constructs) {
+      if (!tu_.InScope(ce->getBeginLoc())) continue;
+      const Expr* s_expr = ce->getArg(0);
+      const Expr* e_expr = ce->getArg(1);
+      if (ProvesOrdered(facts, ce, s_expr, e_expr)) continue;
+      // Rule 6: both bounds are Chronon parameters — the obligation
+      // moves to the callers.
+      const Subject ss = SubjectOf(s_expr);
+      const Subject es = SubjectOf(e_expr);
+      const auto* sp = ss.valid() && ss.path.empty()
+                           ? dyn_cast<ParmVarDecl>(ss.base)
+                           : nullptr;
+      const auto* ep = es.valid() && es.path.empty()
+                           ? dyn_cast<ParmVarDecl>(es.base)
+                           : nullptr;
+      if (sp != nullptr && ep != nullptr && sp->getDeclContext() == fn &&
+          ep->getDeclContext() == fn && IsChrononParam(sp) &&
+          IsChrononParam(ep)) {
+        if (FunctionSummary* sum = tu_.SummaryFor(fn)) {
+          sum->interval_param_pairs.push_back(
+              {static_cast<int>(sp->getFunctionScopeIndex()),
+               static_cast<int>(ep->getFunctionScopeIndex())});
+        }
+        continue;
+      }
+      tu_.Emit(ce->getBeginLoc(), "interval-soundness",
+               "cannot prove start <= end for this Interval construction; "
+               "guard it, order the bounds, or annotate a justified "
+               "allow(interval-soundness)");
+    }
+
+    // Call-site obligations: adjacent Chronon parameter pairs whose
+    // ordering the caller cannot prove. Resolved against the callee's
+    // interval_param_pairs in the global phase.
+    for (const CallExpr* call : scan.calls) {
+      if (!tu_.InScope(call->getExprLoc())) continue;
+      const FunctionDecl* callee = call->getDirectCallee();
+      const std::string usr = UsrOf(callee);
+      if (usr.empty()) continue;
+      const unsigned n = std::min(call->getNumArgs(), callee->getNumParams());
+      for (unsigned i = 0; i + 1 < n; ++i) {
+        if (!IsChrononParam(callee->getParamDecl(i)) ||
+            !IsChrononParam(callee->getParamDecl(i + 1))) {
+          continue;
+        }
+        if (ProvesOrdered(facts, call, call->getArg(i), call->getArg(i + 1))) {
+          continue;
+        }
+        Obligation ob;
+        ob.check = "interval-soundness";
+        ob.kind = "arg-pair";
+        ob.callee_usr = usr;
+        ob.param = static_cast<int>(i);
+        ob.detail = std::to_string(i + 1);
+        ob.detail2 = QualifiedName(callee);
+        if (tu_.Describe(call->getExprLoc(), "interval-soundness", &ob.file,
+                         &ob.line, &ob.col, &ob.suppressed)) {
+          tu_.record().obligations.push_back(std::move(ob));
+        }
+      }
+    }
+  }
+
+  TuContext& tu_;
+  std::vector<const FunctionDecl*> bodies_;
+};
+
+class IntervalSoundnessCheck : public Check {
+ public:
+  llvm::StringRef name() const override { return "interval-soundness"; }
+
+  void RunOnTu(TuContext& tu) override { IntervalTu(tu).Run(tu.ast()); }
+
+  void RunGlobal(GlobalContext& g) override {
+    for (const Obligation& ob : g.Obligations()) {
+      if (ob.check != "interval-soundness" || ob.kind != "arg-pair" ||
+          ob.suppressed) {
+        continue;
+      }
+      const FunctionSummary* s = g.SummaryOf(ob.callee_usr);
+      if (s == nullptr) continue;
+      const int j = std::stoi(ob.detail);
+      bool hit = false;
+      for (const auto& [a, b] : s->interval_param_pairs) {
+        if (a == ob.param && b == j) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
+      g.EmitGlobal(Finding{
+          ob.file, ob.line, ob.col, "interval-soundness",
+          "arguments " + std::to_string(ob.param) + " and " + ob.detail +
+              " flow into Interval(start, end) inside '" + ob.detail2 +
+              "' without a provable start <= end; validate them before "
+              "the call"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeIntervalSoundnessCheck() {
+  return std::make_unique<IntervalSoundnessCheck>();
+}
+
+}  // namespace rdftx_analyzer

@@ -1,0 +1,375 @@
+// lock-order: every util::Mutex in src/ carries an acquisition
+// annotation; the declared order graph is acyclic; every
+// intra-function multi-lock scope respects it; and — new in the
+// interprocedural engine — calling a function whose transitive
+// may-acquire set violates the declared order or a LEAF_MUTEX
+// contract while holding a mutex is flagged at the call site.
+//
+// Same-name re-acquisition through a call chain is deliberately NOT
+// reported: two instances of the same member mutex share a qualified
+// name, and the runtime lock-order detector (src/util/mutex.cc)
+// already covers per-instance recursion. DESIGN.md §12.5 records the
+// trade-off.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/AST/Attr.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/summaries.h"
+
+namespace rdftx_analyzer {
+namespace {
+
+using namespace clang;
+
+struct HeldLock {
+  const ValueDecl* decl;
+  SourceLocation loc;
+  bool manual;  // explicit Lock(): survives the enclosing compound
+};
+
+class LockOrderTu : public RecursiveASTVisitor<LockOrderTu> {
+ public:
+  explicit LockOrderTu(TuContext& tu) : tu_(tu) {}
+
+  void Run(ASTContext& ctx) {
+    TraverseDecl(ctx.getTranslationUnitDecl());
+    for (const FunctionDecl* fn : bodies_) {
+      cur_summary_ = tu_.SummaryFor(fn);
+      std::vector<HeldLock> held;
+      WalkLockScopes(fn->getBody(), &held);
+      if (cur_summary_ != nullptr) {
+        for (const HeldLock& h : held) {
+          if (h.manual) {
+            cur_summary_->held_on_exit.insert(
+                h.decl->getQualifiedNameAsString());
+          }
+        }
+      }
+      cur_summary_ = nullptr;
+    }
+  }
+
+  bool VisitFieldDecl(FieldDecl* fd) {
+    HandleMutexDecl(fd);
+    return true;
+  }
+
+  bool VisitVarDecl(VarDecl* vd) {
+    if (vd->hasGlobalStorage() && !isa<ParmVarDecl>(vd)) HandleMutexDecl(vd);
+    return true;
+  }
+
+  bool VisitFunctionDecl(FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
+        tu_.InScope(fn->getBeginLoc())) {
+      bodies_.push_back(fn);
+    }
+    return true;
+  }
+
+ private:
+  void HandleMutexDecl(ValueDecl* d) {
+    if (!IsUtilMutex(d->getType())) return;
+    if (!tu_.InScope(d->getLocation())) return;
+    const std::string name = d->getQualifiedNameAsString();
+    LockNodeRec node;
+    node.name = name;
+    std::string file;
+    if (tu_.Locate(d->getLocation(), &file, &node.line, &node.col)) {
+      node.file = tu_.DisplayPath(file);
+    }
+    bool annotated = false;
+    for (const auto* attr : d->specific_attrs<AcquiredBeforeAttr>()) {
+      annotated = true;
+      for (const Expr* arg : attr->args()) {
+        if (const ValueDecl* other = ResolveMutexRef(arg)) {
+          node.succ.insert(other->getQualifiedNameAsString());
+        }
+      }
+    }
+    for (const auto* attr : d->specific_attrs<AcquiredAfterAttr>()) {
+      annotated = true;
+      for (const Expr* arg : attr->args()) {
+        if (const ValueDecl* other = ResolveMutexRef(arg)) {
+          // Reversed edge: other is acquired before this mutex.
+          LockNodeRec rev;
+          rev.name = other->getQualifiedNameAsString();
+          rev.succ.insert(name);
+          tu_.record().lock_nodes.push_back(std::move(rev));
+        }
+      }
+    }
+    for (const auto* attr : d->specific_attrs<AnnotateAttr>()) {
+      if (attr->getAnnotation() == "rdftx::leaf_mutex") {
+        annotated = node.leaf = true;
+      } else if (attr->getAnnotation() == "rdftx::interior_mutex") {
+        annotated = node.interior = true;
+      }
+    }
+    if (!annotated) {
+      tu_.Emit(d->getLocation(), "lock-order",
+               "util::Mutex '" + name +
+                   "' lacks an acquisition-order annotation; mark it "
+                   "LEAF_MUTEX or INTERIOR_MUTEX, or relate it with "
+                   "ACQUIRED_BEFORE/ACQUIRED_AFTER");
+    }
+    tu_.record().lock_nodes.push_back(std::move(node));
+  }
+
+  void WalkLockScopes(const Stmt* s, std::vector<HeldLock>* held) {
+    if (s == nullptr) return;
+    if (const auto* cs = dyn_cast<CompoundStmt>(s)) {
+      const size_t mark = held->size();
+      for (const Stmt* c : cs->body()) WalkLockScopes(c, held);
+      // RAII guards declared in this compound release here; explicit
+      // Lock() calls persist until their Unlock() or function exit.
+      std::vector<HeldLock> keep;
+      for (size_t i = 0; i < held->size(); ++i) {
+        if (i < mark || (*held)[i].manual) keep.push_back((*held)[i]);
+      }
+      held->swap(keep);
+      return;
+    }
+    if (const auto* ds = dyn_cast<DeclStmt>(s)) {
+      for (const Decl* d : ds->decls()) {
+        const auto* vd = dyn_cast<VarDecl>(d);
+        if (vd == nullptr || !IsMutexGuard(vd->getType())) continue;
+        const Expr* init = vd->getInit();
+        if (init == nullptr) continue;
+        if (const auto* ewc = dyn_cast<ExprWithCleanups>(init)) {
+          init = ewc->getSubExpr();
+        }
+        init = init->IgnoreParenImpCasts();
+        if (const auto* ctor = dyn_cast<CXXConstructExpr>(init)) {
+          if (ctor->getNumArgs() >= 1) {
+            if (const ValueDecl* mu = ResolveMutexRef(ctor->getArg(0))) {
+              OnAcquire(mu, vd->getLocation(), /*manual=*/false, held);
+            }
+          }
+        }
+      }
+      return;
+    }
+    if (const auto* mc = dyn_cast<CXXMemberCallExpr>(s)) {
+      const CXXMethodDecl* md = mc->getMethodDecl();
+      if (md != nullptr && md->getDeclName().isIdentifier() &&
+          IsUtilMutexRecord(md->getParent())) {
+        const ValueDecl* mu = ResolveMutexRef(mc->getImplicitObjectArgument());
+        if (mu != nullptr) {
+          if (md->getName() == "Lock") {
+            OnAcquire(mu, mc->getExprLoc(), /*manual=*/true, held);
+          } else if (md->getName() == "Unlock") {
+            for (auto it = held->rbegin(); it != held->rend(); ++it) {
+              if (it->decl == mu) {
+                held->erase(std::next(it).base());
+                break;
+              }
+            }
+          }
+          for (const Stmt* c : s->children()) WalkLockScopes(c, held);
+          return;
+        }
+      }
+    }
+    if (const auto* call = dyn_cast<CallExpr>(s)) {
+      HandleCallUnderLocks(call, *held);
+    }
+    for (const Stmt* c : s->children()) WalkLockScopes(c, held);
+  }
+
+  void OnAcquire(const ValueDecl* mu, SourceLocation loc, bool manual,
+                 std::vector<HeldLock>* held) {
+    const std::string b = mu->getQualifiedNameAsString();
+    if (cur_summary_ != nullptr) cur_summary_->may_acquire.insert(b);
+    if (!held->empty()) {
+      const HeldLock& top = held->back();
+      const std::string a = top.decl->getQualifiedNameAsString();
+      if (top.decl == mu) {
+        tu_.Emit(loc, "lock-order",
+                 "recursive acquisition of '" + b +
+                     "'; util::Mutex is not reentrant");
+      } else {
+        // Order verdicts need the fully merged declared-order graph;
+        // defer to the global phase.
+        Obligation ob;
+        ob.check = "lock-order";
+        ob.kind = "pair";
+        ob.detail = b;   // acquired
+        ob.detail2 = a;  // already held
+        if (tu_.Describe(loc, "lock-order", &ob.file, &ob.line, &ob.col,
+                         &ob.suppressed)) {
+          tu_.record().obligations.push_back(std::move(ob));
+        }
+      }
+    }
+    held->push_back(HeldLock{mu, loc, manual});
+  }
+
+  void HandleCallUnderLocks(const CallExpr* call,
+                            const std::vector<HeldLock>& held) {
+    if (held.empty()) return;
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return;
+    if (const auto* md = dyn_cast<CXXMethodDecl>(callee)) {
+      const CXXRecordDecl* rec = md->getParent();
+      if (IsUtilMutexRecord(rec) ||
+          (rec != nullptr && rec->getName() == "MutexLock")) {
+        return;  // the lock machinery itself
+      }
+    }
+    const std::string usr = UsrOf(callee);
+    if (usr.empty()) return;
+    for (const HeldLock& h : held) {
+      Obligation ob;
+      ob.check = "lock-order";
+      ob.kind = "call";
+      ob.callee_usr = usr;
+      ob.detail = h.decl->getQualifiedNameAsString();
+      ob.detail2 = QualifiedName(callee);
+      if (tu_.Describe(call->getExprLoc(), "lock-order", &ob.file, &ob.line,
+                       &ob.col, &ob.suppressed)) {
+        tu_.record().obligations.push_back(std::move(ob));
+      }
+    }
+  }
+
+  TuContext& tu_;
+  std::vector<const FunctionDecl*> bodies_;
+  FunctionSummary* cur_summary_ = nullptr;
+};
+
+// Declared-order cycle check over the merged graph.
+void CheckLockGraphAcyclic(GlobalContext& g) {
+  const auto& graph = g.LockGraph();
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  for (const auto& [name, node] : graph) {
+    if (color[name] != 0) continue;
+    std::vector<std::pair<std::string, std::vector<std::string>>> stack;
+    auto succsOf = [&graph](const std::string& n) {
+      auto it = graph.find(n);
+      std::vector<std::string> out;
+      if (it != graph.end()) {
+        out.assign(it->second.succ.begin(), it->second.succ.end());
+      }
+      return out;
+    };
+    color[name] = 1;
+    stack.emplace_back(name, succsOf(name));
+    std::vector<std::string> path{name};
+    while (!stack.empty()) {
+      auto& [cur, succs] = stack.back();
+      if (succs.empty()) {
+        color[cur] = 2;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      std::string next = succs.back();
+      succs.pop_back();
+      if (color[next] == 1) {
+        // Reconstruct readably: next -> ... -> cur -> next.
+        std::string trace = next;
+        bool collecting = false;
+        for (const std::string& p : path) {
+          if (p == next) {
+            collecting = true;
+            continue;
+          }
+          if (collecting) trace += " -> " + p;
+        }
+        trace += " -> " + next;
+        auto it = graph.find(next);
+        if (it != graph.end()) {
+          const LockNodeRec& at = it->second;
+          g.EmitGlobal(Finding{
+              at.file, at.line, at.col, "lock-order",
+              "declared acquisition order contains a cycle: " + trace});
+        }
+        continue;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        path.push_back(next);
+        stack.emplace_back(next, succsOf(next));
+      }
+    }
+  }
+}
+
+class LockOrderCheck : public Check {
+ public:
+  llvm::StringRef name() const override { return "lock-order"; }
+
+  void RunOnTu(TuContext& tu) override { LockOrderTu(tu).Run(tu.ast()); }
+
+  void RunGlobal(GlobalContext& g) override {
+    CheckLockGraphAcyclic(g);
+    for (const Obligation& ob : g.Obligations()) {
+      if (ob.check != "lock-order" || ob.suppressed) continue;
+      if (ob.kind == "pair") {
+        const std::string& b = ob.detail;   // acquired
+        const std::string& a = ob.detail2;  // held
+        if (g.DeclaredBefore(b, a)) {
+          g.EmitGlobal(Finding{
+              ob.file, ob.line, ob.col, "lock-order",
+              "acquires '" + b + "' while holding '" + a +
+                  "', but the declared order is '" + b + "' before '" + a +
+                  "'"});
+        } else if (g.IsLeafMutex(a)) {
+          g.EmitGlobal(Finding{
+              ob.file, ob.line, ob.col, "lock-order",
+              "acquires '" + b + "' while leaf mutex '" + a +
+                  "' is held; LEAF_MUTEX means nothing may be acquired "
+                  "under it"});
+        } else if (!g.DeclaredBefore(a, b) && !g.IsLeafMutex(b)) {
+          g.EmitGlobal(Finding{
+              ob.file, ob.line, ob.col, "lock-order",
+              "no declared acquisition order permits '" + b + "' under '" +
+                  a + "'; add ACQUIRED_BEFORE/ACQUIRED_AFTER or mark '" + b +
+                  "' LEAF_MUTEX"});
+        }
+        continue;
+      }
+      if (ob.kind != "call") continue;
+      const std::set<std::string>& may = g.MayAcquireClosure(ob.callee_usr);
+      if (may.empty()) continue;
+      const std::string& held = ob.detail;
+      bool emitted = false;
+      for (const std::string& m : may) {
+        if (m == held) continue;  // same-name recursion: see file comment
+        if (g.DeclaredBefore(m, held)) {
+          g.EmitGlobal(Finding{
+              ob.file, ob.line, ob.col, "lock-order",
+              "calls '" + ob.detail2 + "' while holding '" + held +
+                  "'; its call graph may acquire '" + m +
+                  "', but the declared order is '" + m + "' before '" + held +
+                  "'"});
+          emitted = true;
+          break;
+        }
+      }
+      if (!emitted && g.IsLeafMutex(held)) {
+        const std::string& m = *may.begin();
+        g.EmitGlobal(Finding{
+            ob.file, ob.line, ob.col, "lock-order",
+            "calls '" + ob.detail2 + "' while holding leaf mutex '" + held +
+                "'; its call graph may acquire '" + m +
+                "' and LEAF_MUTEX means nothing may be acquired under it"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeLockOrderCheck() {
+  return std::make_unique<LockOrderCheck>();
+}
+
+}  // namespace rdftx_analyzer

@@ -1,0 +1,223 @@
+// result-unwrap: accessing a rdftx::Result's value (value(),
+// operator*, operator->) must be dominated by an ok() test on every
+// path. The proof is the GuardFacts must-dataflow; interprocedurally,
+// a function that unwraps a Result parameter without its own check
+// (directly, or by forwarding it through any chain of helpers —
+// summary: unwraps_params / forwards_result, closed over by
+// GlobalContext::Finalize) obliges every caller to prove ok() at the
+// call site. UNWRAPS_RESULT_ARGS asserts the callee contract
+// explicitly for functions whose body the analyzer cannot see.
+//
+// Precision limits (DESIGN.md §12.5): member-field Results are not
+// tracked (no alias analysis), and the fact domain keys on local
+// variable / parameter subjects only.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/dataflow.h"
+#include "tools/analyzer/summaries.h"
+
+namespace rdftx_analyzer {
+namespace {
+
+using namespace clang;
+
+// Collects unwrap sites and Result-typed call arguments inside one
+// function body (lambdas excluded — separate CFG, separate facts).
+class BodyScan : public RecursiveASTVisitor<BodyScan> {
+ public:
+  struct Unwrap {
+    const Expr* site;      // the unwrapping expression
+    const Expr* receiver;  // the Result being unwrapped
+  };
+  struct ArgUse {
+    const CallExpr* call;
+    const Expr* arg;
+    unsigned index;
+    const FunctionDecl* callee;
+  };
+
+  bool TraverseLambdaExpr(LambdaExpr*) { return true; }
+
+  bool VisitCXXMemberCallExpr(CXXMemberCallExpr* mc) {
+    const CXXMethodDecl* md = mc->getMethodDecl();
+    if (md != nullptr && md->getDeclName().isIdentifier() &&
+        md->getName() == "value" && md->getParent() != nullptr &&
+        md->getParent()->getName() == "Result" &&
+        InNamespace(md->getParent(), "rdftx")) {
+      unwraps.push_back(Unwrap{mc, mc->getImplicitObjectArgument()});
+    }
+    return true;
+  }
+
+  bool VisitCXXOperatorCallExpr(CXXOperatorCallExpr* oc) {
+    if ((oc->getOperator() == OO_Star || oc->getOperator() == OO_Arrow) &&
+        oc->getNumArgs() >= 1 && IsResultType(oc->getArg(0)->getType())) {
+      unwraps.push_back(Unwrap{oc, oc->getArg(0)});
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr* call) {
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return true;
+    if (isa<CXXOperatorCallExpr>(call)) return true;  // unwraps, not passes
+    const unsigned n = std::min(call->getNumArgs(), callee->getNumParams());
+    for (unsigned i = 0; i < n; ++i) {
+      QualType pt = callee->getParamDecl(i)->getType();
+      if (!IsResultType(pt)) continue;
+      args.push_back(ArgUse{call, call->getArg(i), i, callee});
+    }
+    return true;
+  }
+
+  std::vector<Unwrap> unwraps;
+  std::vector<ArgUse> args;
+};
+
+class ResultUnwrapTu : public RecursiveASTVisitor<ResultUnwrapTu> {
+ public:
+  explicit ResultUnwrapTu(TuContext& tu) : tu_(tu) {}
+
+  void Run(ASTContext& ctx) {
+    TraverseDecl(ctx.getTranslationUnitDecl());
+    for (const FunctionDecl* fn : bodies_) Analyze(fn);
+  }
+
+  bool VisitFunctionDecl(FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
+        tu_.InScope(fn->getBeginLoc())) {
+      bodies_.push_back(fn);
+    }
+    return true;
+  }
+
+ private:
+  // Index of `vd` among fn's Result parameters, or -1.
+  static int ResultParamIndex(const FunctionDecl* fn, const Subject& s) {
+    if (!s.valid() || !s.path.empty()) return -1;
+    const auto* p = dyn_cast<ParmVarDecl>(s.base);
+    if (p == nullptr || p->getDeclContext() != fn) return -1;
+    if (!IsResultType(p->getType())) return -1;
+    return static_cast<int>(p->getFunctionScopeIndex());
+  }
+
+  void Analyze(const FunctionDecl* fn) {
+    BodyScan scan;
+    scan.TraverseStmt(fn->getBody());
+    if (scan.unwraps.empty() && scan.args.empty()) return;
+    GuardFacts facts(fn, tu_.ast());
+    const bool annotated = HasAnnotation(fn, "rdftx::unwraps_result_args");
+
+    for (const BodyScan::Unwrap& u : scan.unwraps) {
+      if (!tu_.InScope(u.site->getExprLoc())) continue;
+      const Expr* recv = u.receiver;
+      if (recv == nullptr) continue;
+      Subject s = SubjectOf(recv);
+      if (s.valid()) {
+        if (facts.KnownOk(u.site, s)) continue;
+        const int pi = ResultParamIndex(fn, s);
+        if (pi >= 0) {
+          // The caller's problem: record the contract, don't diagnose.
+          if (!annotated) {
+            if (FunctionSummary* sum = tu_.SummaryFor(fn)) {
+              sum->unwraps_params.insert(pi);
+            }
+          }
+          continue;
+        }
+        if (s.path.empty() && IsResultType(s.base->getType())) {
+          tu_.Emit(u.site->getExprLoc(), "result-unwrap",
+                   "Result '" + s.base->getNameAsString() +
+                       "' unwrapped without a dominating ok() check; test "
+                       "ok() (or use status()) before accessing the value");
+        }
+        // Member/deref chains: precision limit, stay silent.
+        continue;
+      }
+      const Expr* stripped = recv->IgnoreParenImpCasts();
+      if (isa<MaterializeTemporaryExpr>(stripped) || stripped->isPRValue()) {
+        tu_.Emit(u.site->getExprLoc(), "result-unwrap",
+                 "Result returned by a call is unwrapped immediately; bind "
+                 "it to a variable and test ok() before accessing the value");
+      }
+    }
+
+    for (const BodyScan::ArgUse& a : scan.args) {
+      if (!tu_.InScope(a.call->getExprLoc())) continue;
+      const std::string usr = UsrOf(a.callee);
+      if (usr.empty()) continue;
+      // A body-less callee never reaches the pre-pass; materialize its
+      // summary here so an UNWRAPS_RESULT_ARGS declaration still
+      // reaches the global closure.
+      if (HasAnnotation(a.callee, "rdftx::unwraps_result_args")) {
+        tu_.SummaryFor(a.callee);
+      }
+      Subject s = SubjectOf(StripValuePass(a.arg));
+      if (s.valid() && facts.KnownOk(a.call, s)) continue;
+      const int pi = s.valid() ? ResultParamIndex(fn, s) : -1;
+      if (pi >= 0) {
+        // Unchecked forward: closes transitively in the global phase.
+        if (FunctionSummary* sum = tu_.SummaryFor(fn)) {
+          sum->forwards_result.push_back(
+              {pi, {usr, static_cast<int>(a.index)}});
+        }
+        continue;
+      }
+      std::string what = "a Result";
+      if (s.valid() && s.path.empty()) {
+        what = "Result '" + s.base->getNameAsString() + "'";
+      }
+      Obligation ob;
+      ob.check = "result-unwrap";
+      ob.kind = "unchecked-arg";
+      ob.callee_usr = usr;
+      ob.param = static_cast<int>(a.index);
+      ob.detail = what;
+      ob.detail2 = QualifiedName(a.callee);
+      if (tu_.Describe(a.call->getExprLoc(), "result-unwrap", &ob.file,
+                       &ob.line, &ob.col, &ob.suppressed)) {
+        tu_.record().obligations.push_back(std::move(ob));
+      }
+    }
+  }
+
+  TuContext& tu_;
+  std::vector<const FunctionDecl*> bodies_;
+};
+
+class ResultUnwrapCheck : public Check {
+ public:
+  llvm::StringRef name() const override { return "result-unwrap"; }
+
+  void RunOnTu(TuContext& tu) override { ResultUnwrapTu(tu).Run(tu.ast()); }
+
+  void RunGlobal(GlobalContext& g) override {
+    for (const Obligation& ob : g.Obligations()) {
+      if (ob.check != "result-unwrap" || ob.kind != "unchecked-arg" ||
+          ob.suppressed) {
+        continue;
+      }
+      if (!g.UnwrapsParam(ob.callee_usr, ob.param)) continue;
+      g.EmitGlobal(Finding{
+          ob.file, ob.line, ob.col, "result-unwrap",
+          ob.detail + " is passed to '" + ob.detail2 +
+              "' which unwraps it without re-checking ok(); prove ok() "
+              "before the call"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeResultUnwrapCheck() {
+  return std::make_unique<ResultUnwrapCheck>();
+}
+
+}  // namespace rdftx_analyzer

@@ -1,0 +1,173 @@
+// status: rdftx::Status / rdftx::Result discarded through a
+// cast-to-void or a bare expression statement — the holes
+// [[nodiscard]] + -Werror cannot see through. Interprocedurally, a
+// Status/Result *argument* can be discarded through a signature: a
+// callee that accepts one by value (or rvalue reference) and never
+// reads it swallows the caller's error. The summary records such
+// parameters; call sites handing a freshly produced Status/Result to
+// one are flagged.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/summaries.h"
+
+namespace rdftx_analyzer {
+namespace {
+
+using namespace clang;
+
+// Does any DeclRefExpr under `s` name `d`? (Lambda bodies included —
+// a captured use is a read.)
+bool MentionsDecl(const Stmt* s, const ValueDecl* d) {
+  if (s == nullptr) return false;
+  if (const auto* dre = dyn_cast<DeclRefExpr>(s)) {
+    if (dre->getDecl() == d) return true;
+  }
+  for (const Stmt* c : s->children()) {
+    if (MentionsDecl(c, d)) return true;
+  }
+  return false;
+}
+
+class StatusTu : public RecursiveASTVisitor<StatusTu> {
+ public:
+  explicit StatusTu(TuContext& tu) : tu_(tu) {}
+
+  void Run(ASTContext& ctx) {
+    TraverseDecl(ctx.getTranslationUnitDecl());
+    for (const FunctionDecl* fn : bodies_) {
+      CheckStatusDiscards(fn->getBody());
+      RecordSwallowedParams(fn);
+    }
+  }
+
+  bool VisitFunctionDecl(FunctionDecl* fn) {
+    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
+        tu_.InScope(fn->getBeginLoc())) {
+      bodies_.push_back(fn);
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr* call) {
+    if (!tu_.InScope(call->getExprLoc())) return true;
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr) return true;
+    const std::string usr = UsrOf(callee);
+    if (usr.empty()) return true;
+    const unsigned n =
+        std::min(call->getNumArgs(), callee->getNumParams());
+    for (unsigned i = 0; i < n; ++i) {
+      QualType pt = callee->getParamDecl(i)->getType();
+      if (pt->isLValueReferenceType()) continue;  // caller keeps a handle
+      if (!IsStatusOrResult(pt)) continue;
+      // Only freshly produced values: an lvalue argument (even when it
+      // reaches the callee through a copy) stays observable here.
+      const Expr* arg = StripValuePass(call->getArg(i));
+      if (!arg->isPRValue()) continue;
+      Obligation ob;
+      ob.check = "status";
+      ob.kind = "pass-status";
+      ob.callee_usr = usr;
+      ob.param = static_cast<int>(i);
+      ob.detail2 = QualifiedName(callee);
+      if (tu_.Describe(call->getExprLoc(), "status", &ob.file, &ob.line,
+                       &ob.col, &ob.suppressed)) {
+        tu_.record().obligations.push_back(std::move(ob));
+      }
+    }
+    return true;
+  }
+
+ private:
+  void RecordSwallowedParams(const FunctionDecl* fn) {
+    FunctionSummary* summary = nullptr;
+    for (unsigned i = 0; i < fn->getNumParams(); ++i) {
+      const ParmVarDecl* p = fn->getParamDecl(i);
+      QualType t = p->getType();
+      if (t->isLValueReferenceType() || t->isPointerType()) continue;
+      if (!IsStatusOrResult(t)) continue;
+      if (p->getName().empty()) continue;  // deliberately unnamed: skip
+      if (MentionsDecl(fn->getBody(), p)) continue;
+      if (summary == nullptr) summary = tu_.SummaryFor(fn);
+      if (summary != nullptr) {
+        summary->swallows_status_params.insert(static_cast<int>(i));
+      }
+    }
+  }
+
+  void CheckStatusDiscards(const Stmt* s) {
+    if (s == nullptr) return;
+    if (const auto* cs = dyn_cast<CompoundStmt>(s)) {
+      for (const Stmt* c : cs->body()) InspectTopLevelExpr(c);
+    }
+    for (const Stmt* c : s->children()) CheckStatusDiscards(c);
+  }
+
+  void InspectTopLevelExpr(const Stmt* c) {
+    const auto* e = dyn_cast_or_null<Expr>(c);
+    if (e == nullptr || !tu_.InScope(e->getExprLoc())) return;
+    const Expr* inner = e->IgnoreParens();
+    if (const auto* ewc = dyn_cast<ExprWithCleanups>(inner)) {
+      inner = ewc->getSubExpr()->IgnoreParens();
+    }
+    if (const auto* cast = dyn_cast<ExplicitCastExpr>(inner)) {
+      if (cast->getType()->isVoidType()) {
+        const Expr* sub = cast->getSubExprAsWritten()->IgnoreParenImpCasts();
+        if (IsStatusOrResult(sub->getType())) {
+          tu_.Emit(e->getExprLoc(), "status",
+                   "Status/Result discarded with a cast to void; call "
+                   "IgnoreError() or propagate it");
+        }
+        return;
+      }
+    }
+    if (inner->getValueKind() == VK_PRValue &&
+        IsStatusOrResult(inner->getType())) {
+      tu_.Emit(e->getExprLoc(), "status",
+               "expression result of type Status/Result is discarded; check "
+               "it, propagate it, or call IgnoreError()");
+    }
+  }
+
+  TuContext& tu_;
+  std::vector<const FunctionDecl*> bodies_;
+};
+
+class StatusCheck : public Check {
+ public:
+  llvm::StringRef name() const override { return "status"; }
+
+  void RunOnTu(TuContext& tu) override { StatusTu(tu).Run(tu.ast()); }
+
+  void RunGlobal(GlobalContext& g) override {
+    for (const Obligation& ob : g.Obligations()) {
+      if (ob.check != "status" || ob.kind != "pass-status" || ob.suppressed) {
+        continue;
+      }
+      const FunctionSummary* s = g.SummaryOf(ob.callee_usr);
+      if (s == nullptr || s->swallows_status_params.count(ob.param) == 0) {
+        continue;
+      }
+      g.EmitGlobal(Finding{
+          ob.file, ob.line, ob.col, "status",
+          "Status/Result passed to '" + ob.detail2 +
+              "' which never examines it; the error is silently dropped — "
+              "check it at the call site or have the callee propagate it"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeStatusCheck() {
+  return std::make_unique<StatusCheck>();
+}
+
+}  // namespace rdftx_analyzer

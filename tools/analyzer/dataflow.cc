@@ -1,0 +1,504 @@
+#include "tools/analyzer/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/OperationKinds.h"
+
+namespace rdftx_analyzer {
+
+using namespace clang;
+
+// ---------------------------------------------------------------------------
+// Expression helpers
+// ---------------------------------------------------------------------------
+
+Subject SubjectOf(const Expr* e) {
+  if (e == nullptr) return Subject();
+  e = e->IgnoreParenImpCasts();
+  if (const auto* dre = dyn_cast<DeclRefExpr>(e)) {
+    Subject s;
+    s.base = dyn_cast<VarDecl>(dre->getDecl());
+    return s.base != nullptr ? s : Subject();
+  }
+  if (const auto* me = dyn_cast<MemberExpr>(e)) {
+    Subject s = SubjectOf(me->getBase());
+    if (!s.valid()) return Subject();
+    const auto* vd = dyn_cast<ValueDecl>(me->getMemberDecl());
+    if (vd == nullptr || !vd->getDeclName().isIdentifier()) return Subject();
+    s.path += me->isArrow() ? "->" : ".";
+    s.path += vd->getName().str();
+    return s;
+  }
+  if (const auto* uo = dyn_cast<UnaryOperator>(e)) {
+    if (uo->getOpcode() == UO_Deref) {
+      Subject s = SubjectOf(uo->getSubExpr());
+      if (!s.valid()) return Subject();
+      s.path += ".*";
+      return s;
+    }
+    return Subject();
+  }
+  if (const auto* oc = dyn_cast<CXXOperatorCallExpr>(e)) {
+    // Overloaded operator* (Result<T>::operator*, iterators).
+    if (oc->getOperator() == OO_Star && oc->getNumArgs() == 1) {
+      Subject s = SubjectOf(oc->getArg(0));
+      if (!s.valid()) return Subject();
+      s.path += ".*";
+      return s;
+    }
+    return Subject();
+  }
+  if (const auto* call = dyn_cast<CallExpr>(e)) {
+    // std::move(v) / std::forward<T>(v) still denote v.
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee != nullptr && callee->getDeclName().isIdentifier() &&
+        (callee->getName() == "move" || callee->getName() == "forward") &&
+        call->getNumArgs() == 1) {
+      return SubjectOf(call->getArg(0));
+    }
+    return Subject();
+  }
+  return Subject();
+}
+
+const ValueDecl* ReferencedVar(const Expr* e) {
+  Subject s = SubjectOf(e);
+  return s.valid() && s.path.empty() ? s.base : nullptr;
+}
+
+bool ConstValueOf(const Expr* e, ASTContext& ctx, int64_t* out) {
+  if (e == nullptr) return false;
+  Optional<llvm::APSInt> v = e->getIntegerConstantExpr(ctx);
+  if (!v || v->getMinSignedBits() > 64) return false;
+  *out = v->getExtValue();
+  return true;
+}
+
+// `v.ok()` / `obj.field.ok()` — returns the receiver subject.
+static Subject OkSubject(const Expr* e) {
+  const auto* mc = dyn_cast<CXXMemberCallExpr>(e);
+  if (mc == nullptr) return Subject();
+  const CXXMethodDecl* md = mc->getMethodDecl();
+  if (md == nullptr || !md->getDeclName().isIdentifier() ||
+      md->getName() != "ok") {
+    return Subject();
+  }
+  return SubjectOf(mc->getImplicitObjectArgument());
+}
+
+static BinaryOperatorKind Flip(BinaryOperatorKind op) {
+  switch (op) {
+    case BO_LT: return BO_GT;
+    case BO_GT: return BO_LT;
+    case BO_LE: return BO_GE;
+    case BO_GE: return BO_LE;
+    default: return op;  // EQ symmetric
+  }
+}
+
+static BinaryOperatorKind Negate(BinaryOperatorKind op) {
+  switch (op) {
+    case BO_LT: return BO_GE;
+    case BO_GE: return BO_LT;
+    case BO_GT: return BO_LE;
+    case BO_LE: return BO_GT;
+    case BO_NE: return BO_EQ;
+    default: return BO_EQ;  // callers skip == negation
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GuardFacts
+// ---------------------------------------------------------------------------
+
+GuardFacts::GuardFacts(const FunctionDecl* fn, ASTContext& ctx)
+    : fn_(fn), ctx_(ctx) {
+  if (fn == nullptr || fn->getBody() == nullptr) return;
+  CFG::BuildOptions opts;
+  opts.setAllAlwaysAdd();
+  cfg_ = CFG::buildCFG(fn, fn->getBody(), &ctx, opts);
+  if (cfg_ == nullptr) return;
+  block_by_id_.assign(cfg_->getNumBlockIDs(), nullptr);
+  for (const CFGBlock* b : *cfg_) {
+    block_by_id_[b->getBlockID()] = b;
+    for (size_t i = 0; i < b->size(); ++i) {
+      if (auto cs = (*b)[i].getAs<CFGStmt>()) {
+        where_.emplace(cs->getStmt(), std::make_pair(b->getBlockID(), i));
+      }
+    }
+  }
+  Run();
+}
+
+GuardFacts::~GuardFacts() = default;
+
+static void KillOverlapping(const Subject& w, std::set<GuardFact>* facts) {
+  if (!w.valid()) return;
+  for (auto it = facts->begin(); it != facts->end();) {
+    if (it->a.OverlapsWrite(w) || it->b.OverlapsWrite(w)) {
+      it = facts->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// A member call that cannot invalidate an ok()/ordering fact about its
+// object: the Result/Status observers and unwrap accessors themselves.
+static bool IsBenignMember(llvm::StringRef name) {
+  return name == "ok" || name == "status" || name == "value" ||
+         name == "empty" || name == "size";
+}
+
+void GuardFacts::ApplyElementKills(const CFGElement& el, FactSet* facts) const {
+  auto cs = el.getAs<CFGStmt>();
+  if (!cs) return;
+  const Stmt* s = cs->getStmt();
+  if (const auto* bo = dyn_cast<BinaryOperator>(s)) {
+    if (bo->isAssignmentOp() || bo->isCompoundAssignmentOp()) {
+      KillOverlapping(SubjectOf(bo->getLHS()), facts);
+    }
+    return;
+  }
+  if (const auto* uo = dyn_cast<UnaryOperator>(s)) {
+    if (uo->isIncrementDecrementOp()) {
+      KillOverlapping(SubjectOf(uo->getSubExpr()), facts);
+    } else if (uo->getOpcode() == UO_AddrOf) {
+      // The pointer may reach anything inside the object: drop every
+      // fact rooted at the base variable.
+      Subject s2 = SubjectOf(uo->getSubExpr());
+      s2.path.clear();
+      KillOverlapping(s2, facts);
+    }
+    return;
+  }
+  if (const auto* oc = dyn_cast<CXXOperatorCallExpr>(s)) {
+    // Overloaded v = x / v += x / ++it.
+    if ((oc->isAssignmentOp() || oc->getOperator() == OO_PlusPlus ||
+         oc->getOperator() == OO_MinusMinus) &&
+        oc->getNumArgs() >= 1) {
+      KillOverlapping(SubjectOf(oc->getArg(0)), facts);
+    }
+    return;
+  }
+  if (const auto* mc = dyn_cast<CXXMemberCallExpr>(s)) {
+    const CXXMethodDecl* md = mc->getMethodDecl();
+    if (md != nullptr && !md->isConst() &&
+        !(md->getDeclName().isIdentifier() && IsBenignMember(md->getName()))) {
+      KillOverlapping(SubjectOf(mc->getImplicitObjectArgument()), facts);
+    }
+    return;
+  }
+  if (const auto* call = dyn_cast<CallExpr>(s)) {
+    // Arguments bound to non-const references may be rewritten.
+    const FunctionDecl* callee = call->getDirectCallee();
+    for (unsigned i = 0; i < call->getNumArgs(); ++i) {
+      Subject arg = SubjectOf(call->getArg(i));
+      if (!arg.valid()) continue;
+      bool mutable_bind = callee == nullptr;
+      if (callee != nullptr && i < callee->getNumParams()) {
+        QualType pt = callee->getParamDecl(i)->getType();
+        mutable_bind = pt->isReferenceType() &&
+                       !pt.getNonReferenceType().isConstQualified();
+      }
+      if (callee == nullptr) arg.path.clear();  // unknown callee: worst case
+      if (mutable_bind) KillOverlapping(arg, facts);
+    }
+  }
+}
+
+// Facts established by `cond` being true (branch) or false (!branch).
+static void AddCondFacts(const Expr* cond, bool branch, ASTContext& ctx,
+                         std::set<GuardFact>* out);
+
+static void AddCmpFacts(const Expr* lhs_e, BinaryOperatorKind op,
+                        const Expr* rhs_e, ASTContext& ctx,
+                        std::set<GuardFact>* out) {
+  const Subject ls = SubjectOf(lhs_e);
+  const Subject rs = SubjectOf(rhs_e);
+  int64_t lc = 0, rc = 0;
+  const bool lconst = !ls.valid() && ConstValueOf(lhs_e, ctx, &lc);
+  const bool rconst = !rs.valid() && ConstValueOf(rhs_e, ctx, &rc);
+  if (ls.valid() && rs.valid()) {
+    GuardFact f;
+    f.kind = GuardFact::kCmp;
+    f.a = ls;
+    f.op = op;
+    f.b = rs;
+    out->insert(f);
+    GuardFact g = f;  // store the flipped view too, for O(1) lookup
+    g.a = rs;
+    g.op = Flip(op);
+    g.b = ls;
+    out->insert(g);
+    return;
+  }
+  if (ls.valid() && rconst) {
+    GuardFact f;
+    f.kind = GuardFact::kCmp;
+    f.a = ls;
+    f.op = op;
+    f.rhs_const = rc;
+    out->insert(f);
+    return;
+  }
+  if (lconst && rs.valid()) {
+    GuardFact f;
+    f.kind = GuardFact::kCmp;
+    f.a = rs;
+    f.op = Flip(op);
+    f.rhs_const = lc;
+    out->insert(f);
+  }
+}
+
+static void AddCondFacts(const Expr* cond, bool branch, ASTContext& ctx,
+                         std::set<GuardFact>* out) {
+  if (cond == nullptr) return;
+  const Expr* e = cond->IgnoreParenImpCasts();
+  if (const auto* uo = dyn_cast<UnaryOperator>(e)) {
+    if (uo->getOpcode() == UO_LNot) {
+      AddCondFacts(uo->getSubExpr(), !branch, ctx, out);
+      return;
+    }
+  }
+  if (const auto* bo = dyn_cast<BinaryOperator>(e)) {
+    if (bo->getOpcode() == BO_LAnd) {
+      if (branch) {  // (a && b) true => both true
+        AddCondFacts(bo->getLHS(), true, ctx, out);
+        AddCondFacts(bo->getRHS(), true, ctx, out);
+      }
+      return;
+    }
+    if (bo->getOpcode() == BO_LOr) {
+      if (!branch) {  // (a || b) false => both false
+        AddCondFacts(bo->getLHS(), false, ctx, out);
+        AddCondFacts(bo->getRHS(), false, ctx, out);
+      }
+      return;
+    }
+    if (bo->isComparisonOp()) {
+      BinaryOperatorKind op = bo->getOpcode();
+      if (!branch) {
+        if (op == BO_EQ) return;  // == false carries no ordering info
+        op = Negate(op);
+      }
+      if (op == BO_NE) return;
+      AddCmpFacts(bo->getLHS(), op, bo->getRHS(), ctx, out);
+      return;
+    }
+  }
+  if (branch) {
+    Subject v = OkSubject(e);
+    if (v.valid()) {
+      GuardFact f;
+      f.kind = GuardFact::kOk;
+      f.a = v;
+      out->insert(f);
+    }
+  }
+}
+
+void GuardFacts::CollectEdgeFacts(const CFGBlock* b, FactSet* true_facts,
+                                  FactSet* false_facts) const {
+  const Stmt* cond = const_cast<CFGBlock*>(b)->getTerminatorCondition();
+  const auto* e = dyn_cast_or_null<Expr>(cond);
+  if (e == nullptr) return;
+  AddCondFacts(e, true, ctx_, true_facts);
+  AddCondFacts(e, false, ctx_, false_facts);
+}
+
+void GuardFacts::Run() {
+  const unsigned n = cfg_->getNumBlockIDs();
+  block_in_.assign(n, FactSet());
+  std::vector<bool> visited(n, false);
+
+  std::deque<const CFGBlock*> work;
+  const CFGBlock& entry = cfg_->getEntry();
+  visited[entry.getBlockID()] = true;
+  work.push_back(&entry);
+
+  auto transfer = [this](const CFGBlock* b, FactSet facts) {
+    for (size_t i = 0; i < b->size(); ++i) {
+      ApplyElementKills((*b)[i], &facts);
+    }
+    return facts;
+  };
+
+  int iterations = 0;
+  const int kMaxIterations = 4096;  // facts only shrink; this is a belt
+  while (!work.empty() && ++iterations < kMaxIterations) {
+    const CFGBlock* b = work.front();
+    work.pop_front();
+    FactSet out = transfer(b, block_in_[b->getBlockID()]);
+    FactSet true_facts, false_facts;
+    CollectEdgeFacts(b, &true_facts, &false_facts);
+
+    std::vector<const CFGBlock*> succs;
+    for (const CFGBlock::AdjacentBlock& adj : b->succs()) {
+      succs.push_back(adj);  // may be null (unreachable)
+    }
+    const bool two_way = succs.size() == 2;
+    for (size_t i = 0; i < succs.size(); ++i) {
+      const CFGBlock* s = succs[i];
+      if (s == nullptr) continue;
+      FactSet edge = out;
+      if (two_way) {
+        const FactSet& extra = i == 0 ? true_facts : false_facts;
+        edge.insert(extra.begin(), extra.end());
+      }
+      const unsigned id = s->getBlockID();
+      bool changed = false;
+      if (!visited[id]) {
+        visited[id] = true;
+        block_in_[id] = std::move(edge);
+        changed = true;
+      } else {
+        // Must-analysis: intersect.
+        FactSet merged;
+        std::set_intersection(block_in_[id].begin(), block_in_[id].end(),
+                              edge.begin(), edge.end(),
+                              std::inserter(merged, merged.begin()));
+        if (merged != block_in_[id]) {
+          block_in_[id] = std::move(merged);
+          changed = true;
+        }
+      }
+      if (changed) work.push_back(s);
+    }
+  }
+}
+
+GuardFacts::FactSet GuardFacts::FactsBefore(const Stmt* at) const {
+  auto it = where_.find(at);
+  if (it == where_.end()) return {};
+  const unsigned block_id = it->second.first;
+  const size_t idx = it->second.second;
+  const CFGBlock* blk =
+      block_id < block_by_id_.size() ? block_by_id_[block_id] : nullptr;
+  if (blk == nullptr) return {};
+  FactSet facts = block_in_[block_id];
+  for (size_t i = 0; i < idx; ++i) {
+    ApplyElementKills((*blk)[i], &facts);
+  }
+  return facts;
+}
+
+bool GuardFacts::KnownOk(const Stmt* at, const Subject& v) const {
+  if (cfg_ == nullptr || !v.valid()) return false;
+  FactSet facts = FactsBefore(at);
+  GuardFact probe;
+  probe.kind = GuardFact::kOk;
+  probe.a = v;
+  return facts.count(probe) != 0;
+}
+
+// Upper bound on `v` implied by one fact (v <= K, v < K, v == K).
+static bool FactUpperBound(const GuardFact& f, const Subject& v,
+                           int64_t* bound) {
+  if (f.kind != GuardFact::kCmp || !(f.a == v) || f.b.valid()) return false;
+  switch (f.op) {
+    case BO_LE:
+    case BO_EQ:
+      *bound = f.rhs_const;
+      return true;
+    case BO_LT:
+      *bound = f.rhs_const - 1;
+      return true;
+    default:
+      return false;
+  }
+}
+
+static bool FactLowerBound(const GuardFact& f, const Subject& v,
+                           int64_t* bound) {
+  if (f.kind != GuardFact::kCmp || !(f.a == v) || f.b.valid()) return false;
+  switch (f.op) {
+    case BO_GE:
+    case BO_EQ:
+      *bound = f.rhs_const;
+      return true;
+    case BO_GT:
+      *bound = f.rhs_const + 1;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool GuardFacts::ProvesLe(const Stmt* at, const Expr* lhs,
+                          const Expr* rhs) const {
+  if (cfg_ == nullptr) return false;
+  const Subject ls = SubjectOf(lhs);
+  const Subject rs = SubjectOf(rhs);
+  int64_t lc = 0, rc = 0;
+  const bool lconst = !ls.valid() && ConstValueOf(lhs, ctx_, &lc);
+  const bool rconst = !rs.valid() && ConstValueOf(rhs, ctx_, &rc);
+  if (lconst && rconst) return lc <= rc;
+  if (!ls.valid() && !lconst) return false;
+  if (!rs.valid() && !rconst) return false;
+
+  FactSet facts = FactsBefore(at);
+  if (ls.valid() && rs.valid()) {
+    if (ls == rs) return true;  // x <= x
+    for (const GuardFact& f : facts) {
+      if (f.kind != GuardFact::kCmp) continue;
+      if (f.a == ls && f.b == rs &&
+          (f.op == BO_LE || f.op == BO_LT || f.op == BO_EQ)) {
+        return true;
+      }
+    }
+    // Constant chaining: ls <= K1, rs >= K2, K1 <= K2.
+    int64_t hi = 0, lo = 0;
+    bool have_hi = false, have_lo = false;
+    for (const GuardFact& f : facts) {
+      int64_t b = 0;
+      if (FactUpperBound(f, ls, &b) && (!have_hi || b < hi)) {
+        hi = b;
+        have_hi = true;
+      }
+      if (FactLowerBound(f, rs, &b) && (!have_lo || b > lo)) {
+        lo = b;
+        have_lo = true;
+      }
+    }
+    return have_hi && have_lo && hi <= lo;
+  }
+  if (ls.valid()) {  // ls <= rc?
+    for (const GuardFact& f : facts) {
+      int64_t b = 0;
+      if (FactUpperBound(f, ls, &b) && b <= rc) return true;
+    }
+    return false;
+  }
+  // lc <= rs?
+  for (const GuardFact& f : facts) {
+    int64_t b = 0;
+    if (FactLowerBound(f, rs, &b) && lc <= b) return true;
+  }
+  return false;
+}
+
+bool GuardFacts::HasConstUpperBound(const Stmt* at, const Subject& v,
+                                    uint64_t* bound) const {
+  if (cfg_ == nullptr || !v.valid()) return false;
+  FactSet facts = FactsBefore(at);
+  bool found = false;
+  int64_t best = 0;
+  for (const GuardFact& f : facts) {
+    int64_t b = 0;
+    if (FactUpperBound(f, v, &b)) {
+      if (!found || b < best) best = b;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  if (bound != nullptr) {
+    *bound = best < 0 ? 0 : static_cast<uint64_t>(best);
+  }
+  return true;
+}
+
+}  // namespace rdftx_analyzer

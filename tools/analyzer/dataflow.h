@@ -1,0 +1,135 @@
+// Guard-fact must-dataflow over the clang CFG (DESIGN.md §12.3),
+// shared by the result-unwrap, interval-soundness and decode-overflow
+// checks.
+//
+// Facts are simple predicates over *subjects* — a local variable or
+// parameter plus an optional member/deref path (`v`, `e.start`,
+// `gp.t.date`, `*s`) — that a branch makes true on one of its edges:
+//
+//   Ok(v)        `v.ok()` observed true (true edge of `if (v.ok())`,
+//                false edge of `if (!v.ok())`)
+//   Cmp(a,op,b)  `a op b` observed true, with a a subject and b a
+//                subject or an integer constant; the complementary
+//                fact is generated on the other edge (e.g. the false
+//                edge of `if (ds > kMax) return err;` yields ds <= kMax)
+//
+// Propagation is a forward MUST analysis: facts intersect at merge
+// points, any write that may alias a subject (assignment to it or a
+// path prefix, ++/--, address-of, non-const member call, non-const-ref
+// argument binding) kills every fact naming it. Queries resolve a
+// statement to its (block, element) position — the CFG is built with
+// every sub-expression as an element — and replay the block's kills up
+// to that point, so a fact established by an earlier guard in the same
+// block still counts and a kill between guard and use does not.
+#ifndef RDFTX_TOOLS_ANALYZER_DATAFLOW_H_
+#define RDFTX_TOOLS_ANALYZER_DATAFLOW_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/Expr.h"
+#include "clang/Analysis/CFG.h"
+
+namespace rdftx_analyzer {
+
+/// A trackable lvalue: local/param base declaration plus a member or
+/// deref path ("" = the variable itself, ".start", ".t.date", ".*").
+struct Subject {
+  const clang::ValueDecl* base = nullptr;
+  std::string path;
+
+  bool valid() const { return base != nullptr; }
+  bool operator<(const Subject& o) const {
+    return std::tie(base, path) < std::tie(o.base, o.path);
+  }
+  bool operator==(const Subject& o) const {
+    return base == o.base && path == o.path;
+  }
+  /// A write to `w` may change the value this subject denotes (same
+  /// base, one path a prefix of the other).
+  bool OverlapsWrite(const Subject& w) const {
+    if (base != w.base) return false;
+    return path.compare(0, w.path.size(), w.path) == 0 ||
+           w.path.compare(0, path.size(), path) == 0;
+  }
+};
+
+/// Subject denoted by `e` (parens, implicit casts, std::move peeled;
+/// member chains and operator*/unary-deref folded into the path), or
+/// an invalid Subject when `e` is not a trackable lvalue chain.
+Subject SubjectOf(const clang::Expr* e);
+
+/// Plain local/param variable denoted by `e` (no member path), or null.
+const clang::ValueDecl* ReferencedVar(const clang::Expr* e);
+
+/// Integer-constant value of `e` (after stripping), if any.
+bool ConstValueOf(const clang::Expr* e, clang::ASTContext& ctx, int64_t* out);
+
+struct GuardFact {
+  enum Kind { kOk = 0, kCmp = 1 };
+  Kind kind = kOk;
+  Subject a;
+  clang::BinaryOperatorKind op = clang::BO_EQ;  // kCmp only
+  Subject b;                                    // kCmp: rhs subject, or
+  int64_t rhs_const = 0;                        // ... rhs constant
+
+  bool operator<(const GuardFact& o) const {
+    return std::tie(kind, a, op, b, rhs_const) <
+           std::tie(o.kind, o.a, o.op, o.b, o.rhs_const);
+  }
+};
+
+class GuardFacts {
+ public:
+  /// Builds the CFG for `fn` and runs the fixpoint. `Usable()` is
+  /// false when no CFG could be built (callers should then treat every
+  /// query as unproven — soundness over silence).
+  GuardFacts(const clang::FunctionDecl* fn, clang::ASTContext& ctx);
+  ~GuardFacts();
+
+  bool Usable() const { return cfg_ != nullptr; }
+
+  /// `v.ok()` is known true immediately before `at` executes.
+  bool KnownOk(const clang::Stmt* at, const Subject& v) const;
+
+  /// `lhs <= rhs` is provable immediately before `at`. Either side may
+  /// be a subject chain or an integer constant expression; the proof
+  /// uses direct facts (lhs < rhs, rhs >= lhs, lhs == rhs, ...) and
+  /// constant-bound chaining (lhs <= K1, rhs >= K2, K1 <= K2).
+  bool ProvesLe(const clang::Stmt* at, const clang::Expr* lhs,
+                const clang::Expr* rhs) const;
+
+  /// Some fact bounds `v` from above by a constant before `at`
+  /// (v < K, v <= K or v == K); reports the tightest bound.
+  bool HasConstUpperBound(const clang::Stmt* at, const Subject& v,
+                          uint64_t* bound) const;
+
+ private:
+  using FactSet = std::set<GuardFact>;
+
+  void Run();
+  FactSet FactsBefore(const clang::Stmt* at) const;
+  void ApplyElementKills(const clang::CFGElement& el, FactSet* facts) const;
+  void CollectEdgeFacts(const clang::CFGBlock* b, FactSet* true_facts,
+                        FactSet* false_facts) const;
+
+  const clang::FunctionDecl* fn_;
+  clang::ASTContext& ctx_;
+  std::unique_ptr<clang::CFG> cfg_;
+  // Statement -> (block id, element index) for every CFGStmt element.
+  std::map<const clang::Stmt*, std::pair<unsigned, size_t>> where_;
+  std::vector<const clang::CFGBlock*> block_by_id_;
+  std::vector<FactSet> block_in_;  // indexed by block id
+};
+
+}  // namespace rdftx_analyzer
+
+#endif  // RDFTX_TOOLS_ANALYZER_DATAFLOW_H_

@@ -1,72 +1,67 @@
 // rdftx-analyzer: project-specific Clang LibTooling checks for the
-// protocol rules PR 6's concurrency and durability machinery relies on.
-// Runs over compile_commands.json (or single fixtures with --testing)
-// and prints one diagnostic per line:
+// protocol rules the concurrency, durability and decode machinery rely
+// on (DESIGN.md §12). Runs over compile_commands.json (or single
+// fixtures with --testing) and prints one diagnostic per line:
 //
 //   <file>:<line>:<col>: [<check>] <message>
 //
-// Exit status: 0 clean, 1 findings, 2 tool/parse error. The five checks
-// (DESIGN.md sections 12 and 13):
+// Exit status: 0 clean, 1 findings, 2 tool/parse error.
 //
-//   lock-order       every util::Mutex in src/ carries an acquisition
-//                    annotation (LEAF_MUTEX, INTERIOR_MUTEX,
-//                    ACQUIRED_BEFORE/AFTER); the declared order graph is
-//                    acyclic; every intra-function multi-lock scope
-//                    respects it (the runtime detector in
-//                    src/util/mutex.cc covers cross-function nesting).
-//   epoch-lifetime   no raw Epoch/DeltaChunk pointer stored in a field
-//                    outside src/rdf/; no pointer/reference derived from
-//                    a function-local Epoch/DeltaChunk/TemporalGraph
-//                    returned; no lambda handed to Submit/std::thread
-//                    capturing epoch state by reference or raw pointer.
-//   durability       in src/storage/ + src/core/, every WalWriter
-//                    append reaches a *Sync* call on every acked path
-//                    (error branches pruned by their ok() tests; branch
-//                    conditions naming "sync" are audited opt-outs);
-//                    rename/link/raw fopen-for-write are banned outside
-//                    src/util/file_io.cc.
-//   status           rdftx::Status / rdftx::Result discarded through a
-//                    cast-to-void or a bare expression statement — the
-//                    holes [[nodiscard]] + -Werror cannot see through.
-//   block-handle     engine::BindingBlock ownership is RAII through
-//                    BlockHandle: no `new BindingBlock` (acquire from the
-//                    BlockPool instead), no BlockHandle discarded as an
-//                    unused prvalue (the block bounces straight back to
-//                    the pool), no .get() on a temporary handle (the raw
-//                    pointer dangles once the statement ends).
+// The driver owns the interprocedural plumbing; the checks themselves
+// live in checks/check_*.cc behind the Check interface (analyzer.h):
 //
+//   1. per TU: a shared pre-pass records the USR call graph and a base
+//      summary for every function body in scope, then each enabled
+//      check's RunOnTu adds local findings, summary facts and
+//      call-site obligations to the TuRecord.
+//   2. globally: the TuRecords (freshly parsed or replayed from the
+//      summary cache) merge into a GlobalContext; after its fixpoints
+//      (may-acquire closure, sync-reachability, unwrap forwarding)
+//      each check's RunGlobal resolves the obligations.
+//
+// --summary-cache=<file> persists the TuRecords; a repeat run reparses
+// only translation units whose main file, compile command or the
+// header tree changed (invalidation rules: summaries.h / DESIGN.md
+// §12.4). Global findings are recomputed every run. --check=<name>
+// (repeatable / comma-separated) narrows the run to named checks; a
+// cached record is only replayed if it was produced with at least the
+// requested checks.
+//
+// Checks: lock-order, epoch-lifetime, durability, status,
+// block-handle, result-unwrap, interval-soundness, decode-overflow.
 // Suppression: `// rdftx-analyzer: allow(<check>)` on the finding's
-// line or the line above. The status check additionally honours the
-// lint's `// status-ignored: <why>` justification comments.
+// line or the line above (status also honours `// status-ignored:`).
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "clang/AST/ASTConsumer.h"
 #include "clang/AST/ASTContext.h"
-#include "clang/AST/Attr.h"
-#include "clang/AST/ParentMapContext.h"
 #include "clang/AST/RecursiveASTVisitor.h"
-#include "clang/Analysis/CFG.h"
 #include "clang/Basic/SourceManager.h"
 #include "clang/Frontend/CompilerInstance.h"
 #include "clang/Frontend/FrontendAction.h"
-#include "clang/Lex/Lexer.h"
 #include "clang/Tooling/ArgumentsAdjusters.h"
 #include "clang/Tooling/CommonOptionsParser.h"
 #include "clang/Tooling/Tooling.h"
 #include "llvm/Support/CommandLine.h"
+#include "llvm/Support/FileSystem.h"
 #include "llvm/Support/Path.h"
 #include "llvm/Support/raw_ostream.h"
+
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+#include "tools/analyzer/summaries.h"
 
 using namespace clang;
 namespace ct = clang::tooling;
 
+namespace rdftx_analyzer {
 namespace {
 
 llvm::cl::OptionCategory kCategory("rdftx-analyzer options");
@@ -79,832 +74,100 @@ llvm::cl::opt<bool> kTesting(
     llvm::cl::desc("fixture mode: every main-file decl is in scope for "
                    "every check and paths print as basenames"),
     llvm::cl::init(false), llvm::cl::cat(kCategory));
+llvm::cl::list<std::string> kChecks(
+    "check",
+    llvm::cl::desc("run only the named check (repeatable, "
+                   "comma-separated)"),
+    llvm::cl::ZeroOrMore, llvm::cl::CommaSeparated, llvm::cl::cat(kCategory));
+llvm::cl::opt<std::string> kSummaryCache(
+    "summary-cache",
+    llvm::cl::desc("persisted TuRecord cache; repeat runs reparse only "
+                   "changed translation units"),
+    llvm::cl::init(""), llvm::cl::cat(kCategory));
+
+std::vector<std::unique_ptr<Check>> g_checks;
+
+// Records under construction this run, keyed by the absolute source
+// path the tool was invoked with; g_by_path additionally maps the
+// SourceManager's idea of the main file back to the same record.
+std::map<std::string, TuRecord> g_records;
+std::map<std::string, TuRecord*> g_by_path;
 
 // ---------------------------------------------------------------------------
-// Findings
+// Shared pre-pass: call graph edges + base summaries
 // ---------------------------------------------------------------------------
 
-struct Finding {
-  std::string file;
-  unsigned line = 0;
-  unsigned col = 0;
-  std::string check;
-  std::string msg;
-};
-
-std::vector<Finding> g_findings;
-std::set<std::string> g_emitted;  // dedupe across TUs (headers reparse)
-
-std::string Lower(std::string s) {
-  for (char& c : s) c = static_cast<char>(std::tolower(c));
-  return s;
-}
-
-// Source lines of a file, for suppression-comment lookup.
-std::map<std::string, std::vector<std::string>> g_file_lines;
-
-const std::vector<std::string>& FileLines(const SourceManager& sm,
-                                          FileID fid,
-                                          const std::string& path) {
-  auto it = g_file_lines.find(path);
-  if (it != g_file_lines.end()) return it->second;
-  std::vector<std::string> lines;
-  llvm::StringRef buf = sm.getBufferData(fid);
-  while (!buf.empty()) {
-    auto split = buf.split('\n');
-    lines.push_back(split.first.str());
-    buf = split.second;
-  }
-  return g_file_lines.emplace(path, std::move(lines)).first->second;
-}
-
-bool LineHas(const std::vector<std::string>& lines, unsigned line1,
-             const std::string& needle) {
-  if (line1 == 0 || line1 > lines.size()) return false;
-  return lines[line1 - 1].find(needle) != std::string::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Lock-order annotation graph (accumulated across all TUs; cycle check
-// and reachability run against the declared edges)
-// ---------------------------------------------------------------------------
-
-struct LockNode {
-  std::string file;  // declaration site, for cycle diagnostics
-  unsigned line = 0;
-  unsigned col = 0;
-  bool leaf = false;
-  bool interior = false;
-  bool annotated = false;
-  std::set<std::string> succ;  // this mutex is acquired before these
-};
-
-std::map<std::string, LockNode> g_lock_graph;
-
-bool DeclaredBefore(const std::string& from, const std::string& to) {
-  std::set<std::string> seen;
-  std::vector<std::string> stack{from};
-  while (!stack.empty()) {
-    std::string cur = stack.back();
-    stack.pop_back();
-    if (!seen.insert(cur).second) continue;
-    auto it = g_lock_graph.find(cur);
-    if (it == g_lock_graph.end()) continue;
-    for (const std::string& s : it->second.succ) {
-      if (s == to) return true;
-      stack.push_back(s);
-    }
-  }
-  return false;
-}
-
-bool IsLeaf(const std::string& name) {
-  auto it = g_lock_graph.find(name);
-  return it != g_lock_graph.end() && it->second.leaf;
-}
-
-// ---------------------------------------------------------------------------
-// The per-TU checker
-// ---------------------------------------------------------------------------
-
-class Checker : public RecursiveASTVisitor<Checker> {
+// Every direct call inside `fn`'s body (lambda bodies attribute to the
+// enclosing function — a lambda's operator() is not a node the
+// summaries key on) becomes a call-graph edge, and every in-scope body
+// gets its base summary so the annotation bits (SYNCS_ON_ALL_PATHS,
+// UNWRAPS_RESULT_ARGS, TRUSTED_DECODE) are visible globally even when
+// no check adds facts of its own.
+class PrePass : public RecursiveASTVisitor<PrePass> {
  public:
-  explicit Checker(ASTContext& ctx) : ctx_(ctx), sm_(ctx.getSourceManager()) {}
+  explicit PrePass(TuContext& tu) : tu_(tu) {}
 
-  void Run() {
-    TraverseDecl(ctx_.getTranslationUnitDecl());
-    // Function bodies analyzed after the full traversal so that every
-    // mutex annotation in the TU (headers included) is already in the
-    // graph when scopes are judged.
-    for (const FunctionDecl* fn : bodies_) {
-      CheckLockScopes(fn);
-      CheckEpochReturns(fn);
-      CheckDurabilityCfg(fn);
-      CheckStatusDiscards(fn->getBody());
-    }
-  }
-
-  // ---- traversal hooks ----------------------------------------------------
-
-  bool VisitFieldDecl(FieldDecl* fd) {
-    HandleMutexDecl(fd);
-    HandleEpochField(fd);
-    return true;
-  }
-
-  bool VisitVarDecl(VarDecl* vd) {
-    if (vd->hasGlobalStorage() && !isa<ParmVarDecl>(vd)) HandleMutexDecl(vd);
-    return true;
-  }
+  void Run(ASTContext& ctx) { TraverseDecl(ctx.getTranslationUnitDecl()); }
 
   bool VisitFunctionDecl(FunctionDecl* fn) {
-    if (fn->doesThisDeclarationHaveABody() && fn->getBody() != nullptr &&
-        InScope(fn->getBeginLoc())) {
-      bodies_.push_back(fn);
+    if (!fn->doesThisDeclarationHaveABody() || fn->getBody() == nullptr) {
+      return true;
     }
-    return true;
-  }
-
-  bool VisitCallExpr(CallExpr* call) {
-    HandleBannedFileOps(call);
-    HandleEpochEscape(call);
-    HandleBlockHandleTemporary(call);
-    return true;
-  }
-
-  bool VisitCXXNewExpr(CXXNewExpr* ne) {
-    if (!InScope(ne->getBeginLoc())) return true;
-    if (IsBindingBlockRecord(RecordOf(ne->getAllocatedType()))) {
-      Emit(ne->getBeginLoc(), "block-handle",
-           "BindingBlock allocated with new; acquire it from the BlockPool "
-           "so a BlockHandle owns it on every path");
-    }
-    return true;
-  }
-
-  bool VisitCXXConstructExpr(CXXConstructExpr* ce) {
-    // std::thread(lambda): same escape rule as pool Submit().
-    const CXXConstructorDecl* ctor = ce->getConstructor();
-    if (ctor == nullptr) return true;
-    const CXXRecordDecl* rec = ctor->getParent();
-    if (rec == nullptr || rec->getName() != "thread") return true;
-    for (const Expr* arg : ce->arguments()) {
-      CheckLambdaArg(arg, "std::thread", ce->getBeginLoc());
-    }
+    if (!tu_.InScope(fn->getBeginLoc())) return true;
+    tu_.SummaryFor(fn);
+    const std::string caller = UsrOf(fn);
+    if (!caller.empty()) CollectCalls(fn->getBody(), caller);
     return true;
   }
 
  private:
-  // ---- location / scope helpers -------------------------------------------
-
-  bool Locate(SourceLocation loc, std::string* file, unsigned* line,
-              unsigned* col) {
-    if (loc.isInvalid()) return false;
-    SourceLocation exp = sm_.getExpansionLoc(loc);
-    PresumedLoc p = sm_.getPresumedLoc(exp);
-    if (p.isInvalid()) return false;
-    *file = p.getFilename();
-    *line = p.getLine();
-    *col = p.getColumn();
-    return true;
-  }
-
-  // True when `loc` is inside the project's checked surface: the main
-  // file in --testing mode, else any file under <src-root>/src/.
-  bool InScope(SourceLocation loc) {
-    if (loc.isInvalid()) return false;
-    SourceLocation exp = sm_.getExpansionLoc(loc);
-    if (kTesting) return sm_.isInMainFile(exp);
-    if (kSrcRoot.empty()) return false;
-    std::string file;
-    unsigned line, col;
-    if (!Locate(loc, &file, &line, &col)) return false;
-    std::string prefix = kSrcRoot + "/src/";
-    return file.compare(0, prefix.size(), prefix) == 0;
-  }
-
-  // Durability scope: src/storage/ + src/core/ (everything in --testing).
-  bool InDurabilityScope(SourceLocation loc) {
-    if (!InScope(loc)) return false;
-    if (kTesting) return true;
-    std::string file;
-    unsigned line, col;
-    if (!Locate(loc, &file, &line, &col)) return false;
-    return file.find("/src/storage/") != std::string::npos ||
-           file.find("/src/core/") != std::string::npos;
-  }
-
-  bool Suppressed(SourceLocation loc, const std::string& check,
-                  const std::string& file, unsigned line) {
-    FileID fid = sm_.getFileID(sm_.getExpansionLoc(loc));
-    const auto& lines = FileLines(sm_, fid, file);
-    const std::string allow = "rdftx-analyzer: allow(" + check + ")";
-    if (LineHas(lines, line, allow) || LineHas(lines, line - 1, allow)) {
-      return true;
-    }
-    if (check == "status") {
-      if (LineHas(lines, line, "status-ignored:") ||
-          LineHas(lines, line - 1, "status-ignored:")) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  std::string DisplayPath(const std::string& file) {
-    if (kTesting) return llvm::sys::path::filename(file).str();
-    if (!kSrcRoot.empty() &&
-        file.compare(0, kSrcRoot.size() + 1, kSrcRoot + "/") == 0) {
-      return file.substr(kSrcRoot.size() + 1);
-    }
-    return file;
-  }
-
-  void Emit(SourceLocation loc, const std::string& check,
-            const std::string& msg) {
-    std::string file;
-    unsigned line, col;
-    if (!Locate(loc, &file, &line, &col)) return;
-    if (Suppressed(loc, check, file, line)) return;
-    Finding f{DisplayPath(file), line, col, check, msg};
-    std::string key = f.file + ":" + std::to_string(f.line) + ":" + f.check +
-                      ":" + f.msg;
-    if (!g_emitted.insert(key).second) return;
-    g_findings.push_back(std::move(f));
-  }
-
-  // ---- type helpers --------------------------------------------------------
-
-  static const CXXRecordDecl* RecordOf(QualType t) {
-    return t.getNonReferenceType()
-        .getCanonicalType()
-        .getTypePtr()
-        ->getAsCXXRecordDecl();
-  }
-
-  static bool InNamespace(const Decl* d, llvm::StringRef ns) {
-    for (const DeclContext* dc = d->getDeclContext(); dc != nullptr;
-         dc = dc->getParent()) {
-      if (const auto* n = dyn_cast<NamespaceDecl>(dc)) {
-        if (n->getName() == ns) return true;
-      }
-    }
-    return false;
-  }
-
-  static bool IsUtilMutexRecord(const CXXRecordDecl* rec) {
-    return rec != nullptr && rec->getName() == "Mutex" &&
-           InNamespace(rec, "util");
-  }
-
-  static bool IsUtilMutex(QualType t) { return IsUtilMutexRecord(RecordOf(t)); }
-
-  static bool IsMutexGuard(QualType t) {
-    const CXXRecordDecl* rec = RecordOf(t);
-    return rec != nullptr && rec->getName() == "MutexLock" &&
-           InNamespace(rec, "util");
-  }
-
-  // Epoch-lifetime target classes. `fieldRule` narrows to the two
-  // transient chunk-owning classes (a long-lived TemporalGraph* field is
-  // a legitimate non-owning handle).
-  static bool IsEpochClass(const CXXRecordDecl* rec, bool fieldRule) {
-    if (rec == nullptr) return false;
-    llvm::StringRef n = rec->getName();
-    if (n == "Epoch" || n == "DeltaChunk") return true;
-    return !fieldRule && n == "TemporalGraph";
-  }
-
-  static bool IsBlockHandleRecord(const CXXRecordDecl* rec) {
-    return rec != nullptr && rec->getName() == "BlockHandle" &&
-           InNamespace(rec, "engine");
-  }
-
-  static bool IsBindingBlockRecord(const CXXRecordDecl* rec) {
-    return rec != nullptr && rec->getName() == "BindingBlock" &&
-           InNamespace(rec, "engine");
-  }
-
-  static bool IsStatusOrResult(QualType t) {
-    const CXXRecordDecl* rec = RecordOf(t);
-    if (rec == nullptr) return false;
-    llvm::StringRef n = rec->getName();
-    if (n != "Status" && n != "Result") return false;
-    return InNamespace(rec, "rdftx");
-  }
-
-  // ---- lock-order: annotation collection ----------------------------------
-
-  static const ValueDecl* ResolveMutexRef(const Expr* e) {
-    if (e == nullptr) return nullptr;
-    e = e->IgnoreParenImpCasts();
-    if (const auto* uo = dyn_cast<UnaryOperator>(e)) {
-      if (uo->getOpcode() == UO_AddrOf) {
-        e = uo->getSubExpr()->IgnoreParenImpCasts();
-      }
-    }
-    if (const auto* me = dyn_cast<MemberExpr>(e)) return me->getMemberDecl();
-    if (const auto* dre = dyn_cast<DeclRefExpr>(e)) return dre->getDecl();
-    return nullptr;
-  }
-
-  void HandleMutexDecl(ValueDecl* d) {
-    if (!IsUtilMutex(d->getType())) return;
-    if (!InScope(d->getLocation())) return;
-    const std::string name = d->getQualifiedNameAsString();
-    LockNode& node = g_lock_graph[name];
-    Locate(d->getLocation(), &node.file, &node.line, &node.col);
-    node.file = DisplayPath(node.file);
-    for (const auto* attr : d->specific_attrs<AcquiredBeforeAttr>()) {
-      node.annotated = true;
-      for (const Expr* arg : attr->args()) {
-        if (const ValueDecl* other = ResolveMutexRef(arg)) {
-          node.succ.insert(other->getQualifiedNameAsString());
-        }
-      }
-    }
-    for (const auto* attr : d->specific_attrs<AcquiredAfterAttr>()) {
-      node.annotated = true;
-      for (const Expr* arg : attr->args()) {
-        if (const ValueDecl* other = ResolveMutexRef(arg)) {
-          g_lock_graph[other->getQualifiedNameAsString()].succ.insert(name);
-        }
-      }
-    }
-    for (const auto* attr : d->specific_attrs<AnnotateAttr>()) {
-      if (attr->getAnnotation() == "rdftx::leaf_mutex") {
-        node.annotated = node.leaf = true;
-      } else if (attr->getAnnotation() == "rdftx::interior_mutex") {
-        node.annotated = node.interior = true;
-      }
-    }
-    if (!node.annotated) {
-      Emit(d->getLocation(), "lock-order",
-           "util::Mutex '" + name +
-               "' lacks an acquisition-order annotation; mark it "
-               "LEAF_MUTEX or INTERIOR_MUTEX, or relate it with "
-               "ACQUIRED_BEFORE/ACQUIRED_AFTER");
-    }
-  }
-
-  // ---- lock-order: multi-lock scope verification --------------------------
-
-  struct HeldLock {
-    const ValueDecl* decl;
-    SourceLocation loc;
-    bool manual;  // explicit Lock(): survives the enclosing compound
-  };
-
-  void CheckLockScopes(const FunctionDecl* fn) {
-    std::vector<HeldLock> held;
-    WalkLockScopes(fn->getBody(), &held);
-  }
-
-  void WalkLockScopes(const Stmt* s, std::vector<HeldLock>* held) {
+  void CollectCalls(const Stmt* s, const std::string& caller) {
     if (s == nullptr) return;
-    if (const auto* cs = dyn_cast<CompoundStmt>(s)) {
-      const size_t mark = held->size();
-      for (const Stmt* c : cs->body()) WalkLockScopes(c, held);
-      // RAII guards declared in this compound release here; explicit
-      // Lock() calls persist until their Unlock() or function exit.
-      std::vector<HeldLock> keep;
-      for (size_t i = 0; i < held->size(); ++i) {
-        if (i < mark || (*held)[i].manual) keep.push_back((*held)[i]);
-      }
-      held->swap(keep);
-      return;
-    }
-    if (const auto* ds = dyn_cast<DeclStmt>(s)) {
-      for (const Decl* d : ds->decls()) {
-        const auto* vd = dyn_cast<VarDecl>(d);
-        if (vd == nullptr || !IsMutexGuard(vd->getType())) continue;
-        const Expr* init = vd->getInit();
-        if (init == nullptr) continue;
-        if (const auto* ewc = dyn_cast<ExprWithCleanups>(init)) {
-          init = ewc->getSubExpr();
-        }
-        init = init->IgnoreParenImpCasts();
-        if (const auto* ctor = dyn_cast<CXXConstructExpr>(init)) {
-          if (ctor->getNumArgs() >= 1) {
-            if (const ValueDecl* mu = ResolveMutexRef(ctor->getArg(0))) {
-              OnAcquire(mu, vd->getLocation(), /*manual=*/false, held);
-            }
-          }
-        }
-      }
-      return;
-    }
-    if (const auto* mc = dyn_cast<CXXMemberCallExpr>(s)) {
-      const CXXMethodDecl* md = mc->getMethodDecl();
-      if (md != nullptr && md->getDeclName().isIdentifier() &&
-          IsUtilMutexRecord(md->getParent())) {
-        const ValueDecl* mu = ResolveMutexRef(mc->getImplicitObjectArgument());
-        if (mu != nullptr) {
-          if (md->getName() == "Lock") {
-            OnAcquire(mu, mc->getExprLoc(), /*manual=*/true, held);
-          } else if (md->getName() == "Unlock") {
-            for (auto it = held->rbegin(); it != held->rend(); ++it) {
-              if (it->decl == mu) {
-                held->erase(std::next(it).base());
-                break;
-              }
-            }
-          }
-        }
+    if (const auto* call = dyn_cast<CallExpr>(s)) {
+      if (const FunctionDecl* callee = call->getDirectCallee()) {
+        tu_.record().calls.AddEdge(caller, UsrOf(callee));
       }
     }
-    for (const Stmt* c : s->children()) WalkLockScopes(c, held);
+    for (const Stmt* c : s->children()) CollectCalls(c, caller);
   }
 
-  void OnAcquire(const ValueDecl* mu, SourceLocation loc, bool manual,
-                 std::vector<HeldLock>* held) {
-    if (!held->empty()) {
-      const HeldLock& top = held->back();
-      const std::string a = top.decl->getQualifiedNameAsString();
-      const std::string b = mu->getQualifiedNameAsString();
-      if (top.decl == mu) {
-        Emit(loc, "lock-order",
-             "recursive acquisition of '" + b +
-                 "'; util::Mutex is not reentrant");
-      } else if (DeclaredBefore(b, a)) {
-        Emit(loc, "lock-order",
-             "acquires '" + b + "' while holding '" + a +
-                 "', but the declared order is '" + b + "' before '" + a +
-                 "'");
-      } else if (IsLeaf(a)) {
-        Emit(loc, "lock-order",
-             "acquires '" + b + "' while leaf mutex '" + a +
-                 "' is held; LEAF_MUTEX means nothing may be acquired "
-                 "under it");
-      } else if (!DeclaredBefore(a, b) && !IsLeaf(b)) {
-        Emit(loc, "lock-order",
-             "no declared acquisition order permits '" + b + "' under '" +
-                 a + "'; add ACQUIRED_BEFORE/ACQUIRED_AFTER or mark '" + b +
-                 "' LEAF_MUTEX");
-      }
-    }
-    held->push_back(HeldLock{mu, loc, manual});
-  }
-
-  // ---- epoch-lifetime ------------------------------------------------------
-
-  void HandleEpochField(FieldDecl* fd) {
-    if (!InScope(fd->getLocation())) return;
-    QualType t = fd->getType();
-    const CXXRecordDecl* pointee = nullptr;
-    if (t->isPointerType()) {
-      pointee = RecordOf(t->getPointeeType());
-    } else if (t->isReferenceType()) {
-      pointee = RecordOf(t.getNonReferenceType());
-    }
-    if (!IsEpochClass(pointee, /*fieldRule=*/true)) return;
-    std::string file;
-    unsigned line, col;
-    if (Locate(fd->getLocation(), &file, &line, &col) &&
-        file.find("/rdf/") != std::string::npos) {
-      return;  // the epoch machinery itself owns its chunk chains
-    }
-    Emit(fd->getLocation(), "epoch-lifetime",
-         "raw " + pointee->getNameAsString() + " pointer stored in field '" +
-             fd->getNameAsString() +
-             "' may outlive its epoch; hold ownership or re-derive it per "
-             "operation");
-  }
-
-  void CheckEpochReturns(const FunctionDecl* fn) {
-    QualType ret = fn->getReturnType();
-    if (!ret->isPointerType() && !ret->isReferenceType()) return;
-    std::vector<const ReturnStmt*> returns;
-    CollectReturns(fn->getBody(), &returns);
-    for (const ReturnStmt* rs : returns) {
-      const Expr* rv = rs->getRetValue();
-      if (rv == nullptr) continue;
-      const VarDecl* local = FindLocalEpochSource(rv);
-      if (local == nullptr) continue;
-      Emit(rs->getBeginLoc(), "epoch-lifetime",
-           "returns a pointer/reference derived from local '" +
-               local->getNameAsString() + "' (" +
-               RecordOf(local->getType())->getNameAsString() +
-               "), which is destroyed when this scope ends");
-    }
-  }
-
-  static void CollectReturns(const Stmt* s,
-                             std::vector<const ReturnStmt*>* out) {
-    if (s == nullptr) return;
-    if (isa<LambdaExpr>(s)) return;  // separate function body
-    if (const auto* rs = dyn_cast<ReturnStmt>(s)) out->push_back(rs);
-    for (const Stmt* c : s->children()) CollectReturns(c, out);
-  }
-
-  // A DeclRefExpr inside `e` naming a function-local, by-value
-  // Epoch/DeltaChunk/TemporalGraph variable (parameters are the
-  // caller's responsibility and stay exempt).
-  const VarDecl* FindLocalEpochSource(const Expr* e) {
-    if (e == nullptr) return nullptr;
-    if (const auto* dre = dyn_cast<DeclRefExpr>(e->IgnoreParenImpCasts())) {
-      const auto* vd = dyn_cast<VarDecl>(dre->getDecl());
-      if (vd != nullptr && vd->hasLocalStorage() && !isa<ParmVarDecl>(vd) &&
-          !vd->getType()->isReferenceType() &&
-          !vd->getType()->isPointerType() &&
-          IsEpochClass(RecordOf(vd->getType()), /*fieldRule=*/false)) {
-        return vd;
-      }
-    }
-    for (const Stmt* c : e->children()) {
-      if (const auto* sub = dyn_cast_or_null<Expr>(c)) {
-        if (const VarDecl* hit = FindLocalEpochSource(sub)) return hit;
-      }
-    }
-    return nullptr;
-  }
-
-  void HandleEpochEscape(CallExpr* call) {
-    const FunctionDecl* callee = call->getDirectCallee();
-    if (callee == nullptr || !callee->getDeclName().isIdentifier()) return;
-    llvm::StringRef name = callee->getName();
-    if (name != "Submit" && name != "Enqueue" && name != "Schedule") return;
-    for (const Expr* arg : call->arguments()) {
-      CheckLambdaArg(arg, name.str(), call->getExprLoc());
-    }
-  }
-
-  void CheckLambdaArg(const Expr* arg, const std::string& sink,
-                      SourceLocation loc) {
-    if (arg == nullptr || !InScope(loc)) return;
-    const Expr* e = arg->IgnoreParenImpCasts();
-    if (const auto* mte = dyn_cast<MaterializeTemporaryExpr>(e)) {
-      e = mte->getSubExpr()->IgnoreParenImpCasts();
-    }
-    if (const auto* bte = dyn_cast<CXXBindTemporaryExpr>(e)) {
-      e = bte->getSubExpr()->IgnoreParenImpCasts();
-    }
-    const auto* lam = dyn_cast<LambdaExpr>(e);
-    if (lam == nullptr) return;
-    for (const LambdaCapture& cap : lam->captures()) {
-      if (!cap.capturesVariable()) continue;
-      const VarDecl* vd = cap.getCapturedVar();
-      if (vd == nullptr) continue;
-      QualType t = vd->getType();
-      bool bad = false;
-      if (cap.getCaptureKind() == LCK_ByRef &&
-          IsEpochClass(RecordOf(t), /*fieldRule=*/true)) {
-        bad = true;  // by-ref capture of an Epoch/DeltaChunk value
-      }
-      if (t->isPointerType() &&
-          IsEpochClass(RecordOf(t->getPointeeType()), /*fieldRule=*/true)) {
-        bad = true;  // raw pointer smuggled in by copy or reference
-      }
-      if (bad) {
-        Emit(loc, "epoch-lifetime",
-             "lambda handed to '" + sink + "' captures '" +
-                 vd->getNameAsString() +
-                 "' whose epoch may end before the task runs; copy the "
-                 "data it needs instead");
-      }
-    }
-  }
-
-  // ---- block-handle RAII ---------------------------------------------------
-
-  // `pool.Acquire(n).get()`: the temporary handle releases the block at
-  // the end of the full expression, so the raw pointer dangles. Bound
-  // handles may hand out their pointer freely.
-  void HandleBlockHandleTemporary(CallExpr* call) {
-    const auto* mc = dyn_cast<CXXMemberCallExpr>(call);
-    if (mc == nullptr) return;
-    const CXXMethodDecl* md = mc->getMethodDecl();
-    if (md == nullptr || !md->getDeclName().isIdentifier() ||
-        md->getName() != "get" || !IsBlockHandleRecord(md->getParent())) {
-      return;
-    }
-    if (!InScope(mc->getExprLoc())) return;
-    const Expr* obj = mc->getImplicitObjectArgument();
-    if (obj == nullptr) return;
-    obj = obj->IgnoreParenImpCasts();
-    if (isa<MaterializeTemporaryExpr>(obj) || obj->isPRValue()) {
-      Emit(mc->getExprLoc(), "block-handle",
-           "get() on a temporary BlockHandle; the block returns to the "
-           "pool when this statement ends — bind the handle to a variable "
-           "first");
-    }
-  }
-
-  // ---- durability: banned file mutation primitives ------------------------
-
-  void HandleBannedFileOps(CallExpr* call) {
-    const FunctionDecl* callee = call->getDirectCallee();
-    if (callee == nullptr || !callee->getDeclName().isIdentifier()) return;
-    if (isa<CXXMethodDecl>(callee)) return;  // member fns named link etc.
-    if (!InScope(call->getExprLoc())) return;
-    std::string file;
-    unsigned line, col;
-    if (!Locate(call->getExprLoc(), &file, &line, &col)) return;
-    constexpr const char* kExempt = "util/file_io.cc";
-    if (file.size() >= std::string(kExempt).size() &&
-        file.compare(file.size() - std::string(kExempt).size(),
-                     std::string::npos, kExempt) == 0) {
-      return;
-    }
-    llvm::StringRef name = callee->getName();
-    if (name == "rename" || name == "link") {
-      Emit(call->getExprLoc(), "durability",
-           "'" + name.str() +
-               "' outside src/util/file_io.cc bypasses the audited "
-               "mutation path; use util::WriteFileAtomic / util::AppendFile");
-      return;
-    }
-    if (name == "fopen" && call->getNumArgs() >= 2) {
-      const Expr* mode = call->getArg(1)->IgnoreParenImpCasts();
-      if (const auto* lit = dyn_cast<StringLiteral>(mode)) {
-        llvm::StringRef m = lit->getString();
-        if (m.contains('w') || m.contains('a') || m.contains('+')) {
-          Emit(call->getExprLoc(), "durability",
-               "raw fopen for writing outside src/util/file_io.cc; use "
-               "util::WriteFileAtomic / util::AppendFile");
-        }
-      }
-    }
-  }
-
-  // ---- durability: append post-dominated by sync --------------------------
-
-  static bool IsWalAppend(const Stmt* s) {
-    const auto* mc = dyn_cast<CXXMemberCallExpr>(s);
-    if (mc == nullptr) return false;
-    const CXXMethodDecl* md = mc->getMethodDecl();
-    if (md == nullptr || !md->getDeclName().isIdentifier() ||
-        md->getName() != "Append") {
-      return false;
-    }
-    const CXXRecordDecl* rec = md->getParent();
-    return rec != nullptr && rec->getName().contains("Wal");
-  }
-
-  static bool IsSyncCall(const Stmt* s) {
-    const auto* call = dyn_cast<CallExpr>(s);
-    if (call == nullptr) return false;
-    const FunctionDecl* callee = call->getDirectCallee();
-    if (callee == nullptr || !callee->getDeclName().isIdentifier()) {
-      return false;
-    }
-    return callee->getName().contains("Sync");
-  }
-
-  bool IsDirectlyReturned(const Expr* e) {
-    DynTypedNode node = DynTypedNode::create(*e);
-    for (int hop = 0; hop < 8; ++hop) {
-      DynTypedNodeList parents = ctx_.getParents(node);
-      if (parents.empty()) return false;
-      DynTypedNode parent = parents[0];
-      if (parent.get<ReturnStmt>() != nullptr) return true;
-      if (parent.get<CompoundStmt>() != nullptr ||
-          parent.get<Decl>() != nullptr) {
-        return false;
-      }
-      node = parent;
-    }
-    return false;
-  }
-
-  void CheckDurabilityCfg(const FunctionDecl* fn) {
-    if (!InDurabilityScope(fn->getBeginLoc())) return;
-    std::vector<const CXXMemberCallExpr*> appends;
-    CollectWalAppends(fn->getBody(), &appends);
-    if (appends.empty()) return;
-    std::unique_ptr<CFG> cfg =
-        CFG::buildCFG(fn, fn->getBody(), &ctx_, CFG::BuildOptions());
-    if (cfg == nullptr) return;
-    for (const CXXMemberCallExpr* ap : appends) {
-      // A tail `return wal_.Append(...)` hands the sync obligation to
-      // the caller along with the status.
-      if (IsDirectlyReturned(ap)) continue;
-      const CFGBlock* home = nullptr;
-      size_t idx = 0;
-      for (const CFGBlock* b : *cfg) {
-        for (size_t i = 0; i < b->size(); ++i) {
-          if (auto cs = (*b)[i].getAs<CFGStmt>()) {
-            if (cs->getStmt() == ap) {
-              home = b;
-              idx = i;
-            }
-          }
-        }
-      }
-      if (home == nullptr) continue;
-      if (UnsyncedPathToExit(*cfg, home, idx + 1)) {
-        Emit(ap->getExprLoc(), "durability",
-             "WAL append can reach function exit without a Sync() on an "
-             "acked path; sync before acknowledging, or gate the fast "
-             "path on a *sync* option");
-      }
-    }
-  }
-
-  static void CollectWalAppends(const Stmt* s,
-                                std::vector<const CXXMemberCallExpr*>* out) {
-    if (s == nullptr) return;
-    if (IsWalAppend(s)) out->push_back(cast<CXXMemberCallExpr>(s));
-    for (const Stmt* c : s->children()) CollectWalAppends(c, out);
-  }
-
-  static bool BlockSyncsFrom(const CFGBlock* b, size_t start) {
-    for (size_t i = start; i < b->size(); ++i) {
-      if (auto cs = (*b)[i].getAs<CFGStmt>()) {
-        if (IsSyncCall(cs->getStmt())) return true;
-      }
-    }
-    return false;
-  }
-
-  // Successors worth following out of `b`. Branches testing a
-  // *sync*-named condition are audited opt-outs (pruned entirely);
-  // the failing side of an ok() test is an error return, not an ack.
-  std::vector<const CFGBlock*> AckSuccessors(const CFGBlock* b) {
-    std::vector<const CFGBlock*> all;
-    for (const CFGBlock::AdjacentBlock& adj : b->succs()) {
-      if (const CFGBlock* s = adj) all.push_back(s);
-    }
-    const Stmt* cond =
-        const_cast<CFGBlock*>(b)->getTerminatorCondition();
-    if (cond == nullptr || all.size() != 2) return all;
-    CharSourceRange range =
-        CharSourceRange::getTokenRange(cond->getSourceRange());
-    std::string text =
-        Lower(Lexer::getSourceText(range, sm_, ctx_.getLangOpts()).str());
-    if (text.find("sync") != std::string::npos) return {};
-    const Expr* ce = dyn_cast<Expr>(cond);
-    if (ce == nullptr) return all;
-    const Expr* stripped = ce->IgnoreParenImpCasts();
-    bool negated = false;
-    if (const auto* uo = dyn_cast<UnaryOperator>(stripped)) {
-      if (uo->getOpcode() == UO_LNot) {
-        negated = true;
-        stripped = uo->getSubExpr()->IgnoreParenImpCasts();
-      }
-    }
-    if (const auto* mc = dyn_cast<CXXMemberCallExpr>(stripped)) {
-      const CXXMethodDecl* md = mc->getMethodDecl();
-      if (md != nullptr && md->getDeclName().isIdentifier() &&
-          md->getName() == "ok") {
-        // succs[0] is the true branch. `!x.ok()` true → error path;
-        // `x.ok()` false → error path. Prune the error side.
-        return {negated ? all[1] : all[0]};
-      }
-    }
-    return all;
-  }
-
-  bool UnsyncedPathToExit(const CFG& cfg, const CFGBlock* home,
-                          size_t afterIdx) {
-    if (BlockSyncsFrom(home, afterIdx)) return false;
-    std::set<const CFGBlock*> seen;
-    std::vector<const CFGBlock*> stack = AckSuccessors(home);
-    while (!stack.empty()) {
-      const CFGBlock* b = stack.back();
-      stack.pop_back();
-      if (!seen.insert(b).second) continue;
-      if (b == &cfg.getExit()) return true;
-      if (BlockSyncsFrom(b, 0)) continue;
-      for (const CFGBlock* s : AckSuccessors(b)) stack.push_back(s);
-    }
-    return false;
-  }
-
-  // ---- status propagation --------------------------------------------------
-
-  void CheckStatusDiscards(const Stmt* s) {
-    if (s == nullptr) return;
-    if (const auto* cs = dyn_cast<CompoundStmt>(s)) {
-      for (const Stmt* c : cs->body()) InspectTopLevelExpr(c);
-    }
-    for (const Stmt* c : s->children()) CheckStatusDiscards(c);
-  }
-
-  void InspectTopLevelExpr(const Stmt* c) {
-    const auto* e = dyn_cast_or_null<Expr>(c);
-    if (e == nullptr || !InScope(e->getExprLoc())) return;
-    const Expr* inner = e->IgnoreParens();
-    if (const auto* ewc = dyn_cast<ExprWithCleanups>(inner)) {
-      inner = ewc->getSubExpr()->IgnoreParens();
-    }
-    if (const auto* cast = dyn_cast<ExplicitCastExpr>(inner)) {
-      if (cast->getType()->isVoidType()) {
-        const Expr* sub = cast->getSubExprAsWritten()->IgnoreParenImpCasts();
-        if (IsStatusOrResult(sub->getType())) {
-          Emit(e->getExprLoc(), "status",
-               "Status/Result discarded with a cast to void; call "
-               "IgnoreError() or propagate it");
-        } else if (IsBlockHandleRecord(RecordOf(sub->getType()))) {
-          Emit(e->getExprLoc(), "block-handle",
-               "BlockHandle discarded; the block returns to the pool "
-               "immediately — hold the handle while the block is in use");
-        }
-        return;
-      }
-    }
-    if (inner->getValueKind() == VK_PRValue) {
-      if (IsStatusOrResult(inner->getType())) {
-        Emit(e->getExprLoc(), "status",
-             "expression result of type Status/Result is discarded; check "
-             "it, propagate it, or call IgnoreError()");
-      } else if (IsBlockHandleRecord(RecordOf(inner->getType()))) {
-        Emit(e->getExprLoc(), "block-handle",
-             "BlockHandle discarded; the block returns to the pool "
-             "immediately — hold the handle while the block is in use");
-      }
-    }
-  }
-
-  ASTContext& ctx_;
-  SourceManager& sm_;
-  std::vector<const FunctionDecl*> bodies_;
+  TuContext& tu_;
 };
+
+// ---------------------------------------------------------------------------
+// Frontend action
+// ---------------------------------------------------------------------------
+
+TuRecord* RecordForMainFile(SourceManager& sm) {
+  const FileEntry* fe = sm.getFileEntryForID(sm.getMainFileID());
+  if (fe != nullptr) {
+    const std::string real = fe->tryGetRealPathName().str();
+    auto it = g_by_path.find(real);
+    if (it != g_by_path.end()) return it->second;
+    const std::string name = fe->getName().str();
+    it = g_by_path.find(name);
+    if (it != g_by_path.end()) return it->second;
+  }
+  // Unregistered (shouldn't happen through main()): contribute anyway.
+  const std::string key =
+      fe != nullptr ? fe->getName().str() : std::string("<unknown>");
+  TuRecord* rec = &g_records[key];
+  rec->tu_file = key;
+  g_by_path[key] = rec;
+  return rec;
+}
 
 class AnalyzerConsumer : public ASTConsumer {
  public:
   void HandleTranslationUnit(ASTContext& ctx) override {
-    Checker(ctx).Run();
+    TuRecord* rec = RecordForMainFile(ctx.getSourceManager());
+    TuContext tu(ctx, *rec);
+    PrePass(tu).Run(ctx);
+    for (const std::unique_ptr<Check>& check : g_checks) {
+      if (!CheckEnabled(check->name())) continue;
+      check->RunOnTu(tu);
+      rec->checks_run.push_back(check->name().str());
+    }
   }
 };
 
@@ -916,88 +179,161 @@ class AnalyzerAction : public ASTFrontendAction {
   }
 };
 
-// Declared-order cycle check, once all TUs have contributed edges.
-void CheckLockGraphAcyclic() {
-  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
-  for (const auto& [name, node] : g_lock_graph) {
-    if (color[name] != 0) continue;
-    std::vector<std::pair<std::string, std::vector<std::string>>> stack;
-    auto succsOf = [](const std::string& n) {
-      auto it = g_lock_graph.find(n);
-      std::vector<std::string> out;
-      if (it != g_lock_graph.end()) {
-        out.assign(it->second.succ.begin(), it->second.succ.end());
-      }
-      return out;
-    };
-    color[name] = 1;
-    stack.emplace_back(name, succsOf(name));
-    std::vector<std::string> path{name};
-    while (!stack.empty()) {
-      auto& [cur, succs] = stack.back();
-      if (succs.empty()) {
-        color[cur] = 2;
-        stack.pop_back();
-        path.pop_back();
-        continue;
-      }
-      std::string next = succs.back();
-      succs.pop_back();
-      if (color[next] == 1) {
-        // Reconstruct readably: next -> ... -> cur -> next.
-        std::string trace = next;
-        bool collecting = false;
-        for (const std::string& p : path) {
-          if (p == next) {
-            collecting = true;
-            continue;
-          }
-          if (collecting) trace += " -> " + p;
-        }
-        trace += " -> " + next;
-        const LockNode& at = g_lock_graph[next];
-        Finding f{at.file, at.line, at.col, "lock-order",
-                  "declared acquisition order contains a cycle: " + trace};
-        std::string key = f.file + ":" + std::to_string(f.line) + ":" +
-                          f.check + ":" + f.msg;
-        if (g_emitted.insert(key).second) g_findings.push_back(std::move(f));
-        continue;
-      }
-      if (color[next] == 0) {
-        color[next] = 1;
-        path.push_back(next);
-        stack.emplace_back(next, succsOf(next));
-      }
+// ---------------------------------------------------------------------------
+// Cache decisions
+// ---------------------------------------------------------------------------
+
+bool SupersetOfEnabled(const std::vector<std::string>& ran) {
+  for (const std::unique_ptr<Check>& check : g_checks) {
+    if (!CheckEnabled(check->name())) continue;
+    if (std::find(ran.begin(), ran.end(), check->name().str()) == ran.end()) {
+      return false;
     }
   }
+  return true;
 }
 
-}  // namespace
+std::string AbsolutePath(const std::string& path) {
+  llvm::SmallString<256> abs(path);
+  llvm::sys::fs::make_absolute(abs);
+  llvm::sys::path::remove_dots(abs, /*remove_dot_dot=*/true);
+  return std::string(abs.str());
+}
 
-int main(int argc, const char** argv) {
+// ---------------------------------------------------------------------------
+// main
+// ---------------------------------------------------------------------------
+
+int Main(int argc, const char** argv) {
   auto options = ct::CommonOptionsParser::create(argc, argv, kCategory);
   if (!options) {
     llvm::errs() << llvm::toString(options.takeError()) << "\n";
     return 2;
   }
-  ct::ClangTool tool(options->getCompilations(),
-                     options->getSourcePathList());
-  // The compile database is produced by whatever compiler configured the
-  // build; silence its warning flags so only analyzer findings surface.
-  tool.appendArgumentsAdjuster(ct::getInsertArgumentAdjuster(
-      {"-Wno-everything", "-Wno-unknown-warning-option"},
-      ct::ArgumentInsertPosition::END));
-  const int rc = tool.run(ct::newFrontendActionFactory<AnalyzerAction>().get());
-  CheckLockGraphAcyclic();
-  std::sort(g_findings.begin(), g_findings.end(),
+
+  g_options.src_root = kSrcRoot;
+  g_options.testing = kTesting;
+  // Fixture runs are single independent TUs; caching them would only
+  // let one fixture's record shadow another's.
+  g_options.summary_cache = kTesting ? "" : kSummaryCache.getValue();
+  g_checks = MakeAllChecks();
+  for (const std::string& name : kChecks) {
+    bool known = false;
+    for (const std::unique_ptr<Check>& check : g_checks) {
+      known = known || check->name() == name;
+    }
+    if (!known) {
+      llvm::errs() << "rdftx-analyzer: unknown check '" << name << "'\n";
+      return 2;
+    }
+    g_options.checks.insert(name);
+  }
+
+  SummaryCache cache;
+  const uint64_t header_stamp =
+      g_options.testing ? 0 : HeaderTreeStamp(g_options.src_root);
+  bool have_cache = false;
+  if (!g_options.summary_cache.empty()) {
+    have_cache = cache.Load(g_options.summary_cache) &&
+                 cache.header_stamp == header_stamp;
+  }
+
+  // Partition the requested TUs into replayable and stale.
+  std::vector<std::string> stale;
+  for (const std::string& path : options->getSourcePathList()) {
+    const std::string abs = AbsolutePath(path);
+    uint64_t mtime = 0, size = 0;
+    const bool stamped = FileStamp(abs, &mtime, &size);
+    uint64_t cmd_hash = 0;
+    for (const ct::CompileCommand& cc :
+         options->getCompilations().getCompileCommands(abs)) {
+      cmd_hash = HashCommand(cc.CommandLine);
+      break;
+    }
+    if (have_cache && stamped) {
+      auto it = cache.tus.find(abs);
+      if (it != cache.tus.end() && it->second.mtime == mtime &&
+          it->second.size == size && it->second.cmd_hash == cmd_hash &&
+          SupersetOfEnabled(it->second.checks_run)) {
+        continue;  // replayed straight from the cache
+      }
+    }
+    TuRecord* rec = &g_records[abs];
+    rec->tu_file = abs;
+    rec->mtime = mtime;
+    rec->size = size;
+    rec->cmd_hash = cmd_hash;
+    g_by_path[abs] = rec;
+    stale.push_back(path);
+  }
+
+  int rc = 0;
+  if (!stale.empty()) {
+    ct::ClangTool tool(options->getCompilations(), stale);
+    // The compile database is produced by whatever compiler configured
+    // the build; silence its warning flags so only analyzer findings
+    // surface.
+    tool.appendArgumentsAdjuster(ct::getInsertArgumentAdjuster(
+        {"-Wno-everything", "-Wno-unknown-warning-option"},
+        ct::ArgumentInsertPosition::END));
+    rc = tool.run(ct::newFrontendActionFactory<AnalyzerAction>().get());
+  }
+
+  // Merge: freshly parsed records win over their cached predecessors;
+  // every record (fresh or replayed) contributes its local findings
+  // and its summaries/obligations to the global phase.
+  GlobalContext global;
+  std::vector<Finding> findings;
+  std::set<std::string> seen;
+  auto take = [&](const TuRecord& rec) {
+    global.AddRecord(rec);
+    for (const Finding& f : rec.local_findings) {
+      if (!CheckEnabled(f.check)) continue;
+      if (seen.insert(f.Key()).second) findings.push_back(f);
+    }
+  };
+  if (have_cache) {
+    for (const auto& [file, rec] : cache.tus) {
+      if (g_records.count(file) == 0) take(rec);
+    }
+  }
+  for (const auto& [file, rec] : g_records) take(rec);
+
+  global.Finalize();
+  for (const std::unique_ptr<Check>& check : g_checks) {
+    if (!CheckEnabled(check->name())) continue;
+    check->RunGlobal(global);
+  }
+  for (const Finding& f : global.GlobalFindings()) {
+    if (!CheckEnabled(f.check)) continue;
+    if (seen.insert(f.Key()).second) findings.push_back(f);
+  }
+
+  std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.col, a.check, a.msg) <
                      std::tie(b.file, b.line, b.col, b.check, b.msg);
             });
-  for (const Finding& f : g_findings) {
-    llvm::outs() << f.file << ":" << f.line << ":" << f.col << ": [" << f.check
-                 << "] " << f.msg << "\n";
+  for (const Finding& f : findings) {
+    llvm::outs() << f.file << ":" << f.line << ":" << f.col << ": ["
+                 << f.check << "] " << f.msg << "\n";
   }
+
+  // Parse failures poison the records of this run; keep the cache as
+  // it was rather than persist half-analyzed TUs.
+  if (!g_options.summary_cache.empty() && rc == 0) {
+    cache.header_stamp = header_stamp;
+    for (const auto& [file, rec] : g_records) cache.tus[file] = rec;
+    cache.Save(g_options.summary_cache);
+  }
+
   if (rc != 0) return 2;
-  return g_findings.empty() ? 0 : 1;
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rdftx_analyzer
+
+int main(int argc, const char** argv) {
+  return rdftx_analyzer::Main(argc, argv);
 }

@@ -1,0 +1,666 @@
+#include "tools/analyzer/summaries.h"
+
+#include <algorithm>
+
+#include "llvm/Support/Chrono.h"
+#include "llvm/Support/FileSystem.h"
+#include "llvm/Support/JSON.h"
+#include "llvm/Support/MemoryBuffer.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace rdftx_analyzer {
+
+namespace json = llvm::json;
+
+// ---------------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------------
+
+static uint64_t Fnv1a(const char* data, size_t n, uint64_t h) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashCommand(const std::vector<std::string>& args) {
+  uint64_t h = 14695981039346656037ull;
+  for (const std::string& a : args) {
+    h = Fnv1a(a.data(), a.size(), h);
+    h = Fnv1a("\x1f", 1, h);  // separator: {"ab","c"} != {"a","bc"}
+  }
+  return h;
+}
+
+bool FileStamp(const std::string& path, uint64_t* mtime, uint64_t* size) {
+  llvm::sys::fs::file_status st;
+  if (llvm::sys::fs::status(path, st)) return false;
+  *mtime = static_cast<uint64_t>(
+      llvm::sys::toTimeT(st.getLastModificationTime()));
+  *size = st.getSize();
+  return true;
+}
+
+uint64_t HeaderTreeStamp(const std::string& src_root) {
+  if (src_root.empty()) return 0;
+  const std::string dir = src_root + "/src";
+  uint64_t h = 14695981039346656037ull;
+  std::error_code ec;
+  // recursive_directory_iterator yields a stable (depth-first,
+  // per-directory-sorted by the OS) order is NOT guaranteed, so fold
+  // order-insensitively: xor of per-file hashes.
+  uint64_t acc = 0;
+  for (llvm::sys::fs::recursive_directory_iterator it(dir, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    llvm::StringRef path(it->path());
+    if (!path.endswith(".h")) continue;
+    uint64_t mtime = 0, size = 0;
+    if (!FileStamp(path.str(), &mtime, &size)) continue;
+    uint64_t fh = Fnv1a(path.data(), path.size(), h);
+    fh = Fnv1a(reinterpret_cast<const char*>(&mtime), sizeof(mtime), fh);
+    fh = Fnv1a(reinterpret_cast<const char*>(&size), sizeof(size), fh);
+    acc ^= fh;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// FunctionSummary merge (same USR seen from several TUs)
+// ---------------------------------------------------------------------------
+
+void FunctionSummary::MergeFrom(const FunctionSummary& o) {
+  if (name.empty()) name = o.name;
+  if (file.empty()) {
+    file = o.file;
+    line = o.line;
+  }
+  may_acquire.insert(o.may_acquire.begin(), o.may_acquire.end());
+  held_on_exit.insert(o.held_on_exit.begin(), o.held_on_exit.end());
+  annotated_syncs = annotated_syncs || o.annotated_syncs;
+  if (!sketch.valid() && o.sketch.valid()) sketch = o.sketch;
+  unwraps_params.insert(o.unwraps_params.begin(), o.unwraps_params.end());
+  forwards_result.insert(forwards_result.end(), o.forwards_result.begin(),
+                         o.forwards_result.end());
+  annotated_unwraps = annotated_unwraps || o.annotated_unwraps;
+  returns_param_derived.insert(o.returns_param_derived.begin(),
+                               o.returns_param_derived.end());
+  swallows_status_params.insert(o.swallows_status_params.begin(),
+                                o.swallows_status_params.end());
+  decode_arith_params.insert(o.decode_arith_params.begin(),
+                             o.decode_arith_params.end());
+  trusted_decode = trusted_decode || o.trusted_decode;
+  interval_param_pairs.insert(interval_param_pairs.end(),
+                              o.interval_param_pairs.begin(),
+                              o.interval_param_pairs.end());
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+// ---------------------------------------------------------------------------
+
+static json::Array StringsToJson(const std::set<std::string>& v) {
+  json::Array a;
+  for (const std::string& s : v) a.push_back(s);
+  return a;
+}
+
+static json::Array IntsToJson(const std::set<int>& v) {
+  json::Array a;
+  for (int i : v) a.push_back(i);
+  return a;
+}
+
+static void JsonToStrings(const json::Array* a, std::set<std::string>* out) {
+  if (a == nullptr) return;
+  for (const json::Value& v : *a) {
+    if (auto s = v.getAsString()) out->insert(s->str());
+  }
+}
+
+static void JsonToInts(const json::Array* a, std::set<int>* out) {
+  if (a == nullptr) return;
+  for (const json::Value& v : *a) {
+    if (auto i = v.getAsInteger()) out->insert(static_cast<int>(*i));
+  }
+}
+
+static json::Object SketchToJson(const CfgSketch& s) {
+  json::Object o;
+  o["entry"] = s.entry;
+  o["exit"] = s.exit;
+  json::Array blocks;
+  for (const CfgSketch::Block& b : s.blocks) {
+    json::Object bo;
+    json::Array events;
+    for (const SketchEvent& e : b.events) {
+      json::Object eo;
+      eo["k"] = e.kind;
+      if (!e.usr.empty()) eo["usr"] = e.usr;
+      if (!e.file.empty()) eo["file"] = e.file;
+      if (e.line != 0) eo["line"] = static_cast<int64_t>(e.line);
+      if (e.col != 0) eo["col"] = static_cast<int64_t>(e.col);
+      if (e.suppressed) eo["sup"] = true;
+      if (e.tail_return) eo["tail"] = true;
+      events.push_back(std::move(eo));
+    }
+    bo["events"] = std::move(events);
+    json::Array succs;
+    for (int s2 : b.succs) succs.push_back(s2);
+    bo["succs"] = std::move(succs);
+    blocks.push_back(std::move(bo));
+  }
+  o["blocks"] = std::move(blocks);
+  return o;
+}
+
+static CfgSketch SketchFromJson(const json::Object* o) {
+  CfgSketch s;
+  if (o == nullptr) return s;
+  if (auto e = o->getInteger("entry")) s.entry = static_cast<int>(*e);
+  if (auto e = o->getInteger("exit")) s.exit = static_cast<int>(*e);
+  const json::Array* blocks = o->getArray("blocks");
+  if (blocks == nullptr) return s;
+  for (const json::Value& bv : *blocks) {
+    const json::Object* bo = bv.getAsObject();
+    CfgSketch::Block b;
+    if (bo != nullptr) {
+      if (const json::Array* events = bo->getArray("events")) {
+        for (const json::Value& ev : *events) {
+          const json::Object* eo = ev.getAsObject();
+          if (eo == nullptr) continue;
+          SketchEvent e;
+          if (auto k = eo->getInteger("k")) e.kind = static_cast<int>(*k);
+          if (auto u = eo->getString("usr")) e.usr = u->str();
+          if (auto f = eo->getString("file")) e.file = f->str();
+          if (auto l = eo->getInteger("line")) {
+            e.line = static_cast<unsigned>(*l);
+          }
+          if (auto c = eo->getInteger("col")) e.col = static_cast<unsigned>(*c);
+          if (auto sp = eo->getBoolean("sup")) e.suppressed = *sp;
+          if (auto t = eo->getBoolean("tail")) e.tail_return = *t;
+          b.events.push_back(std::move(e));
+        }
+      }
+      if (const json::Array* succs = bo->getArray("succs")) {
+        for (const json::Value& sv : *succs) {
+          if (auto i = sv.getAsInteger()) b.succs.push_back(static_cast<int>(*i));
+        }
+      }
+    }
+    s.blocks.push_back(std::move(b));
+  }
+  return s;
+}
+
+static json::Object SummaryToJson(const FunctionSummary& f) {
+  json::Object o;
+  o["usr"] = f.usr;
+  o["name"] = f.name;
+  o["file"] = f.file;
+  o["line"] = static_cast<int64_t>(f.line);
+  if (!f.may_acquire.empty()) o["may_acquire"] = StringsToJson(f.may_acquire);
+  if (!f.held_on_exit.empty()) {
+    o["held_on_exit"] = StringsToJson(f.held_on_exit);
+  }
+  if (f.annotated_syncs) o["annotated_syncs"] = true;
+  if (f.sketch.valid()) o["sketch"] = SketchToJson(f.sketch);
+  if (!f.unwraps_params.empty()) {
+    o["unwraps_params"] = IntsToJson(f.unwraps_params);
+  }
+  if (!f.forwards_result.empty()) {
+    json::Array fwd;
+    for (const auto& [from, to] : f.forwards_result) {
+      json::Object fo;
+      fo["param"] = from;
+      fo["usr"] = to.first;
+      fo["callee_param"] = to.second;
+      fwd.push_back(std::move(fo));
+    }
+    o["forwards_result"] = std::move(fwd);
+  }
+  if (f.annotated_unwraps) o["annotated_unwraps"] = true;
+  if (!f.returns_param_derived.empty()) {
+    o["returns_param_derived"] = IntsToJson(f.returns_param_derived);
+  }
+  if (!f.swallows_status_params.empty()) {
+    o["swallows_status_params"] = IntsToJson(f.swallows_status_params);
+  }
+  if (!f.decode_arith_params.empty()) {
+    o["decode_arith_params"] = IntsToJson(f.decode_arith_params);
+  }
+  if (f.trusted_decode) o["trusted_decode"] = true;
+  if (!f.interval_param_pairs.empty()) {
+    json::Array pairs;
+    for (const auto& [a, b] : f.interval_param_pairs) {
+      json::Array p;
+      p.push_back(a);
+      p.push_back(b);
+      pairs.push_back(std::move(p));
+    }
+    o["interval_param_pairs"] = std::move(pairs);
+  }
+  return o;
+}
+
+static FunctionSummary SummaryFromJson(const json::Object* o) {
+  FunctionSummary f;
+  if (o == nullptr) return f;
+  if (auto s = o->getString("usr")) f.usr = s->str();
+  if (auto s = o->getString("name")) f.name = s->str();
+  if (auto s = o->getString("file")) f.file = s->str();
+  if (auto i = o->getInteger("line")) f.line = static_cast<unsigned>(*i);
+  JsonToStrings(o->getArray("may_acquire"), &f.may_acquire);
+  JsonToStrings(o->getArray("held_on_exit"), &f.held_on_exit);
+  if (auto b = o->getBoolean("annotated_syncs")) f.annotated_syncs = *b;
+  f.sketch = SketchFromJson(o->getObject("sketch"));
+  JsonToInts(o->getArray("unwraps_params"), &f.unwraps_params);
+  if (const json::Array* fwd = o->getArray("forwards_result")) {
+    for (const json::Value& fv : *fwd) {
+      const json::Object* fo = fv.getAsObject();
+      if (fo == nullptr) continue;
+      int from = -1, to_param = -1;
+      std::string usr;
+      if (auto i = fo->getInteger("param")) from = static_cast<int>(*i);
+      if (auto s = fo->getString("usr")) usr = s->str();
+      if (auto i = fo->getInteger("callee_param")) {
+        to_param = static_cast<int>(*i);
+      }
+      if (from >= 0 && to_param >= 0 && !usr.empty()) {
+        f.forwards_result.emplace_back(from, std::make_pair(usr, to_param));
+      }
+    }
+  }
+  if (auto b = o->getBoolean("annotated_unwraps")) f.annotated_unwraps = *b;
+  JsonToInts(o->getArray("returns_param_derived"), &f.returns_param_derived);
+  JsonToInts(o->getArray("swallows_status_params"), &f.swallows_status_params);
+  JsonToInts(o->getArray("decode_arith_params"), &f.decode_arith_params);
+  if (auto b = o->getBoolean("trusted_decode")) f.trusted_decode = *b;
+  if (const json::Array* pairs = o->getArray("interval_param_pairs")) {
+    for (const json::Value& pv : *pairs) {
+      const json::Array* p = pv.getAsArray();
+      if (p == nullptr || p->size() != 2) continue;
+      auto a = (*p)[0].getAsInteger();
+      auto b = (*p)[1].getAsInteger();
+      if (a && b) {
+        f.interval_param_pairs.emplace_back(static_cast<int>(*a),
+                                            static_cast<int>(*b));
+      }
+    }
+  }
+  return f;
+}
+
+static json::Object FindingToJson(const Finding& f) {
+  json::Object o;
+  o["file"] = f.file;
+  o["line"] = static_cast<int64_t>(f.line);
+  o["col"] = static_cast<int64_t>(f.col);
+  o["check"] = f.check;
+  o["msg"] = f.msg;
+  return o;
+}
+
+static Finding FindingFromJson(const json::Object* o) {
+  Finding f;
+  if (o == nullptr) return f;
+  if (auto s = o->getString("file")) f.file = s->str();
+  if (auto i = o->getInteger("line")) f.line = static_cast<unsigned>(*i);
+  if (auto i = o->getInteger("col")) f.col = static_cast<unsigned>(*i);
+  if (auto s = o->getString("check")) f.check = s->str();
+  if (auto s = o->getString("msg")) f.msg = s->str();
+  return f;
+}
+
+static json::Object ObligationToJson(const Obligation& ob) {
+  json::Object o;
+  o["check"] = ob.check;
+  o["kind"] = ob.kind;
+  o["file"] = ob.file;
+  o["line"] = static_cast<int64_t>(ob.line);
+  o["col"] = static_cast<int64_t>(ob.col);
+  if (ob.suppressed) o["sup"] = true;
+  if (!ob.callee_usr.empty()) o["callee"] = ob.callee_usr;
+  if (ob.param >= 0) o["param"] = ob.param;
+  if (!ob.detail.empty()) o["detail"] = ob.detail;
+  if (!ob.detail2.empty()) o["detail2"] = ob.detail2;
+  return o;
+}
+
+static Obligation ObligationFromJson(const json::Object* o) {
+  Obligation ob;
+  if (o == nullptr) return ob;
+  if (auto s = o->getString("check")) ob.check = s->str();
+  if (auto s = o->getString("kind")) ob.kind = s->str();
+  if (auto s = o->getString("file")) ob.file = s->str();
+  if (auto i = o->getInteger("line")) ob.line = static_cast<unsigned>(*i);
+  if (auto i = o->getInteger("col")) ob.col = static_cast<unsigned>(*i);
+  if (auto b = o->getBoolean("sup")) ob.suppressed = *b;
+  if (auto s = o->getString("callee")) ob.callee_usr = s->str();
+  if (auto i = o->getInteger("param")) ob.param = static_cast<int>(*i);
+  if (auto s = o->getString("detail")) ob.detail = s->str();
+  if (auto s = o->getString("detail2")) ob.detail2 = s->str();
+  return ob;
+}
+
+static json::Object LockNodeToJson(const LockNodeRec& n) {
+  json::Object o;
+  o["name"] = n.name;
+  o["file"] = n.file;
+  o["line"] = static_cast<int64_t>(n.line);
+  o["col"] = static_cast<int64_t>(n.col);
+  if (n.leaf) o["leaf"] = true;
+  if (n.interior) o["interior"] = true;
+  if (!n.succ.empty()) o["succ"] = StringsToJson(n.succ);
+  return o;
+}
+
+static LockNodeRec LockNodeFromJson(const json::Object* o) {
+  LockNodeRec n;
+  if (o == nullptr) return n;
+  if (auto s = o->getString("name")) n.name = s->str();
+  if (auto s = o->getString("file")) n.file = s->str();
+  if (auto i = o->getInteger("line")) n.line = static_cast<unsigned>(*i);
+  if (auto i = o->getInteger("col")) n.col = static_cast<unsigned>(*i);
+  if (auto b = o->getBoolean("leaf")) n.leaf = *b;
+  if (auto b = o->getBoolean("interior")) n.interior = *b;
+  JsonToStrings(o->getArray("succ"), &n.succ);
+  return n;
+}
+
+static json::Object TuRecordToJson(const TuRecord& r) {
+  json::Object o;
+  o["tu_file"] = r.tu_file;
+  o["mtime"] = static_cast<int64_t>(r.mtime);
+  o["size"] = static_cast<int64_t>(r.size);
+  // JSON int64 roundtrips exactly; store the u64 hash bit-cast.
+  o["cmd_hash"] = static_cast<int64_t>(r.cmd_hash);
+  json::Array checks;
+  for (const std::string& c : r.checks_run) checks.push_back(c);
+  o["checks_run"] = std::move(checks);
+  json::Array findings;
+  for (const Finding& f : r.local_findings) {
+    findings.push_back(FindingToJson(f));
+  }
+  o["local_findings"] = std::move(findings);
+  json::Array summaries;
+  for (const FunctionSummary& f : r.summaries) {
+    summaries.push_back(SummaryToJson(f));
+  }
+  o["summaries"] = std::move(summaries);
+  json::Array obligations;
+  for (const Obligation& ob : r.obligations) {
+    obligations.push_back(ObligationToJson(ob));
+  }
+  o["obligations"] = std::move(obligations);
+  json::Array locks;
+  for (const LockNodeRec& n : r.lock_nodes) {
+    locks.push_back(LockNodeToJson(n));
+  }
+  o["lock_nodes"] = std::move(locks);
+  json::Array calls;
+  for (const auto& [caller, callees] : r.calls.edges) {
+    json::Object co;
+    co["from"] = caller;
+    co["to"] = StringsToJson(callees);
+    calls.push_back(std::move(co));
+  }
+  o["calls"] = std::move(calls);
+  return o;
+}
+
+static TuRecord TuRecordFromJson(const json::Object* o) {
+  TuRecord r;
+  if (o == nullptr) return r;
+  if (auto s = o->getString("tu_file")) r.tu_file = s->str();
+  if (auto i = o->getInteger("mtime")) r.mtime = static_cast<uint64_t>(*i);
+  if (auto i = o->getInteger("size")) r.size = static_cast<uint64_t>(*i);
+  if (auto i = o->getInteger("cmd_hash")) {
+    r.cmd_hash = static_cast<uint64_t>(*i);
+  }
+  if (const json::Array* checks = o->getArray("checks_run")) {
+    for (const json::Value& v : *checks) {
+      if (auto s = v.getAsString()) r.checks_run.push_back(s->str());
+    }
+  }
+  if (const json::Array* findings = o->getArray("local_findings")) {
+    for (const json::Value& v : *findings) {
+      r.local_findings.push_back(FindingFromJson(v.getAsObject()));
+    }
+  }
+  if (const json::Array* summaries = o->getArray("summaries")) {
+    for (const json::Value& v : *summaries) {
+      r.summaries.push_back(SummaryFromJson(v.getAsObject()));
+    }
+  }
+  if (const json::Array* obligations = o->getArray("obligations")) {
+    for (const json::Value& v : *obligations) {
+      r.obligations.push_back(ObligationFromJson(v.getAsObject()));
+    }
+  }
+  if (const json::Array* locks = o->getArray("lock_nodes")) {
+    for (const json::Value& v : *locks) {
+      r.lock_nodes.push_back(LockNodeFromJson(v.getAsObject()));
+    }
+  }
+  if (const json::Array* calls = o->getArray("calls")) {
+    for (const json::Value& v : *calls) {
+      const json::Object* co = v.getAsObject();
+      if (co == nullptr) continue;
+      std::string from;
+      if (auto s = co->getString("from")) from = s->str();
+      std::set<std::string> to;
+      JsonToStrings(co->getArray("to"), &to);
+      for (const std::string& t : to) r.calls.AddEdge(from, t);
+    }
+  }
+  return r;
+}
+
+bool SummaryCache::Load(const std::string& path) {
+  auto buf = llvm::MemoryBuffer::getFile(path);
+  if (!buf) return false;
+  auto parsed = json::parse((*buf)->getBuffer());
+  if (!parsed) {
+    llvm::consumeError(parsed.takeError());
+    return false;
+  }
+  const json::Object* root = parsed->getAsObject();
+  if (root == nullptr) return false;
+  auto version = root->getInteger("version");
+  if (!version || *version != kVersion) return false;
+  if (auto h = root->getInteger("header_stamp")) {
+    header_stamp = static_cast<uint64_t>(*h);
+  }
+  if (const json::Array* records = root->getArray("tus")) {
+    for (const json::Value& v : *records) {
+      TuRecord r = TuRecordFromJson(v.getAsObject());
+      if (!r.tu_file.empty()) tus.emplace(r.tu_file, std::move(r));
+    }
+  }
+  return true;
+}
+
+bool SummaryCache::Save(const std::string& path) const {
+  std::error_code ec;
+  llvm::raw_fd_ostream os(path, ec, llvm::sys::fs::OF_Text);
+  if (ec) return false;
+  json::Object root;
+  root["version"] = kVersion;
+  root["header_stamp"] = static_cast<int64_t>(header_stamp);
+  json::Array records;
+  for (const auto& [file, rec] : tus) {
+    records.push_back(TuRecordToJson(rec));
+  }
+  root["tus"] = std::move(records);
+  os << json::Value(std::move(root));
+  return !os.has_error();
+}
+
+// ---------------------------------------------------------------------------
+// GlobalContext
+// ---------------------------------------------------------------------------
+
+void GlobalContext::AddRecord(const TuRecord& rec) {
+  for (const FunctionSummary& f : rec.summaries) {
+    if (f.usr.empty()) continue;
+    auto [it, fresh] = summaries_.emplace(f.usr, f);
+    if (!fresh) it->second.MergeFrom(f);
+  }
+  obligations_.insert(obligations_.end(), rec.obligations.begin(),
+                      rec.obligations.end());
+  for (const LockNodeRec& n : rec.lock_nodes) {
+    auto [it, fresh] = lock_graph_.emplace(n.name, n);
+    if (!fresh) {
+      it->second.leaf = it->second.leaf || n.leaf;
+      it->second.interior = it->second.interior || n.interior;
+      it->second.succ.insert(n.succ.begin(), n.succ.end());
+    }
+  }
+  calls_.Merge(rec.calls);
+}
+
+void GlobalContext::Finalize() {
+  ordered_.clear();
+  for (auto& [usr, f] : summaries_) ordered_.push_back(&f);
+
+  // --- may-acquire closure over the call graph (union fixpoint) ---
+  for (const auto& [usr, f] : summaries_) {
+    may_acquire_closure_[usr] = f.may_acquire;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [usr, acq] : may_acquire_closure_) {
+      const std::set<std::string>* callees = calls_.CalleesOf(usr);
+      if (callees == nullptr) continue;
+      for (const std::string& c : *callees) {
+        auto it = may_acquire_closure_.find(c);
+        if (it == may_acquire_closure_.end()) continue;
+        for (const std::string& m : it->second) {
+          if (acq.insert(m).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // --- sync-on-all-paths fixpoint over sketches (monotone: the set of
+  // sync-equivalent functions only grows, and growing it only removes
+  // unsynced paths) ---
+  for (const auto& [usr, f] : summaries_) {
+    if (f.annotated_syncs) syncs_all_paths_.insert(usr);
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [usr, f] : summaries_) {
+      if (syncs_all_paths_.count(usr) != 0 || !f.sketch.valid()) continue;
+      if (SketchSyncsAllPaths(f.sketch, syncs_all_paths_)) {
+        syncs_all_paths_.insert(usr);
+        changed = true;
+      }
+    }
+  }
+
+  // --- result-unwrap forwarding closure ---
+  for (const auto& [usr, f] : summaries_) {
+    for (int p : f.unwraps_params) unwraps_closure_.emplace(usr, p);
+    if (f.annotated_unwraps) {
+      // The annotation covers every param; model as a wide range.
+      for (int p = 0; p < 16; ++p) unwraps_closure_.emplace(usr, p);
+    }
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [usr, f] : summaries_) {
+      for (const auto& [from, to] : f.forwards_result) {
+        if (unwraps_closure_.count({to.first, to.second}) != 0 &&
+            unwraps_closure_.emplace(usr, from).second) {
+          changed = true;
+        }
+      }
+    }
+  }
+
+  finalized_ = true;
+}
+
+bool GlobalContext::SketchSyncsAllPaths(
+    const CfgSketch& sketch, const std::set<std::string>& sync_equiv) const {
+  // Exit unreachable from entry without passing a sync event (or a call
+  // to a sync-equivalent function) => syncs on all acked paths.
+  if (!sketch.valid() || sketch.blocks.empty()) return false;
+  std::set<int> seen;
+  std::vector<int> stack{sketch.entry};
+  while (!stack.empty()) {
+    int b = stack.back();
+    stack.pop_back();
+    if (b < 0 || b >= static_cast<int>(sketch.blocks.size())) continue;
+    if (!seen.insert(b).second) continue;
+    const CfgSketch::Block& blk = sketch.blocks[b];
+    bool blocked = false;
+    for (const SketchEvent& e : blk.events) {
+      if (e.kind == SketchEvent::kSync ||
+          (e.kind == SketchEvent::kCall && !e.usr.empty() &&
+           sync_equiv.count(e.usr) != 0)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    if (b == sketch.exit) return false;  // unsynced path reached exit
+    for (int s : blk.succs) stack.push_back(s);
+  }
+  return true;
+}
+
+const FunctionSummary* GlobalContext::SummaryOf(const std::string& usr) const {
+  auto it = summaries_.find(usr);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+const std::set<std::string>& GlobalContext::MayAcquireClosure(
+    const std::string& usr) const {
+  static const std::set<std::string> kEmpty;
+  auto it = may_acquire_closure_.find(usr);
+  return it == may_acquire_closure_.end() ? kEmpty : it->second;
+}
+
+bool GlobalContext::SyncsOnAllPaths(const std::string& usr) const {
+  return syncs_all_paths_.count(usr) != 0;
+}
+
+bool GlobalContext::UnwrapsParam(const std::string& usr, int param) const {
+  return unwraps_closure_.count({usr, param}) != 0;
+}
+
+bool GlobalContext::DeclaredBefore(const std::string& from,
+                                   const std::string& to) const {
+  std::set<std::string> seen;
+  std::vector<std::string> stack{from};
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    auto it = lock_graph_.find(cur);
+    if (it == lock_graph_.end()) continue;
+    for (const std::string& s : it->second.succ) {
+      if (s == to) return true;
+      stack.push_back(s);
+    }
+  }
+  return false;
+}
+
+bool GlobalContext::IsLeafMutex(const std::string& name) const {
+  auto it = lock_graph_.find(name);
+  return it != lock_graph_.end() && it->second.leaf;
+}
+
+void GlobalContext::EmitGlobal(Finding f) {
+  if (!emitted_.insert(f.Key()).second) return;
+  global_findings_.push_back(std::move(f));
+}
+
+}  // namespace rdftx_analyzer

@@ -1,0 +1,253 @@
+// Bottom-up function summaries, call-site obligations, the per-TU
+// record that carries them, the persisted summary cache, and the
+// global resolution context (DESIGN.md §12.2-§12.4).
+//
+// The contract: a TuRecord is everything a check's global phase may
+// ever want from a translation unit. Locations inside it are already
+// display paths with precomputed suppression bits, so the global phase
+// runs without a SourceManager — which is what lets a warm cache run
+// skip parsing entirely and still resolve every interprocedural
+// obligation.
+//
+// Cache invalidation (DESIGN.md §12.4): a cached TuRecord is replayed
+// only when (a) the cache-wide header tree stamp (max mtime over
+// src/**/*.h) matches, (b) the TU main file's mtime+size match, and
+// (c) the FNV-1a hash of its compile command matches, and (d) the
+// record was produced with at least the currently requested checks.
+// Global-phase findings are never cached — they are recomputed from
+// the merged summaries on every run, warm or cold.
+#ifndef RDFTX_TOOLS_ANALYZER_SUMMARIES_H_
+#define RDFTX_TOOLS_ANALYZER_SUMMARIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/analyzer/analyzer.h"
+#include "tools/analyzer/callgraph.h"
+
+namespace rdftx_analyzer {
+
+// ---------------------------------------------------------------------------
+// CFG sketch: the durability check's serializable control-flow skeleton
+// ---------------------------------------------------------------------------
+
+/// One interesting event inside a CFG block, in execution order.
+struct SketchEvent {
+  enum Kind { kSync = 0, kAppend = 1, kCall = 2 };
+  int kind = kCall;
+  std::string usr;        // kCall: callee; empty for unresolvable calls
+  std::string file;       // kAppend: display path of the append site
+  unsigned line = 0;
+  unsigned col = 0;
+  bool suppressed = false;   // kAppend: allow(durability) present
+  bool tail_return = false;  // kAppend: `return wal_.Append(...)`
+};
+
+/// Error-branch-pruned CFG skeleton: blocks hold their events, edges
+/// are the acked successors (ok()-failure branches and *sync*-named
+/// conditions already dropped at build time, exactly like the
+/// intraprocedural walk of PR 7).
+struct CfgSketch {
+  struct Block {
+    std::vector<SketchEvent> events;
+    std::vector<int> succs;
+  };
+  std::vector<Block> blocks;
+  int entry = -1;
+  int exit = -1;
+
+  bool valid() const { return entry >= 0 && exit >= 0; }
+};
+
+// ---------------------------------------------------------------------------
+// Function summaries
+// ---------------------------------------------------------------------------
+
+/// Bottom-up facts about one function, keyed by its USR. Direct facts
+/// only — transitive closures are computed by GlobalContext::Finalize.
+struct FunctionSummary {
+  std::string usr;
+  std::string name;    // qualified display name
+  std::string file;    // display path of the definition
+  unsigned line = 0;
+
+  // lock-order: mutexes this body may acquire (qualified names), and
+  // mutexes acquired via manual Lock() still held at exit.
+  std::set<std::string> may_acquire;
+  std::set<std::string> held_on_exit;
+
+  // durability: body syncs on every acked entry->exit path, either
+  // proven from the sketch (fixpoint) or asserted by the
+  // SYNCS_ON_ALL_PATHS annotation.
+  bool annotated_syncs = false;
+  CfgSketch sketch;  // only populated in the durability neighbourhood
+
+  // result-unwrap: Result-typed params this body unwraps without a
+  // dominating ok() proof, plus unguarded forwards (param i passed
+  // straight into callee's param j) for the transitive closure.
+  std::set<int> unwraps_params;
+  std::vector<std::pair<int, std::pair<std::string, int>>> forwards_result;
+  bool annotated_unwraps = false;  // UNWRAPS_RESULT_ARGS: all Result params
+
+  // epoch-lifetime: params whose pointee may be returned as ptr/ref.
+  std::set<int> returns_param_derived;
+
+  // status: Status/Result params the body never reads (discarded
+  // through the signature).
+  std::set<int> swallows_status_params;
+
+  // decode-overflow: params fed into unguarded narrow arithmetic.
+  std::set<int> decode_arith_params;
+  bool trusted_decode = false;  // TRUSTED_DECODE annotation
+
+  // interval-soundness: Interval(param_i, param_j) constructions the
+  // body cannot order-prove locally.
+  std::vector<std::pair<int, int>> interval_param_pairs;
+
+  void MergeFrom(const FunctionSummary& o);
+};
+
+// ---------------------------------------------------------------------------
+// Obligations: call-site facts awaiting global resolution
+// ---------------------------------------------------------------------------
+
+/// A potential finding whose verdict depends on another function's
+/// summary. Location and suppression are pre-resolved at collect time.
+struct Obligation {
+  std::string check;   // owning check name
+  std::string kind;    // check-specific discriminator
+  std::string file;    // display path
+  unsigned line = 0;
+  unsigned col = 0;
+  bool suppressed = false;
+  std::string callee_usr;
+  int param = -1;
+  std::string detail;   // check-specific (e.g. held mutex, arg text)
+  std::string detail2;  // check-specific (e.g. callee display name)
+};
+
+// ---------------------------------------------------------------------------
+// Lock annotation graph nodes (per-TU slice, merged globally)
+// ---------------------------------------------------------------------------
+
+struct LockNodeRec {
+  std::string name;  // qualified mutex name
+  std::string file;  // declaration display path
+  unsigned line = 0;
+  unsigned col = 0;
+  bool leaf = false;
+  bool interior = false;
+  std::set<std::string> succ;  // acquired-before these
+};
+
+// ---------------------------------------------------------------------------
+// Per-TU record + cache
+// ---------------------------------------------------------------------------
+
+struct TuRecord {
+  std::string tu_file;  // absolute, real path
+  uint64_t mtime = 0;
+  uint64_t size = 0;
+  uint64_t cmd_hash = 0;
+  std::vector<std::string> checks_run;
+
+  std::vector<Finding> local_findings;
+  // deque: TuContext::SummaryFor hands out stable pointers into it.
+  std::deque<FunctionSummary> summaries;
+  std::vector<Obligation> obligations;
+  std::vector<LockNodeRec> lock_nodes;
+  CallGraph calls;
+};
+
+/// FNV-1a over the joined compile command (stable across processes,
+/// unlike llvm::hash_value).
+uint64_t HashCommand(const std::vector<std::string>& args);
+
+/// mtime (epoch seconds) + size of `path`; false when unreadable.
+bool FileStamp(const std::string& path, uint64_t* mtime, uint64_t* size);
+
+/// Combined stamp over every *.h under <src_root>/src — the coarse
+/// whole-cache invalidator (any header edit re-analyzes everything;
+/// DESIGN.md §12.4 records why per-include tracking was rejected).
+uint64_t HeaderTreeStamp(const std::string& src_root);
+
+struct SummaryCache {
+  static constexpr int kVersion = 1;
+  uint64_t header_stamp = 0;
+  std::map<std::string, TuRecord> tus;  // by tu_file
+
+  bool Load(const std::string& path);   // false: absent/corrupt/old
+  bool Save(const std::string& path) const;
+};
+
+// ---------------------------------------------------------------------------
+// Global resolution context
+// ---------------------------------------------------------------------------
+
+class GlobalContext {
+ public:
+  void AddRecord(const TuRecord& rec);
+
+  /// Runs the fixpoints (may-acquire closure, sync-reachability over
+  /// sketches, result-unwrap forwarding closure). Call once, after the
+  /// last AddRecord and before any query.
+  void Finalize();
+
+  // ---- queries -----------------------------------------------------------
+  const FunctionSummary* SummaryOf(const std::string& usr) const;
+  const std::vector<const FunctionSummary*>& AllSummaries() const {
+    return ordered_;
+  }
+  const std::vector<Obligation>& Obligations() const { return obligations_; }
+  const CallGraph& Calls() const { return calls_; }
+
+  /// Transitive may-acquire set of `usr` (empty set for unknown USRs).
+  const std::set<std::string>& MayAcquireClosure(const std::string& usr) const;
+
+  /// Every acked path through `usr` reaches a sync (fixpoint verdict;
+  /// false for unknown USRs — absence of knowledge is not durability).
+  bool SyncsOnAllPaths(const std::string& usr) const;
+
+  /// `usr` unwraps its Result param `param` without re-checking ok(),
+  /// directly or through any chain of unguarded forwards.
+  bool UnwrapsParam(const std::string& usr, int param) const;
+
+  // ---- lock annotation graph --------------------------------------------
+  const std::map<std::string, LockNodeRec>& LockGraph() const {
+    return lock_graph_;
+  }
+  bool DeclaredBefore(const std::string& from, const std::string& to) const;
+  bool IsLeafMutex(const std::string& name) const;
+
+  // ---- findings ----------------------------------------------------------
+  /// Suppression was pre-resolved when the obligation was collected;
+  /// this only dedupes and stores.
+  void EmitGlobal(Finding f);
+  std::vector<Finding>& GlobalFindings() { return global_findings_; }
+
+ private:
+  bool SketchSyncsAllPaths(const CfgSketch& sketch,
+                           const std::set<std::string>& sync_equiv) const;
+
+  std::map<std::string, FunctionSummary> summaries_;
+  std::vector<const FunctionSummary*> ordered_;
+  std::vector<Obligation> obligations_;
+  std::map<std::string, LockNodeRec> lock_graph_;
+  CallGraph calls_;
+
+  std::map<std::string, std::set<std::string>> may_acquire_closure_;
+  std::set<std::string> syncs_all_paths_;
+  std::set<std::pair<std::string, int>> unwraps_closure_;
+  std::set<std::string> emitted_;
+  std::vector<Finding> global_findings_;
+  bool finalized_ = false;
+};
+
+}  // namespace rdftx_analyzer
+
+#endif  // RDFTX_TOOLS_ANALYZER_SUMMARIES_H_

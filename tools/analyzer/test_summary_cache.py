@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Summary-cache contract test for rdftx-analyzer.
+
+Builds a small synthetic project (its own src/ tree + compile
+database), then asserts the --summary-cache life cycle:
+
+  1. cold run: parses every TU, exits clean, writes the cache file;
+  2. warm run: identical findings, and because nothing changed every
+     TU replays from the cache -- wall time must be < 50% of cold;
+  3. touched run: editing one source re-analyzes it without erroring
+     (the other TUs still replay).
+
+Usage: test_summary_cache.py --analyzer <path-to-rdftx-analyzer>
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+NUM_TUS = 8
+FNS_PER_TU = 48
+
+
+def write_project(root):
+    src = os.path.join(root, "src", "util")
+    os.makedirs(src)
+    with open(os.path.join(src, "gen.h"), "w") as f:
+        f.write("#ifndef GEN_H_\n#define GEN_H_\n")
+        f.write("namespace rdftx {\n")
+        f.write("inline int helper(int x) { return x + 1; }\n")
+        f.write("}  // namespace rdftx\n#endif\n")
+    sources = []
+    for i in range(NUM_TUS):
+        path = os.path.join(src, "gen_%d.cc" % i)
+        with open(path, "w") as f:
+            f.write('#include "gen.h"\n\nnamespace rdftx {\n')
+            for j in range(FNS_PER_TU):
+                f.write("int fn_%d_%d(int x) {\n" % (i, j))
+                f.write("  if (x < 0) return 0;\n")
+                f.write("  return helper(x) + %d;\n}\n" % j)
+            f.write("}  // namespace rdftx\n")
+        sources.append(path)
+    db = [
+        {
+            "directory": root,
+            "command": "c++ -std=c++17 -I%s -c %s" % (src, p),
+            "file": p,
+        }
+        for p in sources
+    ]
+    with open(os.path.join(root, "compile_commands.json"), "w") as f:
+        json.dump(db, f, indent=1)
+    return sources
+
+
+def run(cmd):
+    start = time.monotonic()
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    return proc, time.monotonic() - start
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--analyzer", required=True)
+    args = parser.parse_args()
+    analyzer = os.path.abspath(args.analyzer)
+
+    root = tempfile.mkdtemp(prefix="rdftx-summary-cache-")
+    try:
+        sources = write_project(root)
+        cache = os.path.join(root, "summaries.cache")
+        cmd = [
+            analyzer,
+            "--src-root", root,
+            "--summary-cache", cache,
+            "-p", root,
+        ] + sources
+
+        cold, t_cold = run(cmd)
+        if cold.returncode != 0:
+            print("FAIL: cold run exited %d\nstdout:\n%s\nstderr:\n%s"
+                  % (cold.returncode, cold.stdout, cold.stderr))
+            return 1
+        if not os.path.exists(cache):
+            print("FAIL: cold run did not write the summary cache")
+            return 1
+
+        warm, t_warm = run(cmd)
+        if warm.returncode != 0:
+            print("FAIL: warm run exited %d\nstderr:\n%s"
+                  % (warm.returncode, warm.stderr))
+            return 1
+        if warm.stdout != cold.stdout:
+            print("FAIL: warm findings differ from cold findings\n"
+                  "cold:\n%s\nwarm:\n%s" % (cold.stdout, warm.stdout))
+            return 1
+        if t_warm >= 0.5 * t_cold:
+            print("FAIL: warm run %.3fs is not < 50%% of cold run %.3fs"
+                  % (t_warm, t_cold))
+            return 1
+
+        # Invalidation: touch one TU; the run must still succeed (that
+        # TU reparses, the rest replay) and stay clean.
+        with open(sources[0], "a") as f:
+            f.write("namespace rdftx { int fn_extra(int x)"
+                    " { return x; } }\n")
+        touched, _ = run(cmd)
+        if touched.returncode != 0 or touched.stdout != cold.stdout:
+            print("FAIL: touched run exited %d\nstdout:\n%s\nstderr:\n%s"
+                  % (touched.returncode, touched.stdout, touched.stderr))
+            return 1
+
+        print("ok: cold %.3fs, warm %.3fs (%.1f%%), invalidation ok"
+              % (t_cold, t_warm, 100.0 * t_warm / max(t_cold, 1e-9)))
+        return 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

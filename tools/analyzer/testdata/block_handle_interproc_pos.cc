@@ -1,0 +1,36 @@
+// block-handle interprocedural: a temporary handle passed to a helper
+// whose summary says it returns the raw pointer of that parameter
+// dangles when the statement ends; a helper with an unknown body stays
+// silent.
+namespace rdftx {
+namespace engine {
+
+class BindingBlock {
+ public:
+  int rows;
+};
+
+class BlockHandle {
+ public:
+  BindingBlock* get() const;
+};
+
+class BlockPool {
+ public:
+  BlockHandle Acquire(int n);
+};
+
+BindingBlock* Raw(BlockHandle h) { return h.get(); }
+
+BindingBlock* CopyOut(BlockHandle h);
+
+BindingBlock* Dangles(BlockPool& pool) {
+  return Raw(pool.Acquire(64));  // expect: [block-handle] temporary BlockHandle passed to 'rdftx::engine::Raw'
+}
+
+BindingBlock* Unknown(BlockPool& pool) {
+  return CopyOut(pool.Acquire(64));
+}
+
+}  // namespace engine
+}  // namespace rdftx

@@ -1,0 +1,27 @@
+// decode-overflow interprocedural: a callee performing unguarded
+// arithmetic on a uint64_t parameter (summary: decode_arith_params)
+// turns an unbounded decoded argument into a call-site finding; a
+// caller that bounds the value first is clean.
+namespace rdftx {
+
+using uint64_t = unsigned long long;
+using size_t = unsigned long;
+
+uint64_t GetVarint(const unsigned char* data, size_t* pos);
+
+uint64_t AddBias(uint64_t v) { return v + 1000; }
+
+uint64_t Caller(const unsigned char* data, size_t* pos) {
+  uint64_t raw = GetVarint(data, pos);
+  return AddBias(raw);  // expect: [decode-overflow] decoded value 'raw' flows into 'rdftx::AddBias'
+}
+
+uint64_t BoundedCaller(const unsigned char* data, size_t* pos) {
+  uint64_t raw = GetVarint(data, pos);
+  if (raw > 0xFFFF) {
+    return 0;
+  }
+  return AddBias(raw);
+}
+
+}  // namespace rdftx

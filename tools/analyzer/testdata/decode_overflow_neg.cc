@@ -1,0 +1,50 @@
+// decode-overflow negatives: range-guarded arithmetic (single bound
+// and the ||-distributed pair the delta decoder uses), declared-intent
+// explicit casts, and TRUSTED_DECODE waivers on the function and on a
+// callee. No findings expected.
+namespace rdftx {
+
+using uint64_t = unsigned long long;
+using size_t = unsigned long;
+
+#define TRUSTED_DECODE __attribute__((annotate("rdftx::trusted_decode")))
+
+constexpr uint64_t kChrononMax = 0xFFFFFFFEu;
+
+uint64_t GetVarint(const unsigned char* data, size_t* pos);
+
+uint64_t GuardedAdd(const unsigned char* data, size_t* pos, uint64_t base) {
+  uint64_t ds = GetVarint(data, pos);
+  if (ds > kChrononMax) {
+    return 0;
+  }
+  return base + ds;
+}
+
+uint64_t RangePair(const unsigned char* data, size_t* pos) {
+  long long d = static_cast<long long>(GetVarint(data, pos));
+  if (d < -0xFFLL || d > 0xFFLL) {
+    return 0;
+  }
+  return static_cast<uint64_t>(1000 + d);
+}
+
+uint64_t MaskedShift(const unsigned char* data, size_t* pos) {
+  uint64_t z = GetVarint(data, pos);
+  return static_cast<uint64_t>(z & 0x7F) << 1;
+}
+
+TRUSTED_DECODE uint64_t HotPath(const unsigned char* data, size_t* pos,
+                                uint64_t prev) {
+  uint64_t ds = GetVarint(data, pos);
+  return prev + ds;
+}
+
+TRUSTED_DECODE uint64_t TrustedWrap(uint64_t v) { return v * 3; }
+
+uint64_t CallerOfTrusted(const unsigned char* data, size_t* pos) {
+  uint64_t raw = GetVarint(data, pos);
+  return TrustedWrap(raw);
+}
+
+}  // namespace rdftx

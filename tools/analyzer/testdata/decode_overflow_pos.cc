@@ -1,0 +1,47 @@
+// decode-overflow true positives: unguarded +/*/<< on varint-decoded
+// values, taint propagating through a derived local, an out-parameter
+// seed, and a bounds check that runs only after the arithmetic has
+// already wrapped.
+namespace rdftx {
+
+using uint64_t = unsigned long long;
+using size_t = unsigned long;
+
+constexpr uint64_t kChrononMax = 0xFFFFFFFEu;
+
+uint64_t GetVarint(const unsigned char* data, size_t* pos);
+bool ReadVarint(uint64_t* v);
+
+uint64_t UnguardedAdd(const unsigned char* data, size_t* pos, uint64_t base) {
+  uint64_t ds = GetVarint(data, pos);
+  return base + ds;  // expect: [decode-overflow] unguarded arithmetic on decoded value 'ds'
+}
+
+uint64_t UnguardedShift(const unsigned char* data, size_t* pos) {
+  uint64_t width = GetVarint(data, pos);
+  return 1ull << width;  // expect: [decode-overflow] unguarded arithmetic on decoded value 'width'
+}
+
+uint64_t PropagatedTaint(const unsigned char* data, size_t* pos,
+                         uint64_t base) {
+  uint64_t ds = GetVarint(data, pos);
+  if (ds > kChrononMax) {
+    return 0;
+  }
+  uint64_t start = base + ds;
+  return start * 2;  // expect: [decode-overflow] unguarded arithmetic on decoded value 'start'
+}
+
+uint64_t CheckAfterTheFact(uint64_t base) {
+  uint64_t len = 0;
+  if (!ReadVarint(&len)) {
+    return 0;
+  }
+  uint64_t end = base + len;  // expect: [decode-overflow] unguarded arithmetic on decoded value 'len'
+  if (end > kChrononMax) {
+    return 0;
+  }
+  return end;
+}
+
+}  // namespace rdftx

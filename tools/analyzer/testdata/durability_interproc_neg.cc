@@ -1,0 +1,44 @@
+// durability interprocedural negatives: helpers that provably sync on
+// every acked path — one proven from its body by the sketch fixpoint,
+// one asserted with SYNCS_ON_ALL_PATHS on a body-less declaration —
+// satisfy the append obligation at their call sites. No findings
+// expected.
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+class WalWriter {
+ public:
+  Status Append(int rec);
+  void Sync();
+};
+
+#define SYNCS_ON_ALL_PATHS \
+  __attribute__((annotate("rdftx::syncs_on_all_paths")))
+
+void AlwaysFlush(WalWriter* wal) { wal->Sync(); }
+
+SYNCS_ON_ALL_PATHS void GroupCommitBarrier(WalWriter* wal);
+
+bool AckViaBody(WalWriter* wal, int rec) {
+  Status s = wal->Append(rec);
+  if (!s.ok()) {
+    return false;
+  }
+  AlwaysFlush(wal);
+  return true;
+}
+
+bool AckViaContract(WalWriter* wal, int rec) {
+  Status s = wal->Append(rec);
+  if (!s.ok()) {
+    return false;
+  }
+  GroupCommitBarrier(wal);
+  return true;
+}
+
+}  // namespace rdftx

@@ -1,0 +1,34 @@
+// durability interprocedural: an append whose only hope of a sync is
+// a helper call stays exposed when that helper can return without
+// syncing on some acked path.
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+class WalWriter {
+ public:
+  Status Append(int rec);
+  void Sync();
+};
+
+bool MaybeFlush(WalWriter* wal, bool want) {
+  if (want) {
+    wal->Sync();
+    return true;
+  }
+  return false;
+}
+
+bool AckThroughHelper(WalWriter* wal, int rec) {
+  Status s = wal->Append(rec);  // expect: [durability] WAL append can reach function exit without a Sync()
+  if (!s.ok()) {
+    return false;
+  }
+  MaybeFlush(wal, false);
+  return true;
+}
+
+}  // namespace rdftx

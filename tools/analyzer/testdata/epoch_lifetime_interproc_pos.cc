@@ -1,0 +1,35 @@
+// epoch-lifetime interprocedural: returning a helper's result is
+// dangling only when the helper's summary says its return derives
+// from the epoch-class parameter the local was passed through; a
+// helper with an unknown body stays silent.
+namespace rdftx {
+
+class DeltaChunk {
+ public:
+  int* data();
+};
+
+class Epoch {
+ public:
+  DeltaChunk* chunk();
+};
+
+Epoch* Identity(Epoch* e) { return e; }
+
+Epoch* CloneOnHeap(const Epoch* e);
+
+Epoch* LeakThroughHelper() {
+  Epoch local;
+  return Identity(&local);  // expect: [epoch-lifetime] returns a pointer/reference derived from local 'local' through 'rdftx::Identity'
+}
+
+Epoch* CopiesAreFine() {
+  Epoch local;
+  return CloneOnHeap(&local);
+}
+
+Epoch* ParamsAreTheCallersProblem(Epoch* stable) {
+  return Identity(stable);
+}
+
+}  // namespace rdftx

@@ -1,0 +1,33 @@
+// interval-soundness interprocedural: a helper that builds
+// Interval(start, end) straight from its Chronon parameters exports
+// the ordering obligation; a caller that cannot order its arguments
+// is flagged at the call site, a caller that proves it is not.
+namespace rdftx {
+
+using Chronon = unsigned int;
+
+struct Interval {
+  Interval(Chronon s, Chronon e);
+};
+
+Chronon Opaque();
+
+void Keep(const Interval& iv);
+
+void Store(Chronon from, Chronon to) { Keep(Interval(from, to)); }
+
+void UnprovenCaller() {
+  Chronon a = Opaque();
+  Chronon b = Opaque();
+  Store(a, b);  // expect: [interval-soundness] arguments 0 and 1 flow into Interval(start, end) inside 'rdftx::Store'
+}
+
+void ProvenCaller() {
+  Chronon a = Opaque();
+  Chronon b = Opaque();
+  if (a <= b) {
+    Store(a, b);
+  }
+}
+
+}  // namespace rdftx

@@ -1,0 +1,43 @@
+// interval-soundness negatives: one construction per accepted proof
+// rule — ordered constants, zero start, open end, same-subject point
+// intervals (variable and member path), and a swap guard whose both
+// branches prove the order. No findings expected.
+namespace rdftx {
+
+using Chronon = unsigned int;
+constexpr Chronon kChrononNow = 0xFFFFFFFFu;
+
+struct Interval {
+  Interval(Chronon s, Chronon e);
+};
+
+struct Triple {
+  struct Payload {
+    Chronon date;
+  } t;
+};
+
+Chronon Opaque();
+
+Interval OrderedConstants() { return Interval(3, 7); }
+
+Interval ZeroStart(Chronon e) { return Interval(0, e); }
+
+Interval OpenEnd(Chronon s) { return Interval(s, kChrononNow); }
+
+Interval Point(Chronon t) { return Interval(t, t + 1); }
+
+Interval MemberPoint(const Triple& gp) {
+  return Interval(gp.t.date, gp.t.date + 1);
+}
+
+Interval Guarded() {
+  Chronon s = Opaque();
+  Chronon e = Opaque();
+  if (s > e) {
+    return Interval(e, s);
+  }
+  return Interval(s, e);
+}
+
+}  // namespace rdftx

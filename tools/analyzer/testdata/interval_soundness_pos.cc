@@ -1,0 +1,33 @@
+// interval-soundness true positives: inverted constant bounds, opaque
+// bounds with no guard, and a guard that proves the wrong direction.
+namespace rdftx {
+
+using Chronon = unsigned int;
+
+struct Interval {
+  Interval(Chronon s, Chronon e);
+  Chronon start;
+  Chronon end;
+};
+
+Chronon Opaque();
+
+Interval InvertedConstants() {
+  return Interval(7, 3);  // expect: [interval-soundness] cannot prove start <= end for this Interval construction
+}
+
+Interval OpaqueBounds() {
+  Chronon s = Opaque();
+  Chronon e = Opaque();
+  return Interval(s, e);  // expect: [interval-soundness] cannot prove start <= end for this Interval construction
+}
+
+Interval GuardedBackwards(Chronon t) {
+  Chronon now = Opaque();
+  if (t < now) {
+    return Interval(now, t);  // expect: [interval-soundness] cannot prove start <= end for this Interval construction
+  }
+  return Interval(0, t);
+}
+
+}  // namespace rdftx

@@ -1,0 +1,49 @@
+// lock-order interprocedural: calling a function whose transitive
+// may-acquire set inverts the declared order — or acquires anything at
+// all under a LEAF_MUTEX — is flagged at the call site. Nesting that
+// respects the declared order through a call stays silent.
+namespace rdftx {
+namespace util {
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+}  // namespace util
+}  // namespace rdftx
+
+#define ACQUIRED_BEFORE(...) __attribute__((acquired_before(__VA_ARGS__)))
+#define ACQUIRED_AFTER(...) __attribute__((acquired_after(__VA_ARGS__)))
+#define LEAF_MUTEX __attribute__((annotate("rdftx::leaf_mutex")))
+
+namespace rdftx {
+
+class Store {
+ public:
+  void LockOuter() { util::MutexLock l(&outer_); }
+  void LockInner() { util::MutexLock l(&inner_); }
+  void Inverted() {
+    util::MutexLock l(&inner_);
+    LockOuter();  // expect: [lock-order] calls 'rdftx::Store::LockOuter' while holding 'rdftx::Store::inner_'
+  }
+  void UnderLeaf() {
+    util::MutexLock l(&leaf_);
+    LockOuter();  // expect: [lock-order] calls 'rdftx::Store::LockOuter' while holding leaf mutex 'rdftx::Store::leaf_'
+  }
+  void SafeNesting() {
+    util::MutexLock l(&outer_);
+    LockInner();
+  }
+
+ private:
+  util::Mutex outer_ ACQUIRED_BEFORE(inner_);
+  util::Mutex inner_ ACQUIRED_AFTER(outer_);
+  util::Mutex leaf_ LEAF_MUTEX;
+};
+
+}  // namespace rdftx

@@ -1,0 +1,54 @@
+// result-unwrap interprocedural: a helper that unwraps its Result
+// parameter — directly, through a forwarding chain, or by
+// UNWRAPS_RESULT_ARGS contract on a body-less declaration — obliges
+// every caller to prove ok() at the call site.
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T v);
+  bool ok() const;
+  const T& value() const;
+};
+
+Result<int> Load();
+
+#define UNWRAPS_RESULT_ARGS \
+  __attribute__((annotate("rdftx::unwraps_result_args")))
+
+int UseValue(Result<int> r) { return r.value(); }
+
+int Forward(Result<int> r) { return UseValue(r); }
+
+UNWRAPS_RESULT_ARGS int Consume(Result<int> r);
+
+int CallsDirect() {
+  Result<int> r = Load();
+  return UseValue(r);  // expect: [result-unwrap] Result 'r' is passed to 'rdftx::UseValue' which unwraps it
+}
+
+int CallsChain() {
+  Result<int> r = Load();
+  return Forward(r);  // expect: [result-unwrap] Result 'r' is passed to 'rdftx::Forward' which unwraps it
+}
+
+int CallsAnnotated() {
+  Result<int> r = Load();
+  return Consume(r);  // expect: [result-unwrap] Result 'r' is passed to 'rdftx::Consume' which unwraps it
+}
+
+int CheckedCaller() {
+  Result<int> r = Load();
+  if (!r.ok()) {
+    return 0;
+  }
+  return UseValue(r);
+}
+
+}  // namespace rdftx

@@ -1,0 +1,52 @@
+// result-unwrap negatives: early-return guard, positive ok() branch,
+// checked parameter, and a conditional-expression proof. No findings
+// expected.
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T v);
+  bool ok() const;
+  const T& value() const;
+  const T& operator*() const;
+};
+
+Result<int> Load();
+
+int Trusting(Result<int> r);
+
+int EarlyReturn() {
+  Result<int> r = Load();
+  if (!r.ok()) {
+    return 0;
+  }
+  return r.value();
+}
+
+int PositiveBranch() {
+  Result<int> r = Load();
+  if (r.ok()) {
+    return *r;
+  }
+  return 0;
+}
+
+int CheckedParam(Result<int> r) {
+  if (!r.ok()) {
+    return -1;
+  }
+  return r.value();
+}
+
+int ConditionalProof() {
+  Result<int> r = Load();
+  return r.ok() ? Trusting(r) : 0;
+}
+
+}  // namespace rdftx

@@ -1,0 +1,40 @@
+// result-unwrap true positives: value() without a dominating ok()
+// check, an unwrap on the error branch, and an unwrap chained straight
+// onto the producing call.
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T v);
+  bool ok() const;
+  const T& value() const;
+  const T& operator*() const;
+  Status status() const;
+};
+
+Result<int> Load();
+
+int NoCheck() {
+  Result<int> r = Load();
+  return r.value();  // expect: [result-unwrap] Result 'r' unwrapped without a dominating ok() check
+}
+
+int WrongBranch() {
+  Result<int> r = Load();
+  if (!r.ok()) {
+    return *r;  // expect: [result-unwrap] Result 'r' unwrapped without a dominating ok() check
+  }
+  return r.value();
+}
+
+int Immediate() {
+  return Load().value();  // expect: [result-unwrap] Result returned by a call is unwrapped immediately
+}
+
+}  // namespace rdftx

@@ -1,0 +1,23 @@
+// status interprocedural: a freshly produced Status handed to a
+// callee that never examines the parameter is silently dropped; a
+// callee that reads it keeps the call site clean.
+namespace rdftx {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status Flush();
+
+void Swallow(Status s) {}
+
+void LogAndKeep(Status s) { s.ok(); }
+
+void Ack() {
+  Swallow(Flush());  // expect: [status] Status/Result passed to 'rdftx::Swallow' which never examines it
+}
+
+void Checked() { LogAndKeep(Flush()); }
+
+}  // namespace rdftx

@@ -45,15 +45,30 @@ temporary discarded through a cast).
 With --analyzer BIN (or --analyzer auto), the rdftx-analyzer LibTooling
 binary (tools/analyzer/, built by the `analyzer` preset when Clang dev
 libraries are present) additionally runs over the compile database and
-its findings — lock-order, epoch-lifetime, durability-protocol, and
-status-propagation diagnostics — are merged into the lint report.
+its findings — lock-order, epoch-lifetime, durability, status,
+block-handle, result-unwrap, interval-soundness and decode-overflow
+diagnostics — are merged into the lint report. --check=<name>
+(repeatable or comma-separated) narrows the analyzer to the named
+checks; the textual rules still run. The analyzer keeps a persisted
+summary cache next to the compile database so repeat runs reparse only
+changed translation units (--analyzer-cache PATH overrides the
+location, --analyzer-cache none disables it). Compile-database entries
+whose source files no longer exist (a stale compile_commands.json) are
+skipped with a notice instead of failing the run; regenerate the
+database with cmake to re-cover them.
 
 Usage:
   tools/lint/lint.py [--root DIR] [--compile-commands build/compile_commands.json]
                      [--clang-query BIN] [--require-clang-query]
                      [--analyzer BIN|auto] [--require-analyzer]
+                     [--check NAME[,NAME...]] [--analyzer-cache PATH|none]
+                     [--json]
 
-Exit status 0 = clean, 1 = findings, 2 = configuration error.
+Exit status: 0 = clean, 1 = findings, 2 = configuration error (a
+requested tool is unavailable, or the analyzer itself failed to parse —
+the analyzer binary uses the same 0/1/2 convention). --json writes one
+machine-readable JSON object to stdout (notices go to stderr) with the
+same exit-status contract.
 """
 
 import argparse
@@ -343,6 +358,15 @@ def clang_query_findings(root, clang_query, compile_commands):
 # rdftx-analyzer (tools/analyzer LibTooling binary)
 # ---------------------------------------------------------------------------
 
+# Mirrors MakeAllChecks() in tools/analyzer/analyzer_util.cc; the
+# analyzer itself also rejects unknown names (exit 2), this just fails
+# faster with a friendlier message.
+KNOWN_ANALYZER_CHECKS = {
+    "lock-order", "epoch-lifetime", "durability", "status",
+    "block-handle", "result-unwrap", "interval-soundness",
+    "decode-overflow",
+}
+
 ANALYZER_BUILD_PATHS = (
     "build-analyzer/tools/analyzer/rdftx-analyzer",
     "build-lint/tools/analyzer/rdftx-analyzer",
@@ -367,15 +391,38 @@ def resolve_analyzer(root, spec):
     return None
 
 
-def analyzer_findings(root, analyzer, compile_commands):
+def analyzer_findings(root, analyzer, compile_commands, checks=None,
+                      cache="auto", note=print):
     """Runs rdftx-analyzer over every src/ translation unit in the
-    compile database and merges its diagnostics into the findings."""
+    compile database and merges its diagnostics into the findings.
+
+    Entries whose source file no longer exists (the database is stale —
+    a file was renamed or deleted since cmake last ran) are skipped
+    with a notice rather than handed to the analyzer, where they would
+    turn into a hard parse error."""
     build_dir = os.path.dirname(os.path.abspath(compile_commands))
     tus = src_translation_units(root, compile_commands)
     if not tus:
         return ["[analyzer] no src/ translation units in "
                 f"{compile_commands}"]
-    cmd = [analyzer, "-p", build_dir, "--src-root", root] + tus
+    stale = [t for t in tus if not os.path.exists(t)]
+    if stale:
+        note(f"lint: compile database is stale — {len(stale)} entr"
+             f"{'y' if len(stale) == 1 else 'ies'} with no source file "
+             "skipped (re-run cmake to refresh compile_commands.json)")
+        tus = [t for t in tus if os.path.exists(t)]
+    if not tus:
+        note("lint: compile database is entirely stale; analyzer checks "
+             "skipped (re-run cmake to refresh compile_commands.json)")
+        return []
+    cmd = [analyzer, "-p", build_dir, "--src-root", root]
+    for name in checks or []:
+        cmd.append("--check=" + name)
+    if cache == "auto":
+        cache = os.path.join(build_dir, "rdftx-analyzer-summaries.cache")
+    if cache and cache != "none":
+        cmd.append("--summary-cache=" + cache)
+    cmd += tus
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True)
     except OSError as e:
@@ -387,6 +434,31 @@ def analyzer_findings(root, analyzer, compile_commands):
                 f"{proc.stderr.strip()}"]
     return ["[analyzer] " + ln for ln in proc.stdout.splitlines()
             if ln.strip()]
+
+
+# Finding lines mostly follow "<file>:<line>[:<col>]: [<rule>] <msg>";
+# --json parses that shape and falls back to the raw text otherwise.
+FINDING_SHAPE_RE = re.compile(
+    r"^(?:\[analyzer\] )?(?P<file>[^:\s][^:]*):(?P<line>\d+)"
+    r"(?::(?P<col>\d+))?: \[(?P<rule>[a-z-]+)\] (?P<msg>.*)$")
+
+
+def finding_to_json(text):
+    m = FINDING_SHAPE_RE.match(text)
+    if m is None:
+        return {"raw": text}
+    obj = {
+        "file": m.group("file"),
+        "line": int(m.group("line")),
+        "rule": m.group("rule"),
+        "message": m.group("msg"),
+        "raw": text,
+    }
+    if m.group("col") is not None:
+        obj["col"] = int(m.group("col"))
+    if text.startswith("[analyzer] "):
+        obj["source"] = "analyzer"
+    return obj
 
 
 def main():
@@ -407,7 +479,30 @@ def main():
     ap.add_argument("--require-analyzer", action="store_true",
                     help="fail instead of skipping when rdftx-analyzer or "
                          "the compile database is unavailable (CI mode)")
+    ap.add_argument("--check", action="append", default=None, metavar="NAME",
+                    help="narrow the analyzer to the named check "
+                         "(repeatable or comma-separated); one of: "
+                         + ", ".join(sorted(KNOWN_ANALYZER_CHECKS)))
+    ap.add_argument("--analyzer-cache", default="auto", metavar="PATH",
+                    help="analyzer summary-cache file ('auto': next to the "
+                         "compile database; 'none': disable)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as one JSON object on stdout "
+                         "(notices move to stderr); exit status unchanged")
     args = ap.parse_args()
+
+    def note(msg):
+        print(msg, file=sys.stderr if args.json else sys.stdout)
+
+    checks = []
+    for spec in args.check or []:
+        checks += [c for c in spec.split(",") if c]
+    unknown = sorted(set(checks) - KNOWN_ANALYZER_CHECKS)
+    if unknown:
+        print("lint: unknown --check name(s): " + ", ".join(unknown)
+              + " (known: " + ", ".join(sorted(KNOWN_ANALYZER_CHECKS)) + ")",
+              file=sys.stderr)
+        return 2
 
     root = args.root or os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
@@ -431,13 +526,15 @@ def main():
               "cannot run:\n  " + "\n  ".join(reasons), file=sys.stderr)
         return 2
     else:
-        print("lint: clang-query or compile database unavailable; "
-              "AST rules skipped (textual rules still enforced)")
+        note("lint: clang-query or compile database unavailable; "
+             "AST rules skipped (textual rules still enforced)")
 
     analyzer = resolve_analyzer(root, args.analyzer or
                                 ("auto" if args.require_analyzer else None))
     if analyzer and have_db:
-        findings += analyzer_findings(root, analyzer, args.compile_commands)
+        findings += analyzer_findings(root, analyzer, args.compile_commands,
+                                      checks=checks,
+                                      cache=args.analyzer_cache, note=note)
     elif args.require_analyzer:
         reasons = []
         if not analyzer:
@@ -452,9 +549,16 @@ def main():
               "cannot run:\n  " + "\n  ".join(reasons), file=sys.stderr)
         return 2
     elif args.analyzer:
-        print("lint: rdftx-analyzer or compile database unavailable; "
-              "analyzer checks skipped")
+        note("lint: rdftx-analyzer or compile database unavailable; "
+             "analyzer checks skipped")
 
+    if args.json:
+        print(json.dumps({
+            "status": "findings" if findings else "clean",
+            "count": len(findings),
+            "findings": [finding_to_json(f) for f in findings],
+        }, indent=2))
+        return 1 if findings else 0
     if findings:
         print(f"lint: {len(findings)} finding(s):")
         for f in findings:
